@@ -1,0 +1,88 @@
+// Command benchcloud runs the paper-reproduction experiments (DESIGN.md §4)
+// and prints their result tables — the data recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	benchcloud              # run everything
+//	benchcloud -only E2,E7  # run a subset
+//	benchcloud -o out.txt   # also write the tables to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"videocloud/internal/experiments"
+	"videocloud/internal/metrics"
+)
+
+var runners = []struct {
+	id  string
+	fn  func() *metrics.Table
+	ref string
+}{
+	{"E1", experiments.E1LiveMigration, "Figs 8-10"},
+	{"E1b", experiments.E1bMigrationAlgorithms, "refs [20][21]"},
+	{"E1c", experiments.E1cMigrationUnderContention, "migration + service traffic"},
+	{"E2", experiments.E2ParallelTranscode, "Fig 16"},
+	{"E3", experiments.E3IndexConstruction, "§I index construction"},
+	{"E4", experiments.E4SearchVsScan, "§III search vs DB"},
+	{"E5", experiments.E5VirtOverhead, "Figs 1-2"},
+	{"E6", experiments.E6Placement, "§III-A capacity manager"},
+	{"E6b", experiments.E6bProvisioning, "§II-C shared images"},
+	{"E6c", experiments.E6cConsolidation, "§III-A economize power"},
+	{"E7", experiments.E7HDFSReplication, "Fig 11"},
+	{"E8", experiments.E8MapReduceScaling, "Fig 12"},
+	{"E8b", experiments.E8bSpeculativeExecution, "straggler ablation"},
+	{"E9", experiments.E9EndToEnd, "Figs 17-23"},
+	{"E9b", experiments.E9bConcurrentLoad, "concurrent viewers"},
+	{"E10", experiments.E10FullStack, "Figs 6,13,14"},
+	{"E11", experiments.E11AutoScaling, "VoD auto-scaling (ref [28])"},
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated experiment ids (e.g. E2,E7); empty runs all")
+	out := flag.String("o", "", "also write the tables to this file")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	var b strings.Builder
+	for _, r := range runners {
+		if len(want) > 0 && !want[r.id] {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", r.id, r.ref)
+		tbl, err := run(r.fn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n", r.id, err)
+			os.Exit(1)
+		}
+		b.WriteString(tbl.String())
+		b.WriteString("\n")
+	}
+	fmt.Print(b.String())
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// run converts an experiment's shape-violation panic into an error.
+func run(fn func() *metrics.Table) (tbl *metrics.Table, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	return fn(), nil
+}

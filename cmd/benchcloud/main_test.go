@@ -1,0 +1,36 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"videocloud/internal/metrics"
+)
+
+func TestRunConvertsPanicToError(t *testing.T) {
+	_, err := run(func() *metrics.Table { panic("shape violation: boom") })
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+	tbl, err := run(func() *metrics.Table { return metrics.NewTable("ok", "x") })
+	if err != nil || tbl == nil || tbl.Title != "ok" {
+		t.Fatalf("happy path: %v %v", tbl, err)
+	}
+}
+
+func TestRunnerRegistryComplete(t *testing.T) {
+	// Every registered experiment has a unique id and a reference note.
+	seen := map[string]bool{}
+	for _, r := range runners {
+		if r.id == "" || r.fn == nil || r.ref == "" {
+			t.Fatalf("incomplete runner %+v", r.id)
+		}
+		if seen[r.id] {
+			t.Fatalf("duplicate id %s", r.id)
+		}
+		seen[r.id] = true
+	}
+	if len(runners) < 16 {
+		t.Fatalf("only %d experiments registered", len(runners))
+	}
+}

@@ -1,0 +1,3 @@
+module videocloud
+
+go 1.22

@@ -1,0 +1,369 @@
+// Package core is the paper's actual contribution: the integration of an
+// IaaS layer (KVM managed by OpenNebula), a PaaS layer (HDFS + MapReduce
+// reached through a FUSE mount), and the SaaS video website, assembled into
+// one running system — the architecture of Figures 6, 13 and 14.
+//
+// VideoCloud boots a simulated physical cluster, deploys a service group of
+// virtual machines (NameNode, DataNodes, web server) through the
+// orchestrator, and runs the video service *on those VMs*: every HDFS
+// datanode, every MapReduce tracker and every FFmpeg conversion worker is
+// named after — and capacity-accounted against — a VM the IaaS placed. Live
+// migration of the web server VM while streams are playing (experiment E10)
+// exercises the whole stack at once.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"videocloud/internal/fusebridge"
+	"videocloud/internal/hdfs"
+	"videocloud/internal/mapred"
+	"videocloud/internal/metrics"
+	"videocloud/internal/migrate"
+	"videocloud/internal/nebula"
+	"videocloud/internal/search"
+	"videocloud/internal/video"
+	"videocloud/internal/virt"
+	"videocloud/internal/web"
+)
+
+const gb = int64(1) << 30
+
+// Config sizes the deployment. The zero value builds the paper's small
+// testbed: four physical nodes, three DataNode VMs, one web VM.
+type Config struct {
+	// PhysicalHosts is the size of the host pool (default 4).
+	PhysicalHosts int
+	// DataVMs is the number of DataNode/TaskTracker VMs (default 3).
+	DataVMs int
+	// HostCores / HostMemoryBytes size each physical node (default
+	// 8 cores / 16 GiB).
+	HostCores       int
+	HostMemoryBytes int64
+	// Replication is the HDFS replication factor (default min(3, DataVMs)).
+	Replication int
+	// BlockSize is the HDFS block size (default 4 MiB here — scaled down
+	// from Hadoop's 64 MiB to keep simulated uploads cheap; override for
+	// fidelity).
+	BlockSize int64
+	// Policy is the Capacity Manager policy (default striping).
+	Policy nebula.Policy
+	// Target is the playback encoding (default: web package's H.264/720p).
+	Target video.Spec
+	// AdminUser/AdminPassword seed the site's administrator account.
+	AdminUser, AdminPassword string
+}
+
+func (c Config) withDefaults() Config {
+	if c.PhysicalHosts == 0 {
+		c.PhysicalHosts = 4
+	}
+	if c.DataVMs == 0 {
+		c.DataVMs = 3
+	}
+	if c.HostCores == 0 {
+		c.HostCores = 8
+	}
+	if c.HostMemoryBytes == 0 {
+		c.HostMemoryBytes = 16 * gb
+	}
+	if c.Replication == 0 {
+		c.Replication = 3
+	}
+	if c.Replication > c.DataVMs {
+		c.Replication = c.DataVMs
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = 4 << 20
+	}
+	return c
+}
+
+// VideoCloud is the fully assembled system.
+type VideoCloud struct {
+	cfg    Config
+	cloud  *nebula.Cloud
+	hdfs   *hdfs.Cluster
+	engine *mapred.Engine
+	mount  *fusebridge.Mount
+	site   *web.Site
+	reg    *metrics.Registry
+
+	webVMID    int
+	nameVMID   int
+	dataVMIDs  []int
+	reindexGen int
+}
+
+// BaseImage is the catalog name of the guest OS image every VM boots from
+// (the paper's Ubuntu 10.04 deployment, §IV).
+const BaseImage = "ubuntu-10.04-server"
+
+// ServiceGroup is the nebula service-group name of the deployment.
+const ServiceGroup = "videoservice"
+
+// ErrNotReady is returned when the service group failed to reach Running.
+var ErrNotReady = errors.New("core: service group did not become ready")
+
+// New boots the whole stack: hosts, VM service group, HDFS on the data VMs,
+// MapReduce over the same VMs, the FUSE mount, and the website.
+func New(cfg Config) (*VideoCloud, error) {
+	cfg = cfg.withDefaults()
+	vc := &VideoCloud{cfg: cfg, reg: metrics.NewRegistry()}
+
+	// ---- IaaS: hosts + image + service group ----
+	vc.cloud = nebula.New(nebula.Options{Policy: cfg.Policy})
+	for i := 1; i <= cfg.PhysicalHosts; i++ {
+		name := fmt.Sprintf("node%d", i)
+		if _, err := vc.cloud.AddHost(name, cfg.HostCores, 1e9, cfg.HostMemoryBytes, 500*gb); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := vc.cloud.Catalog().Register(BaseImage, 2*gb, 1004); err != nil {
+		return nil, err
+	}
+
+	templates := []nebula.Template{{
+		Name: "namenode", VCPUs: 2, MemoryBytes: 2 * gb, DiskBytes: 20 * gb,
+		Image: BaseImage, Workload: virt.HotspotWriter{Rate: 8 << 20},
+		Context: map[string]string{"ROLE": "namenode"},
+	}, {
+		Name: "webserver", VCPUs: 2, MemoryBytes: 2 * gb, DiskBytes: 20 * gb,
+		Image: BaseImage, Workload: &virt.StreamingServer{StreamRate: 16 << 20},
+		Context: map[string]string{"ROLE": "webserver"},
+	}}
+	for i := 0; i < cfg.DataVMs; i++ {
+		templates = append(templates, nebula.Template{
+			Name: fmt.Sprintf("datanode%d", i), VCPUs: 2, MemoryBytes: 4 * gb,
+			DiskBytes: 100 * gb, Image: BaseImage,
+			Workload: virt.UniformWriter{Rate: 4 << 20, Util: 0.4},
+			Context:  map[string]string{"ROLE": "datanode"},
+			// One physical host must never hold two DataNode VMs:
+			// otherwise a single host failure can destroy several
+			// HDFS replicas at once and defeat Figure 11's point.
+			AntiAffinity: cfg.DataVMs <= cfg.PhysicalHosts,
+		})
+	}
+	ids, err := vc.cloud.SubmitGroup(ServiceGroup, templates)
+	if err != nil {
+		return nil, err
+	}
+	vc.cloud.WaitIdle()
+	if !vc.cloud.GroupReady(ServiceGroup) {
+		return nil, fmt.Errorf("%w: %d VMs submitted", ErrNotReady, len(ids))
+	}
+	vc.nameVMID, vc.webVMID = ids[0], ids[1]
+	vc.dataVMIDs = ids[2:]
+
+	// ---- PaaS: HDFS + MapReduce on the data VMs ----
+	vc.hdfs = hdfs.NewCluster(0, cfg.BlockSize)
+	var trackers []string
+	for _, id := range vc.dataVMIDs {
+		rec, rerr := vc.cloud.VM(id)
+		if rerr != nil {
+			return nil, rerr
+		}
+		// The datanode's "rack" is the physical host its VM runs on:
+		// HDFS's rack policy then keeps replicas on distinct physical
+		// machines, so one host failure cannot destroy a whole block
+		// even though the datanodes are virtual.
+		vc.hdfs.AddDataNodeRack(rec.Name(), "/"+rec.HostName)
+		trackers = append(trackers, rec.Name())
+	}
+	vc.engine, err = mapred.NewEngine(vc.hdfs, trackers, mapred.Config{})
+	if err != nil {
+		return nil, err
+	}
+	vc.mount, err = fusebridge.New(vc.hdfs.Client(""), "/videocloud", cfg.Replication)
+	if err != nil {
+		return nil, err
+	}
+
+	// ---- SaaS: the website, converting uploads on the data VMs ----
+	vc.site, err = web.New(web.Config{
+		Store:         vc.mount,
+		Farm:          video.Farm{Nodes: trackers},
+		Target:        cfg.Target,
+		AdminUser:     cfg.AdminUser,
+		AdminPassword: cfg.AdminPassword,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return vc, nil
+}
+
+// Cloud returns the IaaS orchestrator.
+func (vc *VideoCloud) Cloud() *nebula.Cloud { return vc.cloud }
+
+// HDFS returns the storage cluster.
+func (vc *VideoCloud) HDFS() *hdfs.Cluster { return vc.hdfs }
+
+// Engine returns the MapReduce engine.
+func (vc *VideoCloud) Engine() *mapred.Engine { return vc.engine }
+
+// Mount returns the FUSE mount the site stores uploads in.
+func (vc *VideoCloud) Mount() *fusebridge.Mount { return vc.mount }
+
+// Site returns the video website.
+func (vc *VideoCloud) Site() *web.Site { return vc.site }
+
+// Handler returns the website as an http.Handler.
+func (vc *VideoCloud) Handler() http.Handler { return vc.site }
+
+// Metrics returns stack-level counters.
+func (vc *VideoCloud) Metrics() *metrics.Registry { return vc.reg }
+
+// WebVMID returns the orchestrator ID of the web-server VM.
+func (vc *VideoCloud) WebVMID() int { return vc.webVMID }
+
+// DataVMNames returns the hypervisor names of the DataNode VMs (also the
+// HDFS datanode / tracker / farm worker names).
+func (vc *VideoCloud) DataVMNames() []string {
+	out := make([]string, 0, len(vc.dataVMIDs))
+	for _, id := range vc.dataVMIDs {
+		rec, err := vc.cloud.VM(id)
+		if err == nil {
+			out = append(out, rec.Name())
+		}
+	}
+	return out
+}
+
+// MigrateWebVM live-migrates the web-server VM to dstHost and waits for the
+// migration to finish, returning its report (Figures 8-10, but with the
+// video service running on the VM).
+func (vc *VideoCloud) MigrateWebVM(dstHost string) (*migrate.Report, error) {
+	if err := vc.cloud.LiveMigrate(vc.webVMID, dstHost); err != nil {
+		return nil, err
+	}
+	vc.cloud.WaitIdle()
+	rec, err := vc.cloud.VM(vc.webVMID)
+	if err != nil {
+		return nil, err
+	}
+	if rec.LastMigration == nil {
+		return nil, errors.New("core: migration produced no report")
+	}
+	vc.reg.Counter("web_vm_migrations").Inc()
+	return rec.LastMigration, nil
+}
+
+// KillDataVM takes down the i-th DataNode VM's storage daemon and lets HDFS
+// re-replicate — the fault the paper stores "transcripts" (replicas) to
+// survive. It returns the number of blocks repaired.
+func (vc *VideoCloud) KillDataVM(i int) (int, error) {
+	if i < 0 || i >= len(vc.dataVMIDs) {
+		return 0, fmt.Errorf("core: no data VM %d", i)
+	}
+	rec, err := vc.cloud.VM(vc.dataVMIDs[i])
+	if err != nil {
+		return 0, err
+	}
+	if err := vc.hdfs.KillDataNode(rec.Name()); err != nil {
+		return 0, err
+	}
+	repaired := vc.hdfs.RepairAll()
+	vc.reg.Counter("data_vm_failures").Inc()
+	return repaired, nil
+}
+
+// ReindexMR rebuilds the site's search index with a distributed MapReduce
+// job over a corpus exported to HDFS — the §III periodic Nutch re-index —
+// and atomically swaps it into the site. The stored segment lands at
+// /videocloud-index/segment.
+func (vc *VideoCloud) ReindexMR() (*mapred.JobResult, error) {
+	docs := vc.site.Documents()
+	if len(docs) == 0 {
+		return nil, errors.New("core: nothing to index")
+	}
+	vc.reindexGen++
+	dir := fmt.Sprintf("/corpus/gen-%d", vc.reindexGen)
+	shard := len(docs)/len(vc.dataVMIDs) + 1
+	paths, err := search.WriteCorpus(vc.hdfs.Client(""), dir, docs, shard, vc.cfg.Replication)
+	if err != nil {
+		return nil, err
+	}
+	ix, res, err := search.BuildIndexMR(vc.engine, paths, fmt.Sprintf("/index/gen-%d", vc.reindexGen))
+	if err != nil {
+		return nil, err
+	}
+	if err := ix.SaveSegment(vc.hdfs.Client(""), "/videocloud-index/segment", vc.cfg.Replication); err != nil {
+		return nil, err
+	}
+	vc.site.ReplaceIndex(ix)
+	vc.reg.Counter("reindexes").Inc()
+	vc.reg.Histogram("reindex_seconds").Observe(res.Duration.Seconds())
+	return res, nil
+}
+
+// MaintenanceReport summarises a RollingMaintenance pass.
+type MaintenanceReport struct {
+	// HostsServiced lists hosts that were evacuated and re-enabled.
+	HostsServiced []string
+	// Migrations counts live migrations performed.
+	Migrations int
+	// Skipped lists hosts that could not be fully evacuated (left
+	// enabled with their VMs in place).
+	Skipped []string
+}
+
+// RollingMaintenance services every physical host in turn: evacuate its VMs
+// with live migration, hold it in maintenance (where an operator would
+// patch and reboot it), then re-enable it before moving on. The video
+// service keeps running throughout — the operational payoff of the live
+// migration the paper demonstrates in Figures 8-10.
+func (vc *VideoCloud) RollingMaintenance() (*MaintenanceReport, error) {
+	rep := &MaintenanceReport{}
+	for _, h := range vc.cloud.Hosts() {
+		if h.Failed() {
+			continue
+		}
+		started, err := vc.cloud.Evacuate(h.Name)
+		if err != nil {
+			// Not enough spare capacity for this host's VMs: put it
+			// back in service and move on.
+			vc.cloud.Enable(h.Name)
+			rep.Skipped = append(rep.Skipped, h.Name)
+			continue
+		}
+		vc.cloud.WaitIdle()
+		rep.Migrations += started
+		// (Patch + reboot happens here in real life.)
+		if err := vc.cloud.Enable(h.Name); err != nil {
+			return rep, err
+		}
+		rep.HostsServiced = append(rep.HostsServiced, h.Name)
+	}
+	vc.reg.Counter("maintenance_passes").Inc()
+	return rep, nil
+}
+
+// Status summarises the stack for dashboards and the CLI.
+type Status struct {
+	Hosts      int
+	VMs        []nebula.VMInfo
+	DataNodes  []string
+	Videos     int
+	Users      int
+	IndexDocs  int
+	VirtualNow time.Duration
+}
+
+// Status returns a point-in-time summary.
+func (vc *VideoCloud) Status() Status {
+	videos, _ := vc.site.DB().Count("videos")
+	users, _ := vc.site.DB().Count("users")
+	return Status{
+		Hosts:      len(vc.cloud.Hosts()),
+		VMs:        vc.cloud.Snapshot(),
+		DataNodes:  vc.hdfs.NameNode().LiveDataNodes(),
+		Videos:     videos,
+		Users:      users,
+		IndexDocs:  vc.site.Index().Docs(),
+		VirtualNow: vc.cloud.Now(),
+	}
+}

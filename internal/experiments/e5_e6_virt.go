@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+
+	"videocloud/internal/metrics"
+	"videocloud/internal/nebula"
+	"videocloud/internal/virt"
+)
+
+// E5VirtOverhead quantifies the paper's §II-B discussion (Figures 1-2): the
+// cost of full versus para-virtualization, plus native and KVM-with-VT
+// reference points, on a CPU-bound and an I/O-bound guest benchmark.
+// Expected shape: native < para < kvm-hw < full for both, with the gap far
+// larger on I/O (device emulation) than on CPU.
+func E5VirtOverhead() *metrics.Table {
+	host := virt.NewHost("bench", 8, 1e9, 64*gb, 500*gb, 0)
+	t := metrics.NewTable("E5 — virtualization overhead (Figs 1-2, §II-B)",
+		"mode", "cpu_bench_s", "cpu_overhead_pct", "io_bench_s", "io_overhead_pct")
+	const work = 60e9       // 60s of native single-vCPU compute
+	const ioBytes = 12 * gb // 100s of native disk I/O at 120 MB/s
+	var cpuBase, ioBase float64
+	var prevCPU, prevIO float64
+	for _, mode := range []virt.VirtMode{virt.Native, virt.ParaVirt, virt.HWAssist, virt.FullVirt} {
+		vm, err := host.CreateVM(virt.VMConfig{
+			Name: "bench-" + mode.String(), VCPUs: 1, MemoryBytes: 1 * gb, Mode: mode,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+		cpu := vm.CPUTime(work).Seconds()
+		io := vm.IOTime(ioBytes).Seconds()
+		if mode == virt.Native {
+			cpuBase, ioBase = cpu, io
+		}
+		t.AddRow(mode.String(), cpu, (cpu/cpuBase-1)*100, io, (io/ioBase-1)*100)
+		if mode != virt.Native {
+			check(cpu > prevCPU && io > prevIO,
+				"E5: %v not slower than the previous mode", mode)
+		}
+		prevCPU, prevIO = cpu, io
+	}
+	// I/O suffers more than CPU under full virtualization.
+	full, _ := host.CreateVM(virt.VMConfig{Name: "x", VCPUs: 1, MemoryBytes: 1 * gb, Mode: virt.FullVirt})
+	cpuPct := full.CPUTime(work).Seconds()/cpuBase - 1
+	ioPct := full.IOTime(ioBytes).Seconds()/ioBase - 1
+	check(ioPct > cpuPct, "E5: I/O overhead (%.0f%%) not above CPU overhead (%.0f%%)",
+		ioPct*100, cpuPct*100)
+	return t
+}
+
+// placementCloud builds a cloud with the given policy, 16 hosts, and a
+// registered image.
+func placementCloud(policy nebula.Policy) *nebula.Cloud {
+	c := nebula.New(nebula.Options{Policy: policy})
+	for i := 0; i < 16; i++ {
+		if _, err := c.AddHost(fmt.Sprintf("node%d", i), 16, 1e9, 32*gb, 1000*gb); err != nil {
+			panic(err)
+		}
+	}
+	if _, err := c.Catalog().Register("base", 2*gb, 1); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// E6Placement exercises the Capacity Manager of §III-A ("adjusts VM
+// placement based on a set of predefined policies"): 120 mixed VM requests
+// against 16 hosts under each policy. Expected shape: packing powers the
+// fewest hosts (the paper's "economize power" goal), striping uses all of
+// them with the lowest memory imbalance, and every policy places every
+// feasible request.
+func E6Placement() *metrics.Table {
+	t := metrics.NewTable("E6 — Capacity Manager placement policies (120 VMs / 16 hosts)",
+		"policy", "placed", "hosts_used", "max_host_mem_gb", "mem_imbalance")
+	type outcome struct {
+		hostsUsed int
+	}
+	results := map[string]outcome{}
+	for _, policy := range []nebula.Policy{nebula.PackingPolicy{}, nebula.StripingPolicy{}, nebula.LoadAwarePolicy{}} {
+		c := placementCloud(policy)
+		for i := 0; i < 120; i++ {
+			tpl := nebula.Template{
+				Name: fmt.Sprintf("vm%03d", i), VCPUs: 1 + i%2,
+				MemoryBytes: int64(1+i%3) * gb, DiskBytes: 10 * gb,
+				Image: "base", Workload: virt.IdleWorkload{},
+			}
+			if _, err := c.Submit(tpl); err != nil {
+				panic(err)
+			}
+		}
+		c.WaitIdle()
+		check(c.PendingCount() == 0, "E6: %s left %d VMs pending", policy.Name(), c.PendingCount())
+		used := 0
+		var maxMem, minMem int64 = 0, 1 << 62
+		for _, h := range c.Hosts() {
+			_, mem, _ := h.Usage()
+			if mem > 0 {
+				used++
+			}
+			if mem > maxMem {
+				maxMem = mem
+			}
+			if mem < minMem {
+				minMem = mem
+			}
+		}
+		imbalance := float64(maxMem-minMem) / float64(gb)
+		t.AddRow(policy.Name(), 120, used, float64(maxMem)/float64(gb), imbalance)
+		results[policy.Name()] = outcome{hostsUsed: used}
+	}
+	check(results["packing"].hostsUsed < results["striping"].hostsUsed,
+		"E6: packing used %d hosts, striping %d — consolidation failed",
+		results["packing"].hostsUsed, results["striping"].hostsUsed)
+	check(results["striping"].hostsUsed == 16, "E6: striping used %d/16 hosts",
+		results["striping"].hostsUsed)
+	return t
+}
+
+// E6bProvisioning is the COW ablation of DESIGN.md: deployment latency of a
+// VM whose disk is a qcow2-style copy-on-write clone versus a full copy of
+// the 2 GiB base image ("multiple virtual machines using the same image",
+// §II-C). Expected shape: COW provisioning is an order of magnitude faster
+// because only metadata crosses the network.
+func E6bProvisioning() *metrics.Table {
+	t := metrics.NewTable("E6b — provisioning: COW clone vs full image copy",
+		"disk_mode", "deploy_s")
+	deploy := func(full bool) float64 {
+		c := placementCloud(nebula.StripingPolicy{})
+		id, err := c.Submit(nebula.Template{
+			Name: "vm", VCPUs: 1, MemoryBytes: 1 * gb, DiskBytes: 10 * gb,
+			Image: "base", FullClone: full, Workload: virt.IdleWorkload{},
+		})
+		if err != nil {
+			panic(err)
+		}
+		c.WaitIdle()
+		rec, err := c.VM(id)
+		if err != nil {
+			panic(err)
+		}
+		check(rec.State == nebula.Running, "E6b: full=%v state=%v (%s)", full, rec.State, rec.FailReason)
+		return c.Now().Seconds()
+	}
+	cow := deploy(false)
+	full := deploy(true)
+	t.AddRow("cow-clone", cow)
+	t.AddRow("full-copy", full)
+	check(full > 1.3*cow, "E6b: full copy (%.1fs) not clearly slower than COW (%.1fs)", full, cow)
+	return t
+}

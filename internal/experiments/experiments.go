@@ -1,0 +1,94 @@
+// Package experiments contains the reproduction harnesses for every figure
+// and in-text performance claim of the paper (DESIGN.md §4, EXPERIMENTS.md).
+// Each E* function builds its workload, runs it, and returns an aligned
+// table whose rows are recorded in EXPERIMENTS.md; cmd/benchcloud prints
+// them all and the root bench_test.go wraps each in a testing.B benchmark
+// that also asserts the expected qualitative shape.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"videocloud/internal/metrics"
+	"videocloud/internal/simnet"
+	"videocloud/internal/simtime"
+	"videocloud/internal/virt"
+)
+
+const (
+	gb = int64(1) << 30
+	mb = int64(1) << 20
+)
+
+// ms renders a duration as fractional milliseconds for table rows.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// secs renders a duration as fractional seconds for table rows.
+func secs(d time.Duration) float64 { return d.Seconds() }
+
+// migrationRig builds two GbE-connected hosts for migration experiments.
+type migrationRig struct {
+	sim *simtime.Simulator
+	net *simnet.Network
+	src *virt.Host
+	dst *virt.Host
+}
+
+func newMigrationRig(bandwidth float64) *migrationRig {
+	sim := simtime.NewSimulator()
+	net := simnet.New(sim)
+	net.AddHost("node2", bandwidth, bandwidth, 100*time.Microsecond)
+	net.AddHost("node3", bandwidth, bandwidth, 100*time.Microsecond)
+	return &migrationRig{
+		sim: sim, net: net,
+		src: virt.NewHost("node3", 8, 1e9, 64*gb, 500*gb, 0),
+		dst: virt.NewHost("node2", 8, 1e9, 64*gb, 500*gb, 0),
+	}
+}
+
+func (r *migrationRig) vm(name string, memBytes int64, w virt.Workload) *virt.VM {
+	vm, err := r.src.CreateVM(virt.VMConfig{
+		Name: name, VCPUs: 2, MemoryBytes: memBytes, DiskBytes: 10 * gb, Mode: virt.HWAssist,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	vm.Workload = w
+	if err := vm.Start(); err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return vm
+}
+
+// check panics with a labelled message when an experiment invariant fails;
+// benchmarks convert this into a test failure.
+func check(cond bool, format string, args ...any) {
+	if !cond {
+		panic("experiments: shape violation: " + fmt.Sprintf(format, args...))
+	}
+}
+
+// All runs every experiment and returns the tables in order. It is what
+// cmd/benchcloud prints.
+func All() []*metrics.Table {
+	return []*metrics.Table{
+		E1LiveMigration(),
+		E1bMigrationAlgorithms(),
+		E1cMigrationUnderContention(),
+		E2ParallelTranscode(),
+		E3IndexConstruction(),
+		E4SearchVsScan(),
+		E5VirtOverhead(),
+		E6Placement(),
+		E6bProvisioning(),
+		E6cConsolidation(),
+		E7HDFSReplication(),
+		E8MapReduceScaling(),
+		E8bSpeculativeExecution(),
+		E9EndToEnd(),
+		E9bConcurrentLoad(),
+		E10FullStack(),
+		E11AutoScaling(),
+	}
+}

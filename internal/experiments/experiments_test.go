@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"videocloud/internal/metrics"
+)
+
+// runExp executes an experiment, converting shape-violation panics into
+// test failures.
+func runExp(t *testing.T, name string, fn func() *metrics.Table) *metrics.Table {
+	t.Helper()
+	var tbl *metrics.Table
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("%s panicked: %v", name, r)
+			}
+		}()
+		tbl = fn()
+	}()
+	if tbl == nil || tbl.Rows() == 0 {
+		t.Fatalf("%s produced no rows", name)
+	}
+	if !strings.Contains(tbl.String(), "==") {
+		t.Fatalf("%s table missing title", name)
+	}
+	return tbl
+}
+
+func TestE1LiveMigration(t *testing.T) {
+	tbl := runExp(t, "E1", E1LiveMigration)
+	if tbl.Rows() != 8 {
+		t.Fatalf("rows = %d", tbl.Rows())
+	}
+}
+
+func TestE1bAlgorithms(t *testing.T) {
+	tbl := runExp(t, "E1b", E1bMigrationAlgorithms)
+	out := tbl.String()
+	for _, alg := range []string{"pre-copy", "post-copy", "stop-and-copy"} {
+		if !strings.Contains(out, alg) {
+			t.Fatalf("missing %s:\n%s", alg, out)
+		}
+	}
+}
+
+func TestE1cContention(t *testing.T) {
+	tbl := runExp(t, "E1c", E1cMigrationUnderContention)
+	if tbl.Rows() != 4 {
+		t.Fatalf("rows = %d", tbl.Rows())
+	}
+}
+
+func TestE6cConsolidation(t *testing.T) {
+	tbl := runExp(t, "E6c", E6cConsolidation)
+	if tbl.Rows() != 2 {
+		t.Fatalf("rows = %d", tbl.Rows())
+	}
+}
+
+func TestE8bSpeculative(t *testing.T) {
+	tbl := runExp(t, "E8b", E8bSpeculativeExecution)
+	if tbl.Rows() != 3 {
+		t.Fatalf("rows = %d", tbl.Rows())
+	}
+}
+
+func TestE2ParallelTranscode(t *testing.T) {
+	tbl := runExp(t, "E2", E2ParallelTranscode)
+	if tbl.Rows() != 5 {
+		t.Fatalf("rows = %d", tbl.Rows())
+	}
+}
+
+func TestE3IndexConstruction(t *testing.T) {
+	runExp(t, "E3", E3IndexConstruction)
+}
+
+func TestE4SearchVsScan(t *testing.T) {
+	runExp(t, "E4", E4SearchVsScan)
+}
+
+func TestE5VirtOverhead(t *testing.T) {
+	tbl := runExp(t, "E5", E5VirtOverhead)
+	if tbl.Rows() != 4 {
+		t.Fatalf("rows = %d", tbl.Rows())
+	}
+}
+
+func TestE6Placement(t *testing.T) {
+	runExp(t, "E6", E6Placement)
+}
+
+func TestE6bProvisioning(t *testing.T) {
+	runExp(t, "E6b", E6bProvisioning)
+}
+
+func TestE7HDFSReplication(t *testing.T) {
+	tbl := runExp(t, "E7", E7HDFSReplication)
+	if tbl.Rows() != 3 {
+		t.Fatalf("rows = %d", tbl.Rows())
+	}
+}
+
+func TestE8MapReduceScaling(t *testing.T) {
+	tbl := runExp(t, "E8", E8MapReduceScaling)
+	if tbl.Rows() != 6 { // 5 scaling points + locality-off ablation
+		t.Fatalf("rows = %d", tbl.Rows())
+	}
+}
+
+func TestE9EndToEnd(t *testing.T) {
+	tbl := runExp(t, "E9", E9EndToEnd)
+	if tbl.Rows() != 5 {
+		t.Fatalf("rows = %d", tbl.Rows())
+	}
+}
+
+func TestE9bConcurrentLoad(t *testing.T) {
+	tbl := runExp(t, "E9b", E9bConcurrentLoad)
+	if tbl.Rows() != 5 {
+		t.Fatalf("rows = %d", tbl.Rows())
+	}
+}
+
+func TestE10FullStack(t *testing.T) {
+	tbl := runExp(t, "E10", E10FullStack)
+	if tbl.Rows() != 6 {
+		t.Fatalf("rows = %d\n%s", tbl.Rows(), tbl)
+	}
+}
+
+func TestE11AutoScaling(t *testing.T) {
+	tbl := runExp(t, "E11", E11AutoScaling)
+	if tbl.Rows() != 3 {
+		t.Fatalf("rows = %d", tbl.Rows())
+	}
+}

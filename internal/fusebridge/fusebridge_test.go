@@ -1,0 +1,197 @@
+package fusebridge
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"io/fs"
+	"testing"
+	"testing/fstest"
+
+	"videocloud/internal/hdfs"
+)
+
+func newMount(t *testing.T) *Mount {
+	t.Helper()
+	c := hdfs.NewCluster(3, 64*1024)
+	m, err := New(c.Client(""), "/uploads", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestWriteReadThroughMount(t *testing.T) {
+	m := newMount(t)
+	data := bytes.Repeat([]byte("frame"), 50000) // multi-block
+	if err := m.WriteFile("videos/clip.mp4", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadFile("videos/clip.mp4")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("round trip: %v", err)
+	}
+	if !m.Exists("videos/clip.mp4") || m.Exists("videos/ghost.mp4") {
+		t.Fatal("Exists wrong")
+	}
+}
+
+func TestOverwriteReplaces(t *testing.T) {
+	m := newMount(t)
+	m.WriteFile("f.txt", []byte("one"))
+	if err := m.WriteFile("f.txt", []byte("two-longer")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.ReadFile("f.txt")
+	if string(got) != "two-longer" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestStreamingCreate(t *testing.T) {
+	m := newMount(t)
+	w, err := m.Create("big.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []byte
+	for i := 0; i < 10; i++ {
+		chunk := bytes.Repeat([]byte{byte(i)}, 20000)
+		want = append(want, chunk...)
+		if _, err := w.Write(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadFile("big.bin")
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("streamed write: %v", err)
+	}
+}
+
+func TestFSInterface(t *testing.T) {
+	m := newMount(t)
+	m.WriteFile("a.txt", []byte("alpha"))
+	m.WriteFile("sub/b.txt", []byte("beta"))
+	// fs.ReadFile path.
+	got, err := fs.ReadFile(m, "sub/b.txt")
+	if err != nil || string(got) != "beta" {
+		t.Fatalf("fs.ReadFile: %v %q", err, got)
+	}
+	// Stat via Open.
+	f, err := m.Open("a.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, err := f.Stat()
+	if err != nil || fi.Size() != 5 || fi.IsDir() {
+		t.Fatalf("Stat: %v %+v", err, fi)
+	}
+	f.Close()
+	// Directory listing via fs.ReadDir.
+	entries, err := fs.ReadDir(m, ".")
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("ReadDir: %v %v", err, entries)
+	}
+	// Missing file error shape.
+	if _, err := m.Open("nope.txt"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing open: %v", err)
+	}
+	var pe *fs.PathError
+	if _, err := m.Open("nope.txt"); !errors.As(err, &pe) {
+		t.Fatal("error is not *fs.PathError")
+	}
+	if _, err := m.Open("../escape"); err == nil {
+		t.Fatal("path escape accepted")
+	}
+}
+
+func TestFSTestCompliance(t *testing.T) {
+	m := newMount(t)
+	m.WriteFile("a.txt", []byte("alpha"))
+	m.WriteFile("dir/b.txt", []byte("beta"))
+	m.WriteFile("dir/deeper/c.txt", []byte("gamma"))
+	if err := fstest.TestFS(m, "a.txt", "dir/b.txt", "dir/deeper/c.txt"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeekThroughMount(t *testing.T) {
+	m := newMount(t)
+	data := make([]byte, 200000)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	m.WriteFile("v.mp4", data)
+	r, err := m.OpenSeeker("v.mp4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Seek(150000, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 100)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data[150000:150100]) {
+		t.Fatal("seek read wrong bytes")
+	}
+}
+
+func TestRemoveAndWalk(t *testing.T) {
+	m := newMount(t)
+	m.WriteFile("keep/x.bin", []byte("x"))
+	m.WriteFile("keep/y.bin", []byte("y"))
+	m.WriteFile("drop.bin", []byte("z"))
+	files, err := m.Walk(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 3 {
+		t.Fatalf("Walk = %v", files)
+	}
+	if err := m.Remove("drop.bin"); err != nil {
+		t.Fatal(err)
+	}
+	files, _ = m.Walk(".")
+	if len(files) != 2 {
+		t.Fatalf("after remove: %v", files)
+	}
+	if err := m.Remove("drop.bin"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("double remove: %v", err)
+	}
+}
+
+func TestDataLandsInHDFSReplicated(t *testing.T) {
+	c := hdfs.NewCluster(3, 64*1024)
+	m, _ := New(c.Client(""), "/uploads", 3)
+	m.WriteFile("v.mp4", bytes.Repeat([]byte("a"), 70000))
+	blocks, err := c.Client("").BlockLocations("/uploads/v.mp4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 2 {
+		t.Fatalf("%d blocks", len(blocks))
+	}
+	for _, b := range blocks {
+		if len(b.Locations) != 3 {
+			t.Fatalf("block %d has %d replicas", b.ID, len(b.Locations))
+		}
+	}
+	// Survives a datanode death — the paper's stated reason for HDFS.
+	c.KillDataNode(blocks[0].Locations[0])
+	got, err := m.ReadFile("v.mp4")
+	if err != nil || len(got) != 70000 {
+		t.Fatalf("read after node death: %v", err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	c := hdfs.NewCluster(1, 64*1024)
+	if _, err := New(c.Client(""), "/m", 0); err == nil {
+		t.Fatal("replication 0 accepted")
+	}
+}

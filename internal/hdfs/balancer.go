@@ -1,0 +1,271 @@
+package hdfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// This file adds the two operational tools a production HDFS deployment of
+// the paper's video store needs: the balancer (Hadoop's balancer daemon),
+// which evens storage across DataNodes after growth or skewed ingest, and
+// graceful decommissioning, which drains a node's replicas before it is
+// removed — the planned-maintenance counterpart of the crash handling in
+// MarkDead.
+
+// ErrDecommissionIncomplete is returned when a node still holds the only
+// replica of some block.
+var ErrDecommissionIncomplete = errors.New("hdfs: decommission incomplete")
+
+// moveReplica atomically retargets one replica in the NameNode's books.
+func (nn *NameNode) moveReplica(id BlockID, from, to string) error {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	info, ok := nn.blocks[id]
+	if !ok {
+		return fmt.Errorf("hdfs: move of unknown block %d", id)
+	}
+	src, dst := nn.datanodes[from], nn.datanodes[to]
+	if src == nil || dst == nil {
+		return fmt.Errorf("hdfs: move %d between unknown nodes %q->%q", id, from, to)
+	}
+	found := false
+	for i, loc := range info.Locations {
+		if loc == to {
+			return fmt.Errorf("hdfs: block %d already on %q", id, to)
+		}
+		if loc == from {
+			info.Locations[i] = to
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("hdfs: block %d has no replica on %q", id, from)
+	}
+	delete(src.blocks, id)
+	src.used -= info.Length
+	dst.blocks[id] = true
+	dst.used += info.Length
+	return nil
+}
+
+// usedBytes returns live datanodes sorted by stored bytes (ascending).
+func (nn *NameNode) usedByNode() []struct {
+	Name string
+	Used int64
+} {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	var out []struct {
+		Name string
+		Used int64
+	}
+	for name, dn := range nn.datanodes {
+		if dn.alive && !dn.decommissioning {
+			out = append(out, struct {
+				Name string
+				Used int64
+			}{name, dn.used})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Used != out[j].Used {
+			return out[i].Used < out[j].Used
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// blocksOn returns the block IDs a node holds, sorted.
+func (nn *NameNode) blocksOn(name string) []BlockID {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	dn := nn.datanodes[name]
+	if dn == nil {
+		return nil
+	}
+	out := make([]BlockID, 0, len(dn.blocks))
+	for id := range dn.blocks {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// hasReplica reports whether node holds block id in the NameNode's books.
+func (nn *NameNode) hasReplica(name string, id BlockID) bool {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	dn := nn.datanodes[name]
+	return dn != nil && dn.blocks[id]
+}
+
+// Balance moves block replicas from the most- to the least-utilized
+// datanodes until the spread of stored bytes is within threshold (or no
+// legal move remains — a replica never moves to a node that already holds
+// the block). It returns the number of replicas moved.
+func (c *Cluster) Balance(threshold int64) int {
+	if threshold < 1 {
+		threshold = 1
+	}
+	moves := 0
+	for iter := 0; iter < 10000; iter++ {
+		nodes := c.nn.usedByNode()
+		if len(nodes) < 2 {
+			return moves
+		}
+		lo, hi := nodes[0], nodes[len(nodes)-1]
+		if hi.Used-lo.Used <= threshold {
+			return moves
+		}
+		moved := false
+		for _, id := range c.nn.blocksOn(hi.Name) {
+			if c.nn.hasReplica(lo.Name, id) {
+				continue
+			}
+			src, dst := c.DataNode(hi.Name), c.DataNode(lo.Name)
+			if src == nil || dst == nil {
+				break
+			}
+			data, err := src.Read(id)
+			if err != nil {
+				continue
+			}
+			// Don't overshoot: moving this block must not make the
+			// destination the new outlier by more than the gap.
+			if lo.Used+int64(len(data)) > hi.Used {
+				continue
+			}
+			if err := dst.Store(id, data); err != nil {
+				continue
+			}
+			if err := c.nn.moveReplica(id, hi.Name, lo.Name); err != nil {
+				dst.Delete(id)
+				continue
+			}
+			src.Delete(id)
+			c.reg.Counter("blocks_rebalanced").Inc()
+			moves++
+			moved = true
+			break
+		}
+		if !moved {
+			return moves
+		}
+	}
+	return moves
+}
+
+// StartDecommission excludes a node from new placements and queues
+// re-replication (with the draining node as the copy source) for every
+// block that would otherwise drop below one live replica elsewhere.
+func (nn *NameNode) StartDecommission(name string) error {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	dn, ok := nn.datanodes[name]
+	if !ok {
+		return fmt.Errorf("hdfs: unknown datanode %q", name)
+	}
+	dn.decommissioning = true
+	ids := make([]BlockID, 0, len(dn.blocks))
+	for id := range dn.blocks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		info := nn.blocks[id]
+		if info == nil {
+			continue
+		}
+		elsewhere := 0
+		exclude := map[string]bool{}
+		for _, loc := range info.Locations {
+			exclude[loc] = true
+			other := nn.datanodes[loc]
+			if loc != name && other != nil && other.alive && !other.decommissioning {
+				elsewhere++
+			}
+		}
+		// Restore the block's full target replication on the nodes
+		// that remain after this one retires.
+		missing := info.Replication - elsewhere
+		if missing < 1 && elsewhere == 0 {
+			missing = 1
+		}
+		if missing < 1 {
+			continue
+		}
+		targets := nn.chooseTargets(missing, "", exclude)
+		for _, target := range targets {
+			nn.pendingRepl = append(nn.pendingRepl, ReplicationTask{Block: id, Src: name, Dst: target})
+			exclude[target] = true
+		}
+	}
+	return nil
+}
+
+// FinishDecommission verifies every block on the node has a live replica
+// elsewhere, then retires the node (no re-replication storm — its replicas
+// were already drained).
+func (nn *NameNode) FinishDecommission(name string) error {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	dn, ok := nn.datanodes[name]
+	if !ok {
+		return fmt.Errorf("hdfs: unknown datanode %q", name)
+	}
+	if !dn.decommissioning {
+		return fmt.Errorf("hdfs: %q is not decommissioning", name)
+	}
+	for id := range dn.blocks {
+		info := nn.blocks[id]
+		if info == nil {
+			continue
+		}
+		elsewhere := 0
+		for _, loc := range info.Locations {
+			other := nn.datanodes[loc]
+			if loc != name && other != nil && other.alive && !other.decommissioning {
+				elsewhere++
+			}
+		}
+		if elsewhere == 0 {
+			return fmt.Errorf("%w: block %d only on %q", ErrDecommissionIncomplete, id, name)
+		}
+	}
+	// Retire: drop its replicas from the books.
+	for id := range dn.blocks {
+		if info := nn.blocks[id]; info != nil {
+			kept := info.Locations[:0]
+			for _, loc := range info.Locations {
+				if loc != name {
+					kept = append(kept, loc)
+				}
+			}
+			info.Locations = kept
+		}
+	}
+	dn.blocks = map[BlockID]bool{}
+	dn.used = 0
+	dn.alive = false
+	return nil
+}
+
+// Decommission runs the full graceful-drain flow on the cluster: start,
+// copy the queued replicas, verify, retire, and finally take the node's
+// process down. It returns how many blocks were copied off the node.
+func (c *Cluster) Decommission(name string) (int, error) {
+	if err := c.nn.StartDecommission(name); err != nil {
+		return 0, err
+	}
+	copied := c.RepairAll()
+	if err := c.nn.FinishDecommission(name); err != nil {
+		return copied, err
+	}
+	if dn := c.DataNode(name); dn != nil {
+		dn.SetDown(true)
+	}
+	c.reg.Counter("datanodes_decommissioned").Inc()
+	return copied, nil
+}

@@ -1,0 +1,199 @@
+package hdfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// skewedCluster writes files while only two of four nodes exist, then adds
+// two empty nodes — the classic post-expansion imbalance.
+func skewedCluster(t *testing.T) (*Cluster, [][]byte) {
+	t.Helper()
+	c := NewCluster(2, testBlock)
+	cl := c.Client("")
+	var files [][]byte
+	for i := 0; i < 6; i++ {
+		data := payload(2*testBlock, int64(i))
+		if err := cl.WriteFile(string(rune('a'+i))+"/f", data, 2); err != nil {
+			// Paths must be absolute.
+			if err2 := cl.WriteFile("/"+string(rune('a'+i)), data, 2); err2 != nil {
+				t.Fatal(err2)
+			}
+		}
+		files = append(files, data)
+	}
+	c.AddDataNode("dn2")
+	c.AddDataNode("dn3")
+	return c, files
+}
+
+func TestBalanceEvensStorage(t *testing.T) {
+	c, files := skewedCluster(t)
+	spread := func() int64 {
+		var min, max int64 = 1 << 62, 0
+		for _, n := range []string{"dn0", "dn1", "dn2", "dn3"} {
+			u := c.DataNode(n).Used()
+			if u < min {
+				min = u
+			}
+			if u > max {
+				max = u
+			}
+		}
+		return max - min
+	}
+	before := spread()
+	if before == 0 {
+		t.Fatal("cluster not skewed to begin with")
+	}
+	moves := c.Balance(2 * testBlock)
+	if moves == 0 {
+		t.Fatal("balancer moved nothing")
+	}
+	after := spread()
+	if after > 2*testBlock {
+		t.Fatalf("spread after balance = %d, want <= %d", after, 2*testBlock)
+	}
+	if after >= before {
+		t.Fatalf("spread did not shrink: %d -> %d", before, after)
+	}
+	// All data still reads back intact.
+	cl := c.Client("")
+	for i, want := range files {
+		got, err := cl.ReadFile("/" + string(rune('a'+i)))
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("file %d corrupted after balance: %v", i, err)
+		}
+	}
+	// Replica invariant: no block has two replicas on one node.
+	for i := range files {
+		blocks, _ := cl.BlockLocations("/" + string(rune('a'+i)))
+		for _, b := range blocks {
+			seen := map[string]bool{}
+			for _, loc := range b.Locations {
+				if seen[loc] {
+					t.Fatalf("block %d has duplicate replica on %s", b.ID, loc)
+				}
+				seen[loc] = true
+				if !c.DataNode(loc).Has(b.ID) {
+					t.Fatalf("NameNode says %s holds %d but it does not", loc, b.ID)
+				}
+			}
+		}
+	}
+}
+
+func TestBalanceIdempotent(t *testing.T) {
+	c, _ := skewedCluster(t)
+	c.Balance(testBlock)
+	again := c.Balance(testBlock)
+	if again != 0 {
+		t.Fatalf("second balance moved %d blocks", again)
+	}
+}
+
+func TestBalanceSingleNodeNoop(t *testing.T) {
+	c := NewCluster(1, testBlock)
+	c.Client("").WriteFile("/f", payload(testBlock, 1), 1)
+	if moves := c.Balance(1); moves != 0 {
+		t.Fatalf("single-node balance moved %d", moves)
+	}
+}
+
+func TestDecommissionGraceful(t *testing.T) {
+	c := NewCluster(4, testBlock)
+	cl := c.Client("")
+	data := payload(6*testBlock, 3)
+	if err := cl.WriteFile("/film", data, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Find a node holding replicas.
+	blocks, _ := cl.BlockLocations("/film")
+	victim := blocks[0].Locations[0]
+	held := 0
+	for _, b := range blocks {
+		for _, loc := range b.Locations {
+			if loc == victim {
+				held++
+			}
+		}
+	}
+	copied, err := c.Decommission(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replicas were drained; data fully replicated without the node.
+	if got := c.NameNode().UnderReplicated(2); len(got) != 0 {
+		t.Fatalf("under-replicated after decommission: %v", got)
+	}
+	got, err := cl.ReadFile("/film")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("data after decommission: %v", err)
+	}
+	// The retired node serves nothing and receives nothing.
+	blocks, _ = cl.BlockLocations("/film")
+	for _, b := range blocks {
+		for _, loc := range b.Locations {
+			if loc == victim {
+				t.Fatalf("block %d still mapped to retired node", b.ID)
+			}
+		}
+	}
+	if err := cl.WriteFile("/new", payload(testBlock, 9), 3); err != nil {
+		t.Fatal(err)
+	}
+	nb, _ := cl.BlockLocations("/new")
+	for _, loc := range nb[0].Locations {
+		if loc == victim {
+			t.Fatal("new block placed on retired node")
+		}
+	}
+	_ = copied
+}
+
+func TestDecommissionLastReplicaHolder(t *testing.T) {
+	// RF=1: the draining node holds the only replicas; decommission must
+	// copy them off before retiring.
+	c := NewCluster(3, testBlock)
+	cl := c.Client("")
+	data := payload(3*testBlock, 4)
+	cl.WriteFile("/f", data, 1)
+	blocks, _ := cl.BlockLocations("/f")
+	victim := blocks[0].Locations[0]
+	copied, err := c.Decommission(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if copied == 0 {
+		t.Fatal("no replicas drained despite being sole holder")
+	}
+	got, err := cl.ReadFile("/f")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("data lost: %v", err)
+	}
+}
+
+func TestDecommissionErrors(t *testing.T) {
+	c := NewCluster(2, testBlock)
+	if _, err := c.Decommission("ghost"); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+	if err := c.NameNode().FinishDecommission("dn0"); err == nil {
+		t.Fatal("finish without start accepted")
+	}
+	// Decommission with nowhere to drain: RF=1 file on the only other
+	// node... make both nodes hold sole replicas and kill the target.
+	cl := c.Client("")
+	cl.WriteFile("/f", payload(2*testBlock, 5), 1)
+	blocks, _ := cl.BlockLocations("/f")
+	victim := blocks[0].Locations[0]
+	other := "dn0"
+	if victim == "dn0" {
+		other = "dn1"
+	}
+	c.KillDataNode(other)
+	if _, err := c.Decommission(victim); !errors.Is(err, ErrDecommissionIncomplete) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,290 @@
+package hdfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Client implements the HDFS user-facing protocol described in §III-B: "Name
+// node receives users' commands, delivers Data node [addresses] back to
+// users ... so that users can directly deliver information to Data node."
+// Writes go through a replication pipeline; reads fail over between replicas
+// and report corrupt ones.
+type Client struct {
+	cluster   *Cluster
+	localNode string
+}
+
+// ErrAllReplicasFailed is returned when no replica of a block is readable.
+var ErrAllReplicasFailed = errors.New("hdfs: all replicas failed")
+
+// Writer streams a file into HDFS, cutting it into blocks.
+type Writer struct {
+	client *Client
+	path   string
+	buf    []byte
+	closed bool
+	err    error
+}
+
+// Create opens a new file for writing with the given replication factor.
+func (c *Client) Create(path string, replication int) (*Writer, error) {
+	if err := c.cluster.nn.Create(path, replication); err != nil {
+		return nil, err
+	}
+	return &Writer{client: c, path: path}, nil
+}
+
+// Write implements io.Writer, flushing whole blocks as they fill.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	if w.closed {
+		return 0, fmt.Errorf("hdfs: write after close on %q", w.path)
+	}
+	w.buf = append(w.buf, p...)
+	bs := int(w.client.cluster.nn.BlockSize())
+	for len(w.buf) >= bs {
+		if err := w.flushBlock(w.buf[:bs]); err != nil {
+			w.err = err
+			return 0, err
+		}
+		w.buf = w.buf[bs:]
+	}
+	return len(p), nil
+}
+
+// flushBlock runs the write pipeline for one block: allocate at the
+// NameNode, then store on each target in order (first target forwards to
+// the next, as the real pipeline does; in-process that is a sequential
+// chain). Targets that fail mid-pipeline are dropped; the block commits
+// with the replicas that succeeded, and the NameNode repairs the rest.
+func (w *Writer) flushBlock(data []byte) error {
+	c := w.client
+	info, err := c.cluster.nn.AddBlock(w.path, c.localNode)
+	if err != nil {
+		return err
+	}
+	var stored []string
+	for _, target := range info.Locations {
+		dn := c.cluster.DataNode(target)
+		if dn == nil {
+			continue
+		}
+		if err := dn.Store(info.ID, data); err != nil {
+			continue
+		}
+		stored = append(stored, target)
+	}
+	if len(stored) == 0 {
+		return fmt.Errorf("hdfs: pipeline for block %d failed on all %d targets",
+			info.ID, len(info.Locations))
+	}
+	if err := c.cluster.nn.CommitBlock(info.ID, int64(len(data)), stored); err != nil {
+		return err
+	}
+	c.cluster.reg.Counter("bytes_written").Add(int64(len(data)) * int64(len(stored)))
+	c.cluster.reg.Counter("blocks_written").Inc()
+	return nil
+}
+
+// Close flushes the final partial block and completes the file.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if len(w.buf) > 0 {
+		if err := w.flushBlock(w.buf); err != nil {
+			w.err = err
+			return err
+		}
+		w.buf = nil
+	}
+	return w.client.cluster.nn.CloseFile(w.path)
+}
+
+// WriteFile creates path with the given replication and writes data.
+func (c *Client) WriteFile(path string, data []byte, replication int) error {
+	w, err := c.Create(path, replication)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+// readBlock fetches one block, failing over across replicas. Corrupt
+// replicas are reported to the NameNode (which queues repair).
+func (c *Client) readBlock(info BlockInfo) ([]byte, error) {
+	var lastErr error = fmt.Errorf("%w: block %d has no live replicas", ErrAllReplicasFailed, info.ID)
+	for _, loc := range info.Locations {
+		dn := c.cluster.DataNode(loc)
+		if dn == nil {
+			continue
+		}
+		data, err := dn.Read(info.ID)
+		if err == nil {
+			c.cluster.reg.Counter("bytes_read").Add(int64(len(data)))
+			return data, nil
+		}
+		if errors.Is(err, ErrChecksum) {
+			c.cluster.nn.ReportCorrupt(loc, info.ID)
+			c.cluster.reg.Counter("corrupt_replicas_reported").Inc()
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("%w: block %d: %v", ErrAllReplicasFailed, info.ID, lastErr)
+}
+
+// ReadFile returns the whole content of path.
+func (c *Client) ReadFile(path string) ([]byte, error) {
+	blocks, err := c.cluster.nn.GetBlockLocations(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []byte
+	for _, b := range blocks {
+		data, err := c.readBlock(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, data...)
+	}
+	return out, nil
+}
+
+// Open returns a random-access reader for path.
+func (c *Client) Open(path string) (*Reader, error) {
+	blocks, err := c.cluster.nn.GetBlockLocations(path)
+	if err != nil {
+		return nil, err
+	}
+	var size int64
+	for _, b := range blocks {
+		size += b.Length
+	}
+	return &Reader{client: c, blocks: blocks, size: size}, nil
+}
+
+// Reader reads an HDFS file with io.Reader/io.Seeker/io.ReaderAt semantics;
+// it backs both sequential consumption (MapReduce splits) and the
+// seekable-playback path of the video site (HTTP Range requests).
+type Reader struct {
+	client *Client
+	blocks []BlockInfo
+	size   int64
+	pos    int64
+}
+
+// Size returns the file length.
+func (r *Reader) Size() int64 { return r.size }
+
+// Read implements io.Reader.
+func (r *Reader) Read(p []byte) (int, error) {
+	n, err := r.ReadAt(p, r.pos)
+	r.pos += int64(n)
+	return n, err
+}
+
+// Seek implements io.Seeker.
+func (r *Reader) Seek(offset int64, whence int) (int64, error) {
+	var abs int64
+	switch whence {
+	case io.SeekStart:
+		abs = offset
+	case io.SeekCurrent:
+		abs = r.pos + offset
+	case io.SeekEnd:
+		abs = r.size + offset
+	default:
+		return 0, fmt.Errorf("hdfs: bad whence %d", whence)
+	}
+	if abs < 0 {
+		return 0, fmt.Errorf("hdfs: negative seek position %d", abs)
+	}
+	r.pos = abs
+	return abs, nil
+}
+
+// ReadAt implements io.ReaderAt, fetching only the block ranges covering
+// [off, off+len(p)).
+func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
+	if off >= r.size {
+		return 0, io.EOF
+	}
+	n := 0
+	var blockStart int64
+	for _, b := range r.blocks {
+		blockEnd := blockStart + b.Length
+		if off+int64(len(p)) <= blockStart || off >= blockEnd {
+			blockStart = blockEnd
+			continue
+		}
+		// Overlap of [off, off+len(p)) with this block.
+		lo := off + int64(n)
+		if lo < blockStart {
+			lo = blockStart
+		}
+		want := int64(len(p) - n)
+		chunk, err := r.fetchRange(b, lo-blockStart, want)
+		if err != nil {
+			return n, err
+		}
+		n += copy(p[n:], chunk)
+		blockStart = blockEnd
+		if n == len(p) {
+			return n, nil
+		}
+	}
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (r *Reader) fetchRange(info BlockInfo, off, length int64) ([]byte, error) {
+	var lastErr error = fmt.Errorf("%w: block %d has no live replicas", ErrAllReplicasFailed, info.ID)
+	for _, loc := range info.Locations {
+		dn := r.client.cluster.DataNode(loc)
+		if dn == nil {
+			continue
+		}
+		data, err := dn.ReadRange(info.ID, off, length)
+		if err == nil {
+			r.client.cluster.reg.Counter("bytes_read").Add(int64(len(data)))
+			return data, nil
+		}
+		if errors.Is(err, ErrChecksum) {
+			r.client.cluster.nn.ReportCorrupt(loc, info.ID)
+			r.client.cluster.reg.Counter("corrupt_replicas_reported").Inc()
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("%w: block %d: %v", ErrAllReplicasFailed, info.ID, lastErr)
+}
+
+// BlockLocations exposes a file's block layout — what the MapReduce
+// JobTracker uses for data-locality scheduling.
+func (c *Client) BlockLocations(path string) ([]BlockInfo, error) {
+	return c.cluster.nn.GetBlockLocations(path)
+}
+
+// Mkdir creates a directory and any missing parents.
+func (c *Client) Mkdir(path string) error { return c.cluster.nn.Mkdir(path) }
+
+// List returns a directory's entries.
+func (c *Client) List(path string) ([]FileStatus, error) { return c.cluster.nn.List(path) }
+
+// Stat returns metadata for a path.
+func (c *Client) Stat(path string) (FileStatus, error) { return c.cluster.nn.Stat(path) }
+
+// Remove deletes a file or empty directory, reclaiming block storage.
+func (c *Client) Remove(path string) error { return c.cluster.Delete(path) }

@@ -1,0 +1,180 @@
+package hdfs
+
+import (
+	"fmt"
+	"sync"
+
+	"videocloud/internal/metrics"
+)
+
+// Cluster wires a NameNode to its DataNodes and implements the data-path
+// operations that need both sides: the replication pipeline, replica repair,
+// and block reclamation. In the paper's deployment each DataNode runs inside
+// a KVM virtual machine; here the nodes are in-process objects, so the data
+// path is real and the placement decisions are identical.
+type Cluster struct {
+	nn  *NameNode
+	reg *metrics.Registry
+
+	mu    sync.RWMutex
+	nodes map[string]*DataNode
+}
+
+// NewCluster creates a cluster with n datanodes named "dn0".."dn<n-1>".
+// blockSize 0 selects the 64 MiB default.
+func NewCluster(n int, blockSize int64) *Cluster {
+	c := &Cluster{
+		nn:    NewNameNode(blockSize),
+		reg:   metrics.NewRegistry(),
+		nodes: make(map[string]*DataNode),
+	}
+	for i := 0; i < n; i++ {
+		c.AddDataNode(fmt.Sprintf("dn%d", i))
+	}
+	return c
+}
+
+// NameNode returns the master.
+func (c *Cluster) NameNode() *NameNode { return c.nn }
+
+// Metrics returns cluster counters (bytes written/read, repairs).
+func (c *Cluster) Metrics() *metrics.Registry { return c.reg }
+
+// AddDataNode creates and registers a new datanode on the default rack.
+func (c *Cluster) AddDataNode(name string) *DataNode {
+	return c.AddDataNodeRack(name, DefaultRack)
+}
+
+// AddDataNodeRack creates and registers a datanode with rack topology.
+func (c *Cluster) AddDataNodeRack(name, rack string) *DataNode {
+	dn := NewDataNode(name)
+	c.mu.Lock()
+	c.nodes[name] = dn
+	c.mu.Unlock()
+	c.nn.RegisterDataNodeRack(name, 1<<40, rack)
+	return dn
+}
+
+// KillRack takes down every datanode on a rack (a switch or PDU failure)
+// and triggers the NameNode's handling for each.
+func (c *Cluster) KillRack(rack string) int {
+	c.mu.RLock()
+	var names []string
+	for name := range c.nodes {
+		names = append(names, name)
+	}
+	c.mu.RUnlock()
+	killed := 0
+	for _, name := range names {
+		if c.nn.Rack(name) == rack {
+			if err := c.KillDataNode(name); err == nil {
+				killed++
+			}
+		}
+	}
+	return killed
+}
+
+// DataNode returns a datanode by name, or nil.
+func (c *Cluster) DataNode(name string) *DataNode {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.nodes[name]
+}
+
+// KillDataNode takes a node down and triggers the NameNode's failure
+// handling (as missed heartbeats would); re-replication tasks are queued
+// but not yet executed — call RepairAll or ProcessReplication.
+func (c *Cluster) KillDataNode(name string) error {
+	dn := c.DataNode(name)
+	if dn == nil {
+		return fmt.Errorf("hdfs: unknown datanode %q", name)
+	}
+	dn.SetDown(true)
+	c.nn.MarkDead(name)
+	c.reg.Counter("datanodes_killed").Inc()
+	return nil
+}
+
+// ReviveDataNode brings a previously killed node back. Its stored replicas
+// are re-announced to the NameNode.
+func (c *Cluster) ReviveDataNode(name string) error {
+	dn := c.DataNode(name)
+	if dn == nil {
+		return fmt.Errorf("hdfs: unknown datanode %q", name)
+	}
+	dn.SetDown(false)
+	rack := c.nn.Rack(name)
+	if rack == "" {
+		rack = DefaultRack
+	}
+	c.nn.RegisterDataNodeRack(name, 1<<40, rack)
+	for _, id := range dn.BlockIDs() {
+		c.nn.BlockReceived(name, id)
+	}
+	return nil
+}
+
+// ProcessReplication executes the queued re-replication tasks, copying
+// block bytes between datanodes, and returns how many succeeded.
+func (c *Cluster) ProcessReplication() int {
+	tasks := c.nn.TakeReplicationTasks()
+	ok := 0
+	for _, t := range tasks {
+		src, dst := c.DataNode(t.Src), c.DataNode(t.Dst)
+		if src == nil || dst == nil {
+			continue
+		}
+		data, err := src.Read(t.Block)
+		if err != nil {
+			c.reg.Counter("replication_failures").Inc()
+			continue
+		}
+		if err := dst.Store(t.Block, data); err != nil {
+			c.reg.Counter("replication_failures").Inc()
+			continue
+		}
+		if err := c.nn.BlockReceived(t.Dst, t.Block); err != nil {
+			c.reg.Counter("replication_failures").Inc()
+			continue
+		}
+		c.reg.Counter("blocks_replicated").Inc()
+		c.reg.Counter("replication_bytes").Add(int64(len(data)))
+		ok++
+	}
+	return ok
+}
+
+// RepairAll loops ProcessReplication until the queue stays empty.
+func (c *Cluster) RepairAll() int {
+	total := 0
+	for {
+		n := c.ProcessReplication()
+		total += n
+		if n == 0 {
+			return total
+		}
+	}
+}
+
+// Delete removes a file and reclaims its blocks on every datanode.
+func (c *Cluster) Delete(path string) error {
+	freed, err := c.nn.Delete(path)
+	if err != nil {
+		return err
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, dn := range c.nodes {
+		for _, id := range freed {
+			dn.Delete(id)
+		}
+	}
+	return nil
+}
+
+// Client returns a client whose writes prefer localNode for the first
+// replica ("" for a remote client with no locality).
+func (c *Cluster) Client(localNode string) *Client {
+	return &Client{cluster: c, localNode: localNode}
+}

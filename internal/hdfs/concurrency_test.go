@@ -1,0 +1,104 @@
+package hdfs
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentWritersAndReaders drives the cluster from many goroutines
+// at once — the access pattern of the paper's website, where uploads,
+// playback and the indexer hit HDFS concurrently. Run with -race in CI.
+func TestConcurrentWritersAndReaders(t *testing.T) {
+	c := NewCluster(4, testBlock)
+	const writers = 8
+	const filesPerWriter = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, writers*filesPerWriter*2)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := c.Client(fmt.Sprintf("dn%d", w%4))
+			for f := 0; f < filesPerWriter; f++ {
+				path := fmt.Sprintf("/w%d/f%d", w, f)
+				data := payload(testBlock+f*1000, int64(w*100+f))
+				if err := cl.WriteFile(path, data, 2); err != nil {
+					errs <- fmt.Errorf("write %s: %w", path, err)
+					continue
+				}
+				got, err := cl.ReadFile(path)
+				if err != nil {
+					errs <- fmt.Errorf("read %s: %w", path, err)
+					continue
+				}
+				if !bytes.Equal(got, data) {
+					errs <- fmt.Errorf("corruption in %s", path)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// Namespace holds every file.
+	total := 0
+	for w := 0; w < writers; w++ {
+		ls, err := c.NameNode().List(fmt.Sprintf("/w%d", w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(ls)
+	}
+	if total != writers*filesPerWriter {
+		t.Fatalf("namespace holds %d files, want %d", total, writers*filesPerWriter)
+	}
+}
+
+// TestConcurrentReadersDuringFailure mixes reads with a datanode death and
+// repair — the failure path must be as thread-safe as the happy path.
+func TestConcurrentReadersDuringFailure(t *testing.T) {
+	c := NewCluster(4, testBlock)
+	cl := c.Client("")
+	data := payload(4*testBlock, 1)
+	if err := cl.WriteFile("/f", data, 3); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 64)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				got, err := cl.ReadFile("/f")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(got, data) {
+					errs <- fmt.Errorf("corrupt read")
+					return
+				}
+			}
+		}()
+	}
+	c.KillDataNode("dn0")
+	c.RepairAll()
+	c.ReviveDataNode("dn0")
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

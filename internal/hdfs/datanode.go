@@ -1,0 +1,162 @@
+package hdfs
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"sync"
+)
+
+// Errors returned by DataNode operations.
+var (
+	ErrNoBlock  = errors.New("hdfs: block not stored here")
+	ErrChecksum = errors.New("hdfs: block checksum mismatch")
+	ErrDown     = errors.New("hdfs: datanode is down")
+)
+
+// DataNode stores block replicas with CRC32 checksums — the slave side of
+// Figure 11. It is safe for concurrent use.
+type DataNode struct {
+	name string
+
+	mu     sync.RWMutex
+	blocks map[BlockID][]byte
+	sums   map[BlockID]uint32
+	down   bool
+}
+
+// NewDataNode returns an empty datanode.
+func NewDataNode(name string) *DataNode {
+	return &DataNode{
+		name:   name,
+		blocks: make(map[BlockID][]byte),
+		sums:   make(map[BlockID]uint32),
+	}
+}
+
+// Name returns the node's cluster-unique name.
+func (dn *DataNode) Name() string { return dn.name }
+
+// Store writes a block replica. The data is copied.
+func (dn *DataNode) Store(id BlockID, data []byte) error {
+	dn.mu.Lock()
+	defer dn.mu.Unlock()
+	if dn.down {
+		return fmt.Errorf("%w: %s", ErrDown, dn.name)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	dn.blocks[id] = cp
+	dn.sums[id] = crc32.ChecksumIEEE(cp)
+	return nil
+}
+
+// Read returns a copy of the block after verifying its checksum. A
+// checksum failure returns ErrChecksum — the trigger for the client's
+// replica failover and corruption report.
+func (dn *DataNode) Read(id BlockID) ([]byte, error) {
+	dn.mu.RLock()
+	defer dn.mu.RUnlock()
+	if dn.down {
+		return nil, fmt.Errorf("%w: %s", ErrDown, dn.name)
+	}
+	data, ok := dn.blocks[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d on %s", ErrNoBlock, id, dn.name)
+	}
+	if crc32.ChecksumIEEE(data) != dn.sums[id] {
+		return nil, fmt.Errorf("%w: %d on %s", ErrChecksum, id, dn.name)
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// ReadRange returns length bytes of the block starting at off, checksum
+// verified. It backs random-access reads (streaming seeks).
+func (dn *DataNode) ReadRange(id BlockID, off, length int64) ([]byte, error) {
+	data, err := dn.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	if off < 0 || off > int64(len(data)) {
+		return nil, fmt.Errorf("hdfs: offset %d out of block bounds %d", off, len(data))
+	}
+	end := off + length
+	if end > int64(len(data)) {
+		end = int64(len(data))
+	}
+	return data[off:end], nil
+}
+
+// Delete removes a block replica; absent blocks are a no-op.
+func (dn *DataNode) Delete(id BlockID) {
+	dn.mu.Lock()
+	defer dn.mu.Unlock()
+	delete(dn.blocks, id)
+	delete(dn.sums, id)
+}
+
+// Has reports whether the node stores the block.
+func (dn *DataNode) Has(id BlockID) bool {
+	dn.mu.RLock()
+	defer dn.mu.RUnlock()
+	_, ok := dn.blocks[id]
+	return ok
+}
+
+// BlockIDs returns the stored block IDs, sorted.
+func (dn *DataNode) BlockIDs() []BlockID {
+	dn.mu.RLock()
+	defer dn.mu.RUnlock()
+	out := make([]BlockID, 0, len(dn.blocks))
+	for id := range dn.blocks {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Used returns the bytes stored.
+func (dn *DataNode) Used() int64 {
+	dn.mu.RLock()
+	defer dn.mu.RUnlock()
+	var n int64
+	for _, b := range dn.blocks {
+		n += int64(len(b))
+	}
+	return n
+}
+
+// SetDown toggles the node's availability (crash injection). Stored data
+// survives so a revived node serves its old replicas, as with a rebooted
+// machine.
+func (dn *DataNode) SetDown(down bool) {
+	dn.mu.Lock()
+	defer dn.mu.Unlock()
+	dn.down = down
+}
+
+// Down reports whether the node is down.
+func (dn *DataNode) Down() bool {
+	dn.mu.RLock()
+	defer dn.mu.RUnlock()
+	return dn.down
+}
+
+// Corrupt flips a byte of a stored replica without updating the checksum —
+// a test hook standing in for disk bit rot.
+func (dn *DataNode) Corrupt(id BlockID) error {
+	dn.mu.Lock()
+	defer dn.mu.Unlock()
+	data, ok := dn.blocks[id]
+	if !ok {
+		return fmt.Errorf("%w: %d on %s", ErrNoBlock, id, dn.name)
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("hdfs: cannot corrupt empty block %d", id)
+	}
+	data[len(data)/2] ^= 0xFF
+	return nil
+}

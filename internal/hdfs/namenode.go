@@ -1,0 +1,650 @@
+// Package hdfs is the Hadoop Distributed File System stand-in described in
+// the paper's §III-B and Figure 11: a master-slave file system with one
+// NameNode holding the namespace and block map, and DataNodes storing
+// replicated blocks. "The metadata consists of name space of the file
+// system ... however, the real data are not stored at Name node."
+//
+// This implementation moves real bytes: files are split into blocks, written
+// through a replication pipeline across DataNodes, verified with CRC32
+// checksums on read, and re-replicated when a DataNode dies — the property
+// the paper relies on "to lower damage risks caused by hosts".
+package hdfs
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DefaultBlockSize matches Hadoop 0.20's 64 MiB default.
+const DefaultBlockSize = 64 << 20
+
+// Errors returned by the NameNode.
+var (
+	ErrNotFound       = errors.New("hdfs: no such file or directory")
+	ErrExists         = errors.New("hdfs: file exists")
+	ErrIsDirectory    = errors.New("hdfs: is a directory")
+	ErrNotDirectory   = errors.New("hdfs: not a directory")
+	ErrNotEmpty       = errors.New("hdfs: directory not empty")
+	ErrNoDataNodes    = errors.New("hdfs: no live datanodes for placement")
+	ErrFileOpen       = errors.New("hdfs: file is under construction")
+	ErrFileComplete   = errors.New("hdfs: file already complete")
+	ErrBadReplication = errors.New("hdfs: invalid replication factor")
+)
+
+// BlockID identifies a block cluster-wide.
+type BlockID int64
+
+// BlockInfo is the NameNode's record of one block.
+type BlockInfo struct {
+	ID        BlockID
+	Length    int64
+	Locations []string // datanode names holding a replica
+	// Replication is the file's target replica count for this block.
+	Replication int
+}
+
+// FileStatus describes a namespace entry.
+type FileStatus struct {
+	Path        string
+	IsDir       bool
+	Size        int64
+	Replication int
+	Blocks      int
+}
+
+// ReplicationTask instructs the cluster to copy a block between datanodes to
+// restore its replication factor.
+type ReplicationTask struct {
+	Block BlockID
+	Src   string
+	Dst   string
+}
+
+type inode struct {
+	name     string
+	dir      bool
+	children map[string]*inode
+	// file fields
+	blocks      []BlockID
+	replication int
+	complete    bool
+}
+
+// DefaultRack is the rack of datanodes registered without topology.
+const DefaultRack = "/default-rack"
+
+type dnInfo struct {
+	name            string
+	rack            string
+	capacity        int64
+	used            int64
+	alive           bool
+	decommissioning bool
+	blocks          map[BlockID]bool
+}
+
+// NameNode is the master: namespace tree, block map, datanode liveness, and
+// the replication queue. All methods are safe for concurrent use.
+type NameNode struct {
+	mu        sync.Mutex
+	blockSize int64
+	root      *inode
+	blocks    map[BlockID]*BlockInfo
+	nextBlock BlockID
+	datanodes map[string]*dnInfo
+	// pendingRepl holds blocks needing re-replication; drained by
+	// TakeReplicationTasks.
+	pendingRepl []ReplicationTask
+}
+
+// NewNameNode returns a NameNode with the given block size (0 selects
+// DefaultBlockSize).
+func NewNameNode(blockSize int64) *NameNode {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	return &NameNode{
+		blockSize: blockSize,
+		root:      &inode{name: "/", dir: true, children: map[string]*inode{}},
+		blocks:    make(map[BlockID]*BlockInfo),
+		datanodes: make(map[string]*dnInfo),
+	}
+}
+
+// BlockSize returns the cluster block size.
+func (nn *NameNode) BlockSize() int64 { return nn.blockSize }
+
+func splitPath(p string) ([]string, error) {
+	if !strings.HasPrefix(p, "/") {
+		return nil, fmt.Errorf("hdfs: path %q is not absolute", p)
+	}
+	clean := path.Clean(p)
+	if clean == "/" {
+		return nil, nil
+	}
+	return strings.Split(strings.TrimPrefix(clean, "/"), "/"), nil
+}
+
+// lookup walks to the inode for p; nil if absent.
+func (nn *NameNode) lookup(p string) (*inode, error) {
+	parts, err := splitPath(p)
+	if err != nil {
+		return nil, err
+	}
+	cur := nn.root
+	for _, part := range parts {
+		if !cur.dir {
+			return nil, fmt.Errorf("%w: %q", ErrNotDirectory, p)
+		}
+		next, ok := cur.children[part]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, p)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Mkdir creates a directory and any missing parents.
+func (nn *NameNode) Mkdir(p string) error {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	parts, err := splitPath(p)
+	if err != nil {
+		return err
+	}
+	cur := nn.root
+	for _, part := range parts {
+		next, ok := cur.children[part]
+		if !ok {
+			next = &inode{name: part, dir: true, children: map[string]*inode{}}
+			cur.children[part] = next
+		} else if !next.dir {
+			return fmt.Errorf("%w: %q", ErrNotDirectory, p)
+		}
+		cur = next
+	}
+	return nil
+}
+
+// Create opens a new file for writing with the given replication factor.
+// Parents are created as needed. The file stays "under construction" until
+// CloseFile.
+func (nn *NameNode) Create(p string, replication int) error {
+	if replication < 1 {
+		return fmt.Errorf("%w: %d", ErrBadReplication, replication)
+	}
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	parts, err := splitPath(p)
+	if err != nil {
+		return err
+	}
+	if len(parts) == 0 {
+		return fmt.Errorf("%w: /", ErrIsDirectory)
+	}
+	cur := nn.root
+	for _, part := range parts[:len(parts)-1] {
+		next, ok := cur.children[part]
+		if !ok {
+			next = &inode{name: part, dir: true, children: map[string]*inode{}}
+			cur.children[part] = next
+		} else if !next.dir {
+			return fmt.Errorf("%w: %q", ErrNotDirectory, p)
+		}
+		cur = next
+	}
+	name := parts[len(parts)-1]
+	if _, dup := cur.children[name]; dup {
+		return fmt.Errorf("%w: %q", ErrExists, p)
+	}
+	cur.children[name] = &inode{name: name, replication: replication}
+	return nil
+}
+
+// file returns the inode for a plain file.
+func (nn *NameNode) file(p string) (*inode, error) {
+	node, err := nn.lookup(p)
+	if err != nil {
+		return nil, err
+	}
+	if node.dir {
+		return nil, fmt.Errorf("%w: %q", ErrIsDirectory, p)
+	}
+	return node, nil
+}
+
+// AddBlock allocates the next block of an under-construction file and
+// chooses its replica pipeline. clientNode, when it names a live datanode,
+// receives the first replica (HDFS write locality).
+func (nn *NameNode) AddBlock(p, clientNode string) (*BlockInfo, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	node, err := nn.file(p)
+	if err != nil {
+		return nil, err
+	}
+	if node.complete {
+		return nil, fmt.Errorf("%w: %q", ErrFileComplete, p)
+	}
+	targets := nn.chooseTargets(node.replication, clientNode, nil)
+	if len(targets) == 0 {
+		return nil, ErrNoDataNodes
+	}
+	nn.nextBlock++
+	info := &BlockInfo{ID: nn.nextBlock, Locations: targets, Replication: node.replication}
+	nn.blocks[info.ID] = info
+	node.blocks = append(node.blocks, info.ID)
+	return info, nil
+}
+
+// chooseTargets picks up to want live datanodes for a new block's pipeline.
+// With a single rack it prefers the client's node first, then least-used.
+// With topology it follows Hadoop's default placement: first replica on the
+// client's node (or least-used), second on a *different* rack (survives a
+// rack failure), third on the second's rack but a different node (bounds
+// cross-rack traffic), and any further replicas least-used anywhere.
+func (nn *NameNode) chooseTargets(want int, clientNode string, exclude map[string]bool) []string {
+	var cands []*dnInfo
+	racks := map[string]bool{}
+	for _, dn := range nn.datanodes {
+		if dn.alive && !dn.decommissioning && !exclude[dn.name] {
+			cands = append(cands, dn)
+			racks[dn.rack] = true
+		}
+	}
+	// Deterministic base order: client-local first, emptiest, then name.
+	sort.Slice(cands, func(i, j int) bool {
+		li, lj := cands[i].name == clientNode, cands[j].name == clientNode
+		if li != lj {
+			return li
+		}
+		if cands[i].used != cands[j].used {
+			return cands[i].used < cands[j].used
+		}
+		return cands[i].name < cands[j].name
+	})
+	if want >= 2 && len(racks) >= 2 {
+		return nn.rackAwareTargets(want, cands)
+	}
+	if len(cands) > want {
+		cands = cands[:want]
+	}
+	out := make([]string, len(cands))
+	for i, dn := range cands {
+		out[i] = dn.name
+	}
+	return out
+}
+
+// rackAwareTargets implements the staged rack policy over an already-ranked
+// candidate list.
+func (nn *NameNode) rackAwareTargets(want int, ranked []*dnInfo) []string {
+	taken := map[string]bool{}
+	var out []string
+	pick := func(pred func(*dnInfo) bool) *dnInfo {
+		for _, dn := range ranked {
+			if !taken[dn.name] && pred(dn) {
+				taken[dn.name] = true
+				out = append(out, dn.name)
+				return dn
+			}
+		}
+		return nil
+	}
+	any := func(*dnInfo) bool { return true }
+	first := pick(any)
+	if first == nil {
+		return out
+	}
+	if len(out) < want {
+		second := pick(func(dn *dnInfo) bool { return dn.rack != first.rack })
+		if second == nil {
+			second = pick(any)
+		}
+		if second != nil && len(out) < want {
+			third := pick(func(dn *dnInfo) bool { return dn.rack == second.rack })
+			if third == nil {
+				pick(any)
+			}
+		}
+	}
+	for len(out) < want && pick(any) != nil {
+	}
+	return out
+}
+
+// CommitBlock records a block's final length and its confirmed replica
+// locations after the pipeline write succeeded.
+func (nn *NameNode) CommitBlock(id BlockID, length int64, locations []string) error {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	info, ok := nn.blocks[id]
+	if !ok {
+		return fmt.Errorf("hdfs: commit of unknown block %d", id)
+	}
+	info.Length = length
+	info.Locations = append([]string(nil), locations...)
+	for _, name := range locations {
+		if dn := nn.datanodes[name]; dn != nil {
+			dn.blocks[id] = true
+			dn.used += length
+		}
+	}
+	return nil
+}
+
+// CloseFile completes an under-construction file; its content becomes
+// immutable (matching 2012-era HDFS without append).
+func (nn *NameNode) CloseFile(p string) error {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	node, err := nn.file(p)
+	if err != nil {
+		return err
+	}
+	if node.complete {
+		return fmt.Errorf("%w: %q", ErrFileComplete, p)
+	}
+	node.complete = true
+	return nil
+}
+
+// GetBlockLocations returns the file's blocks in order with their replica
+// locations. Only complete files can be read.
+func (nn *NameNode) GetBlockLocations(p string) ([]BlockInfo, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	node, err := nn.file(p)
+	if err != nil {
+		return nil, err
+	}
+	if !node.complete {
+		return nil, fmt.Errorf("%w: %q", ErrFileOpen, p)
+	}
+	out := make([]BlockInfo, len(node.blocks))
+	for i, id := range node.blocks {
+		info := nn.blocks[id]
+		out[i] = BlockInfo{
+			ID: id, Length: info.Length,
+			Locations: nn.liveLocations(info), Replication: info.Replication,
+		}
+	}
+	return out, nil
+}
+
+func (nn *NameNode) liveLocations(info *BlockInfo) []string {
+	var out []string
+	for _, name := range info.Locations {
+		if dn := nn.datanodes[name]; dn != nil && dn.alive {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Stat returns metadata for a path.
+func (nn *NameNode) Stat(p string) (FileStatus, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	node, err := nn.lookup(p)
+	if err != nil {
+		return FileStatus{}, err
+	}
+	st := FileStatus{Path: path.Clean(p), IsDir: node.dir, Replication: node.replication}
+	if !node.dir {
+		for _, id := range node.blocks {
+			st.Size += nn.blocks[id].Length
+		}
+		st.Blocks = len(node.blocks)
+	}
+	return st, nil
+}
+
+// List returns the entries of a directory, sorted by name.
+func (nn *NameNode) List(p string) ([]FileStatus, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	node, err := nn.lookup(p)
+	if err != nil {
+		return nil, err
+	}
+	if !node.dir {
+		return nil, fmt.Errorf("%w: %q", ErrNotDirectory, p)
+	}
+	names := make([]string, 0, len(node.children))
+	for name := range node.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	base := path.Clean(p)
+	out := make([]FileStatus, 0, len(names))
+	for _, name := range names {
+		child := node.children[name]
+		st := FileStatus{Path: path.Join(base, name), IsDir: child.dir, Replication: child.replication}
+		if !child.dir {
+			for _, id := range child.blocks {
+				st.Size += nn.blocks[id].Length
+			}
+			st.Blocks = len(child.blocks)
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// Delete removes a file (releasing its blocks) or an empty directory.
+// Returns the block IDs to reclaim so datanodes can free storage.
+func (nn *NameNode) Delete(p string) ([]BlockID, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	parts, err := splitPath(p)
+	if err != nil {
+		return nil, err
+	}
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("hdfs: cannot delete /")
+	}
+	cur := nn.root
+	for _, part := range parts[:len(parts)-1] {
+		next, ok := cur.children[part]
+		if !ok || !next.dir {
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, p)
+		}
+		cur = next
+	}
+	name := parts[len(parts)-1]
+	node, ok := cur.children[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, p)
+	}
+	if node.dir && len(node.children) > 0 {
+		return nil, fmt.Errorf("%w: %q", ErrNotEmpty, p)
+	}
+	delete(cur.children, name)
+	var freed []BlockID
+	for _, id := range node.blocks {
+		info := nn.blocks[id]
+		for _, loc := range info.Locations {
+			if dn := nn.datanodes[loc]; dn != nil && dn.blocks[id] {
+				delete(dn.blocks, id)
+				dn.used -= info.Length
+			}
+		}
+		delete(nn.blocks, id)
+		freed = append(freed, id)
+	}
+	return freed, nil
+}
+
+// ---- datanode management ----
+
+// RegisterDataNode adds (or revives) a datanode on the default rack.
+func (nn *NameNode) RegisterDataNode(name string, capacity int64) {
+	nn.RegisterDataNodeRack(name, capacity, DefaultRack)
+}
+
+// RegisterDataNodeRack adds (or revives) a datanode with rack topology;
+// replica placement then follows Hadoop's rack policy (see chooseTargets).
+func (nn *NameNode) RegisterDataNodeRack(name string, capacity int64, rack string) {
+	if rack == "" {
+		rack = DefaultRack
+	}
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	if dn, ok := nn.datanodes[name]; ok {
+		dn.alive = true
+		dn.capacity = capacity
+		dn.rack = rack
+		return
+	}
+	nn.datanodes[name] = &dnInfo{
+		name: name, rack: rack, capacity: capacity, alive: true, blocks: map[BlockID]bool{},
+	}
+}
+
+// Rack returns a datanode's rack ("" if unknown).
+func (nn *NameNode) Rack(name string) string {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	if dn := nn.datanodes[name]; dn != nil {
+		return dn.rack
+	}
+	return ""
+}
+
+// LiveDataNodes returns the names of live datanodes, sorted.
+func (nn *NameNode) LiveDataNodes() []string {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	var out []string
+	for name, dn := range nn.datanodes {
+		if dn.alive {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MarkDead declares a datanode dead (missed heartbeats) and enqueues
+// re-replication work for every under-replicated block it held.
+func (nn *NameNode) MarkDead(name string) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	dn, ok := nn.datanodes[name]
+	if !ok || !dn.alive {
+		return
+	}
+	dn.alive = false
+	ids := make([]BlockID, 0, len(dn.blocks))
+	for id := range dn.blocks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		info := nn.blocks[id]
+		if info == nil {
+			continue
+		}
+		live := nn.liveLocations(info)
+		if len(live) == 0 {
+			continue // block lost; read path will surface the error
+		}
+		exclude := map[string]bool{}
+		for _, l := range info.Locations {
+			exclude[l] = true
+		}
+		targets := nn.chooseTargets(1, "", exclude)
+		if len(targets) == 0 {
+			continue
+		}
+		nn.pendingRepl = append(nn.pendingRepl, ReplicationTask{
+			Block: id, Src: live[0], Dst: targets[0],
+		})
+	}
+}
+
+// TakeReplicationTasks drains the re-replication queue.
+func (nn *NameNode) TakeReplicationTasks() []ReplicationTask {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	out := nn.pendingRepl
+	nn.pendingRepl = nil
+	return out
+}
+
+// BlockReceived records a new replica (completed re-replication copy).
+func (nn *NameNode) BlockReceived(node string, id BlockID) error {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	info, ok := nn.blocks[id]
+	if !ok {
+		return fmt.Errorf("hdfs: blockReceived for unknown block %d", id)
+	}
+	dn, ok := nn.datanodes[node]
+	if !ok {
+		return fmt.Errorf("hdfs: blockReceived from unknown node %q", node)
+	}
+	for _, loc := range info.Locations {
+		if loc == node {
+			return nil
+		}
+	}
+	info.Locations = append(info.Locations, node)
+	dn.blocks[id] = true
+	dn.used += info.Length
+	return nil
+}
+
+// ReportCorrupt removes a corrupt replica from the block map and, when live
+// replicas remain, queues a re-replication from one of them.
+func (nn *NameNode) ReportCorrupt(node string, id BlockID) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	info, ok := nn.blocks[id]
+	if !ok {
+		return
+	}
+	kept := info.Locations[:0]
+	for _, loc := range info.Locations {
+		if loc != node {
+			kept = append(kept, loc)
+		}
+	}
+	info.Locations = kept
+	if dn := nn.datanodes[node]; dn != nil && dn.blocks[id] {
+		delete(dn.blocks, id)
+		dn.used -= info.Length
+	}
+	live := nn.liveLocations(info)
+	if len(live) == 0 {
+		return
+	}
+	exclude := map[string]bool{node: true}
+	for _, l := range info.Locations {
+		exclude[l] = true
+	}
+	targets := nn.chooseTargets(1, "", exclude)
+	if len(targets) > 0 {
+		nn.pendingRepl = append(nn.pendingRepl, ReplicationTask{Block: id, Src: live[0], Dst: targets[0]})
+	}
+}
+
+// UnderReplicated returns blocks whose live replica count is below want.
+func (nn *NameNode) UnderReplicated(want int) []BlockID {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	var out []BlockID
+	for id, info := range nn.blocks {
+		if len(nn.liveLocations(info)) < want {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,157 @@
+package hdfs
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// twoRackCluster builds 3 nodes on rack A and 3 on rack B.
+func twoRackCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c := NewCluster(0, testBlock)
+	for i := 0; i < 3; i++ {
+		c.AddDataNodeRack(fmt.Sprintf("a%d", i), "/rack-a")
+		c.AddDataNodeRack(fmt.Sprintf("b%d", i), "/rack-b")
+	}
+	return c
+}
+
+func rackOf(c *Cluster, node string) string { return c.NameNode().Rack(node) }
+
+func TestRackAwarePlacementSpansTwoRacks(t *testing.T) {
+	c := twoRackCluster(t)
+	cl := c.Client("")
+	if err := cl.WriteFile("/f", payload(4*testBlock, 1), 3); err != nil {
+		t.Fatal(err)
+	}
+	blocks, _ := cl.BlockLocations("/f")
+	for _, b := range blocks {
+		if len(b.Locations) != 3 {
+			t.Fatalf("block %d has %d replicas", b.ID, len(b.Locations))
+		}
+		racks := map[string]int{}
+		for _, loc := range b.Locations {
+			racks[rackOf(c, loc)]++
+		}
+		// Hadoop policy: exactly two racks, split 2+1.
+		if len(racks) != 2 {
+			t.Fatalf("block %d spans %d racks: %v", b.ID, len(racks), b.Locations)
+		}
+		for _, n := range racks {
+			if n != 1 && n != 2 {
+				t.Fatalf("block %d rack split %v", b.ID, racks)
+			}
+		}
+		// Replicas 2 and 3 share a rack (cross-rack traffic bounded).
+		if rackOf(c, b.Locations[1]) != rackOf(c, b.Locations[2]) {
+			t.Fatalf("block %d: 2nd and 3rd replicas on different racks: %v", b.ID, b.Locations)
+		}
+		// Replica 1 and 2 on different racks (rack-failure tolerance).
+		if rackOf(c, b.Locations[0]) == rackOf(c, b.Locations[1]) {
+			t.Fatalf("block %d: first two replicas share a rack: %v", b.ID, b.Locations)
+		}
+	}
+}
+
+func TestRackFailureSurvivedWithRF3(t *testing.T) {
+	c := twoRackCluster(t)
+	cl := c.Client("")
+	data := payload(5*testBlock, 2)
+	cl.WriteFile("/f", data, 3)
+	if killed := c.KillRack("/rack-a"); killed != 3 {
+		t.Fatalf("killed %d nodes", killed)
+	}
+	got, err := cl.ReadFile("/f")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read after rack failure: %v", err)
+	}
+}
+
+func TestRackFailureLosesDataWithoutRackAwareness(t *testing.T) {
+	// Negative control: all nodes on one rack, second "rack" empty — the
+	// rack policy cannot help, so killing the only populated rack loses
+	// everything.
+	c := NewCluster(0, testBlock)
+	for i := 0; i < 3; i++ {
+		c.AddDataNodeRack(fmt.Sprintf("a%d", i), "/rack-a")
+	}
+	cl := c.Client("")
+	cl.WriteFile("/f", payload(2*testBlock, 3), 3)
+	c.KillRack("/rack-a")
+	if _, err := cl.ReadFile("/f"); err == nil {
+		t.Fatal("read succeeded with every replica holder dead")
+	}
+}
+
+func TestSingleRackKeepsLegacyPlacement(t *testing.T) {
+	// Without topology, placement is client-local + least-used, as before.
+	c := NewCluster(4, testBlock)
+	cl := c.Client("dn2")
+	cl.WriteFile("/f", payload(testBlock, 4), 2)
+	blocks, _ := cl.BlockLocations("/f")
+	if blocks[0].Locations[0] != "dn2" {
+		t.Fatalf("client-local placement broken: %v", blocks[0].Locations)
+	}
+}
+
+func TestReviveKeepsRack(t *testing.T) {
+	c := twoRackCluster(t)
+	c.Client("").WriteFile("/f", payload(testBlock, 5), 2)
+	c.KillDataNode("a0")
+	c.ReviveDataNode("a0")
+	if got := c.NameNode().Rack("a0"); got != "/rack-a" {
+		t.Fatalf("rack after revive = %q", got)
+	}
+}
+
+// Property: for any RF and cluster shape with two racks, every placed block
+// has distinct nodes and, when RF >= 2 and both racks have capacity, spans
+// both racks.
+func TestPropertyRackPlacementInvariants(t *testing.T) {
+	f := func(rfRaw, aNodes, bNodes uint8) bool {
+		rf := int(rfRaw%3) + 1
+		na, nb := int(aNodes%3)+1, int(bNodes%3)+1
+		c := NewCluster(0, testBlock)
+		for i := 0; i < na; i++ {
+			c.AddDataNodeRack(fmt.Sprintf("a%d", i), "/ra")
+		}
+		for i := 0; i < nb; i++ {
+			c.AddDataNodeRack(fmt.Sprintf("b%d", i), "/rb")
+		}
+		cl := c.Client("")
+		if err := cl.WriteFile("/f", payload(testBlock, int64(rfRaw)), rf); err != nil {
+			return false
+		}
+		blocks, err := cl.BlockLocations("/f")
+		if err != nil {
+			return false
+		}
+		for _, b := range blocks {
+			seen := map[string]bool{}
+			racks := map[string]bool{}
+			for _, loc := range b.Locations {
+				if seen[loc] {
+					return false // duplicate node
+				}
+				seen[loc] = true
+				racks[rackOf(c, loc)] = true
+			}
+			want := rf
+			if want > na+nb {
+				want = na + nb
+			}
+			if len(b.Locations) != want {
+				return false
+			}
+			if rf >= 2 && len(b.Locations) >= 2 && len(racks) < 2 {
+				return false // both racks available but not used
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

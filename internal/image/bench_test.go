@@ -1,0 +1,38 @@
+package image
+
+import (
+	"bytes"
+	"testing"
+)
+
+// BenchmarkCOWRead measures the backing-chain read path (clone of a clone).
+func BenchmarkCOWRead(b *testing.B) {
+	c := NewCatalog()
+	c.Register("base", 64*BlockSize, 1)
+	c.Clone("base", "mid")
+	mid, _ := c.Get("mid")
+	mid.WriteBlock(3, bytes.Repeat([]byte{1}, BlockSize))
+	leaf, _ := c.Clone("mid", "leaf")
+	b.SetBytes(BlockSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := leaf.ReadBlock(int64(i % 64)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCOWWrite measures local-layer block writes.
+func BenchmarkCOWWrite(b *testing.B) {
+	c := NewCatalog()
+	c.Register("base", 64*BlockSize, 1)
+	clone, _ := c.Clone("base", "c")
+	data := bytes.Repeat([]byte{2}, BlockSize)
+	b.SetBytes(BlockSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := clone.WriteBlock(int64(i%64), data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package mapred
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+
+	"videocloud/internal/hdfs"
+)
+
+// hetRig builds a cluster where dn0 is a 4x-degraded node.
+func hetRig(t *testing.T, n int, speculative bool) (*hdfs.Cluster, *Engine) {
+	t.Helper()
+	c := hdfs.NewCluster(n, testBlock)
+	trackers := make([]string, n)
+	for i := range trackers {
+		trackers[i] = fmt.Sprintf("dn%d", i)
+	}
+	e, err := NewEngine(c, trackers, Config{
+		TrackerSpeeds:        map[string]float64{"dn0": 0.25},
+		SpeculativeExecution: speculative,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, e
+}
+
+func TestSpeculativeExecutionCutsStragglerTail(t *testing.T) {
+	run := func(speculative bool) *JobResult {
+		c, e := hetRig(t, 4, speculative)
+		corpus(t, c, "/in/a.txt", 8000)
+		res, err := e.Run(wordCountJob([]string{"/in/a.txt"}, ""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(false)
+	spec := run(true)
+	if spec.SpeculativeTasks == 0 {
+		t.Fatal("no backup attempts on a 4x-degraded node")
+	}
+	if spec.Duration >= plain.Duration {
+		t.Fatalf("speculation did not help: %v >= %v", spec.Duration, plain.Duration)
+	}
+	// Output identical either way.
+	if len(spec.Output) != len(plain.Output) {
+		t.Fatalf("output size differs: %d vs %d", len(spec.Output), len(plain.Output))
+	}
+	for i := range spec.Output {
+		if spec.Output[i] != plain.Output[i] {
+			t.Fatalf("output differs at %d", i)
+		}
+	}
+}
+
+func TestNoSpeculationOnHomogeneousCluster(t *testing.T) {
+	c := hdfs.NewCluster(4, testBlock)
+	corpus(t, c, "/in/a.txt", 4000)
+	e, err := NewEngine(c, []string{"dn0", "dn1", "dn2", "dn3"}, Config{SpeculativeExecution: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(wordCountJob([]string{"/in/a.txt"}, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpeculativeTasks != 0 {
+		t.Fatalf("%d pointless backups on a homogeneous cluster", res.SpeculativeTasks)
+	}
+}
+
+func TestHeterogeneousSpeedsSlowTheSlowNode(t *testing.T) {
+	// Same job with and without the degraded node being degraded: the
+	// degraded run must take longer.
+	run := func(slow bool) *JobResult {
+		c := hdfs.NewCluster(2, testBlock)
+		corpus(t, c, "/in/a.txt", 6000)
+		cfg := Config{}
+		if slow {
+			cfg.TrackerSpeeds = map[string]float64{"dn0": 0.2}
+		}
+		e, err := NewEngine(c, []string{"dn0", "dn1"}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run(wordCountJob([]string{"/in/a.txt"}, ""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fast := run(false)
+	degraded := run(true)
+	if degraded.Duration <= fast.Duration {
+		t.Fatalf("degraded node did not slow the job: %v <= %v", degraded.Duration, fast.Duration)
+	}
+}
+
+func TestSpeculativeCorrectnessUnderCombiner(t *testing.T) {
+	c, e := hetRig(t, 3, true)
+	want := corpus(t, c, "/in/a.txt", 3000)
+	job := wordCountJob([]string{"/in/a.txt"}, "/out")
+	job.Combine = job.Reduce
+	res, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int{}
+	for _, kv := range res.Output {
+		n, _ := strconv.Atoi(kv.Value)
+		got[kv.Key] = n
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Fatalf("count[%s] = %d, want %d", k, got[k], n)
+		}
+	}
+}

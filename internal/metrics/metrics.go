@@ -1,0 +1,268 @@
+// Package metrics provides lightweight instrumentation primitives shared by
+// every videocloud subsystem: counters, gauges, duration/value histograms,
+// and a registry that renders aligned text tables for the experiment
+// harnesses (EXPERIMENTS.md rows are produced through this package).
+//
+// All types are safe for concurrent use; the hot-path operations are a single
+// atomic add so they are cheap enough for per-block and per-request use.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n. Negative n panics: counters are monotonic by contract.
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("metrics: Counter.Add with negative delta")
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an integer metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram accumulates float64 observations and reports count, mean, min,
+// max and quantiles. Observations are retained exactly up to a cap, after
+// which reservoir sampling keeps an unbiased sample; count/sum/min/max remain
+// exact.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	samples []float64
+	capN    int
+	rngSeed uint64
+}
+
+// reservoirCap bounds per-histogram memory; 4096 samples give quantile error
+// well under the variation any experiment here cares about.
+const reservoirCap = 4096
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{capN: reservoirCap, rngSeed: 0x9e3779b97f4a7c15}
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.capN == 0 { // zero value usable
+		h.capN = reservoirCap
+		h.rngSeed = 0x9e3779b97f4a7c15
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	if len(h.samples) < h.capN {
+		h.samples = append(h.samples, v)
+		return
+	}
+	// Reservoir replacement with a deterministic xorshift PRNG so metric
+	// output never perturbs experiment determinism.
+	h.rngSeed ^= h.rngSeed << 13
+	h.rngSeed ^= h.rngSeed >> 7
+	h.rngSeed ^= h.rngSeed << 17
+	if idx := h.rngSeed % uint64(h.count); idx < uint64(h.capN) {
+		h.samples[idx] = v
+	}
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty histogram.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min returns the smallest observation, or 0 if empty.
+func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+// Max returns the largest observation, or 0 if empty.
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the retained sample using
+// linear interpolation. Returns 0 for an empty histogram; NaN q panics.
+func (h *Histogram) Quantile(q float64) float64 {
+	if math.IsNaN(q) || q < 0 || q > 1 {
+		panic(fmt.Sprintf("metrics: bad quantile %v", q))
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), h.samples...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Snapshot is a point-in-time summary of a histogram.
+type Snapshot struct {
+	Count         int64
+	Sum, Mean     float64
+	Min, Max      float64
+	P50, P90, P99 float64
+}
+
+// Snapshot returns a consistent summary.
+func (h *Histogram) Snapshot() Snapshot {
+	return Snapshot{
+		Count: h.Count(), Sum: h.Sum(), Mean: h.Mean(),
+		Min: h.Min(), Max: h.Max(),
+		P50: h.Quantile(0.5), P90: h.Quantile(0.9), P99: h.Quantile(0.99),
+	}
+}
+
+// Registry is a named collection of metrics. The zero value is usable.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter returns the counter registered under name, creating it on first
+// use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = make(map[string]*Counter)
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gauges == nil {
+		r.gauges = make(map[string]*Gauge)
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.histograms == nil {
+		r.histograms = make(map[string]*Histogram)
+	}
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram()
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Dump renders every metric, sorted by name, one per line.
+func (r *Registry) Dump() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var lines []string
+	for name, c := range r.counters {
+		lines = append(lines, fmt.Sprintf("counter %-40s %d", name, c.Value()))
+	}
+	for name, g := range r.gauges {
+		lines = append(lines, fmt.Sprintf("gauge   %-40s %d", name, g.Value()))
+	}
+	for name, h := range r.histograms {
+		s := h.Snapshot()
+		lines = append(lines, fmt.Sprintf(
+			"hist    %-40s n=%d mean=%.4g p50=%.4g p99=%.4g max=%.4g",
+			name, s.Count, s.Mean, s.P50, s.P99, s.Max))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

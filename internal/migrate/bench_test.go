@@ -1,0 +1,37 @@
+package migrate
+
+import (
+	"testing"
+
+	"videocloud/internal/simnet"
+	"videocloud/internal/simtime"
+	"videocloud/internal/virt"
+)
+
+// BenchmarkPreCopyMigration measures the whole pre-copy engine on a busy
+// 2 GiB guest (bitmap harvesting + flow scheduling, no real data movement).
+func BenchmarkPreCopyMigration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sim := simtime.NewSimulator()
+		net := simnet.New(sim)
+		net.AddHost("a", 1*simnet.Gbps, 1*simnet.Gbps, 0)
+		net.AddHost("b", 1*simnet.Gbps, 1*simnet.Gbps, 0)
+		src := virt.NewHost("a", 8, 1e9, 64<<30, 500<<30, 0)
+		dst := virt.NewHost("b", 8, 1e9, 64<<30, 500<<30, 0)
+		vm, err := src.CreateVM(virt.VMConfig{Name: "vm", VCPUs: 2, MemoryBytes: 2 << 30, Mode: virt.HWAssist})
+		if err != nil {
+			b.Fatal(err)
+		}
+		vm.Workload = virt.HotspotWriter{Rate: 40 << 20}
+		vm.Start()
+		ok := false
+		m := New(sim, net)
+		if err := m.Migrate(vm, dst, Config{Algorithm: PreCopy}, func(r Report) { ok = r.Success }); err != nil {
+			b.Fatal(err)
+		}
+		sim.Run()
+		if !ok {
+			b.Fatal("migration failed")
+		}
+	}
+}

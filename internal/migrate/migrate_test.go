@@ -1,0 +1,300 @@
+package migrate
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"videocloud/internal/simnet"
+	"videocloud/internal/simtime"
+	"videocloud/internal/virt"
+)
+
+const (
+	gb = int64(1) << 30
+	mb = int64(1) << 20
+)
+
+type rig struct {
+	sim *simtime.Simulator
+	net *simnet.Network
+	mig *Migrator
+	src *virt.Host
+	dst *virt.Host
+}
+
+func newRig(t *testing.T, bandwidth float64) *rig {
+	t.Helper()
+	sim := simtime.NewSimulator()
+	net := simnet.New(sim)
+	net.AddHost("node1", bandwidth, bandwidth, 100*time.Microsecond)
+	net.AddHost("node2", bandwidth, bandwidth, 100*time.Microsecond)
+	return &rig{
+		sim: sim, net: net, mig: New(sim, net),
+		src: virt.NewHost("node1", 8, 1e9, 32*gb, 500*gb, 0),
+		dst: virt.NewHost("node2", 8, 1e9, 32*gb, 500*gb, 0),
+	}
+}
+
+func (r *rig) runningVM(t *testing.T, name string, memBytes int64, w virt.Workload) *virt.VM {
+	t.Helper()
+	vm, err := r.src.CreateVM(virt.VMConfig{
+		Name: name, VCPUs: 2, MemoryBytes: memBytes, DiskBytes: 10 * gb, Mode: virt.HWAssist,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm.Workload = w
+	if err := vm.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return vm
+}
+
+func migrateAndWait(t *testing.T, r *rig, vm *virt.VM, cfg Config) Report {
+	t.Helper()
+	var rep Report
+	got := false
+	if err := r.mig.Migrate(vm, r.dst, cfg, func(rp Report) { rep = rp; got = true }); err != nil {
+		t.Fatal(err)
+	}
+	r.sim.Run()
+	if !got {
+		t.Fatal("migration never completed")
+	}
+	return rep
+}
+
+func TestPreCopyIdleVMConverges(t *testing.T) {
+	r := newRig(t, 1*simnet.Gbps)
+	vm := r.runningVM(t, "web", 1*gb, virt.IdleWorkload{})
+	rep := migrateAndWait(t, r, vm, Config{Algorithm: PreCopy})
+
+	if !rep.Success {
+		t.Fatalf("migration failed: %s", rep.Reason)
+	}
+	if rep.Reason != "converged" {
+		t.Fatalf("reason = %q, want converged", rep.Reason)
+	}
+	if vm.Host() != r.dst {
+		t.Fatal("VM not on destination")
+	}
+	if vm.State() != virt.StateRunning {
+		t.Fatalf("VM state = %v", vm.State())
+	}
+	// 1 GB over 1 Gb/s: total time a bit over 8s; downtime well under
+	// 100ms for an idle guest.
+	if rep.TotalTime < 8*time.Second || rep.TotalTime > 12*time.Second {
+		t.Fatalf("TotalTime = %v, want ~8-12s", rep.TotalTime)
+	}
+	if rep.Downtime > 100*time.Millisecond {
+		t.Fatalf("Downtime = %v for idle guest", rep.Downtime)
+	}
+	if rep.TotalBytes < 1*gb {
+		t.Fatalf("TotalBytes = %d, must include full RAM", rep.TotalBytes)
+	}
+	// Source no longer holds capacity.
+	cpu, mem, _ := r.src.Usage()
+	if cpu != 0 || mem != 0 {
+		t.Fatalf("source still holds %d vcpu / %d mem", cpu, mem)
+	}
+}
+
+func TestPreCopyDowntimeGrowsWithDirtyRate(t *testing.T) {
+	downtime := func(rate int64) time.Duration {
+		r := newRig(t, 1*simnet.Gbps)
+		vm := r.runningVM(t, "vm", 1*gb, virt.UniformWriter{Rate: rate})
+		rep := migrateAndWait(t, r, vm, Config{Algorithm: PreCopy})
+		if !rep.Success {
+			t.Fatalf("rate %d: failed: %s", rate, rep.Reason)
+		}
+		return rep.Downtime
+	}
+	low := downtime(1 * mb)
+	high := downtime(80 * mb)
+	if high <= low {
+		t.Fatalf("downtime low-rate %v !< high-rate %v", low, high)
+	}
+}
+
+func TestPreCopyNonConvergingCutsOver(t *testing.T) {
+	// Dirty rate (200 MB/s) beyond link bandwidth (125 MB/s): the
+	// writable working set cannot shrink; the engine must cut over
+	// rather than iterate forever.
+	r := newRig(t, 1*simnet.Gbps)
+	vm := r.runningVM(t, "vm", 2*gb, virt.UniformWriter{Rate: 200 * mb})
+	rep := migrateAndWait(t, r, vm, Config{Algorithm: PreCopy})
+	if !rep.Success {
+		t.Fatalf("failed: %s", rep.Reason)
+	}
+	if rep.Reason != "not-converging" && rep.Reason != "max-rounds" {
+		t.Fatalf("reason = %q, want non-convergence cutover", rep.Reason)
+	}
+	if len(rep.Rounds) > 35 {
+		t.Fatalf("%d rounds, engine failed to cut over", len(rep.Rounds))
+	}
+}
+
+func TestPreCopyHotspotConvergesFasterThanUniform(t *testing.T) {
+	run := func(w virt.Workload) Report {
+		r := newRig(t, 1*simnet.Gbps)
+		vm := r.runningVM(t, "vm", 1*gb, w)
+		return migrateAndWait(t, r, vm, Config{Algorithm: PreCopy})
+	}
+	hot := run(virt.HotspotWriter{Rate: 60 * mb})
+	uni := run(virt.UniformWriter{Rate: 60 * mb})
+	if !hot.Success || !uni.Success {
+		t.Fatal("migration failed")
+	}
+	if hot.TotalBytes >= uni.TotalBytes {
+		t.Fatalf("hotspot moved %d bytes >= uniform %d; WWS locality should help",
+			hot.TotalBytes, uni.TotalBytes)
+	}
+}
+
+func TestStopAndCopyDowntimeIsWholeTransfer(t *testing.T) {
+	r := newRig(t, 1*simnet.Gbps)
+	vm := r.runningVM(t, "vm", 1*gb, virt.IdleWorkload{})
+	rep := migrateAndWait(t, r, vm, Config{Algorithm: StopAndCopy})
+	if !rep.Success {
+		t.Fatalf("failed: %s", rep.Reason)
+	}
+	// Downtime ~ total time ~ RAM/bandwidth (~8.6s at 1 Gb/s).
+	if rep.Downtime < 8*time.Second {
+		t.Fatalf("Downtime = %v, want ~8.6s (non-live baseline)", rep.Downtime)
+	}
+	if vm.Host() != r.dst || vm.State() != virt.StateRunning {
+		t.Fatal("VM not running on destination")
+	}
+}
+
+func TestPostCopyMinimalDowntime(t *testing.T) {
+	r := newRig(t, 1*simnet.Gbps)
+	vm := r.runningVM(t, "vm", 4*gb, virt.UniformWriter{Rate: 20 * mb})
+	rep := migrateAndWait(t, r, vm, Config{Algorithm: PostCopy})
+	if !rep.Success {
+		t.Fatalf("failed: %s", rep.Reason)
+	}
+	// Downtime covers only the 2 MiB device state + resume: far below
+	// 200ms regardless of RAM size.
+	if rep.Downtime > 200*time.Millisecond {
+		t.Fatalf("post-copy Downtime = %v", rep.Downtime)
+	}
+	if rep.RemoteFaults == 0 {
+		t.Fatal("no remote faults recorded for a writing guest")
+	}
+	if rep.DegradedTime == 0 {
+		t.Fatal("no degradation recorded")
+	}
+	if vm.Host() != r.dst {
+		t.Fatal("VM not on destination")
+	}
+}
+
+func TestAlgorithmTradeoffs(t *testing.T) {
+	// The citation-level comparison behind the paper's design choice:
+	// pre-copy and post-copy are live (short downtime); stop-and-copy is
+	// not. Post-copy's downtime is below pre-copy's for a busy guest.
+	run := func(alg Algorithm) Report {
+		r := newRig(t, 1*simnet.Gbps)
+		vm := r.runningVM(t, "vm", 2*gb, virt.HotspotWriter{Rate: 40 * mb})
+		return migrateAndWait(t, r, vm, Config{Algorithm: alg})
+	}
+	pre, post, stop := run(PreCopy), run(PostCopy), run(StopAndCopy)
+	if !(post.Downtime <= pre.Downtime && pre.Downtime < stop.Downtime) {
+		t.Fatalf("downtime ordering violated: post=%v pre=%v stop=%v",
+			post.Downtime, pre.Downtime, stop.Downtime)
+	}
+	if pre.TotalBytes <= stop.TotalBytes {
+		t.Fatal("pre-copy should move more bytes than stop-and-copy (re-sent pages)")
+	}
+}
+
+func TestMigrateRejections(t *testing.T) {
+	r := newRig(t, 1*simnet.Gbps)
+	vm := r.runningVM(t, "vm", 1*gb, virt.IdleWorkload{})
+
+	if err := r.mig.Migrate(vm, r.src, Config{}, nil); !errors.Is(err, ErrSameHost) {
+		t.Fatalf("same host: %v", err)
+	}
+	vm.Shutdown()
+	if err := r.mig.Migrate(vm, r.dst, Config{}, nil); !errors.Is(err, ErrVMNotRunning) {
+		t.Fatalf("stopped VM: %v", err)
+	}
+	vm.Start()
+
+	// Destination too small.
+	tiny := virt.NewHost("tiny", 1, 1e9, 512*(1<<20), 1*gb, 0)
+	if err := r.mig.Migrate(vm, tiny, Config{}, nil); !errors.Is(err, ErrDestination) {
+		t.Fatalf("tiny destination: %v", err)
+	}
+	// Rejected migration leaves the VM running on the source.
+	if vm.State() != virt.StateRunning || vm.Host() != r.src {
+		t.Fatal("failed admission disturbed the VM")
+	}
+}
+
+func TestDestinationFailureMidMigrationAborts(t *testing.T) {
+	r := newRig(t, 1*simnet.Gbps)
+	vm := r.runningVM(t, "vm", 4*gb, virt.UniformWriter{Rate: 30 * mb})
+	var rep Report
+	if err := r.mig.Migrate(vm, r.dst, Config{Algorithm: PreCopy}, func(rp Report) { rep = rp }); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the destination partway through the first (long) round.
+	r.sim.RunFor(10 * time.Second)
+	r.dst.Fail()
+	r.sim.Run()
+	if rep.Success {
+		t.Fatal("migration to failed host reported success")
+	}
+	// The guest survives on the source.
+	if vm.State() != virt.StateRunning || vm.Host() != r.src {
+		t.Fatalf("guest lost: state=%v host=%v", vm.State(), vm.Host())
+	}
+}
+
+func TestReservationHeldDuringMigration(t *testing.T) {
+	r := newRig(t, 1*simnet.Gbps)
+	vm := r.runningVM(t, "vm", 8*gb, virt.IdleWorkload{})
+	if err := r.mig.Migrate(vm, r.dst, Config{Algorithm: PreCopy}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Mid-migration, the destination's capacity is already booked.
+	r.sim.RunFor(time.Second)
+	_, mem, _ := r.dst.Usage()
+	if mem != 8*gb {
+		t.Fatalf("destination reservation = %d, want 8GB", mem)
+	}
+	// A competing VM that needs the same memory must be rejected.
+	if r.dst.CanFit(virt.VMConfig{Name: "x", VCPUs: 1, MemoryBytes: 30 * gb}) {
+		t.Fatal("destination double-booked")
+	}
+	r.sim.Run()
+}
+
+func TestBandwidthScalesTotalTime(t *testing.T) {
+	total := func(bw float64) time.Duration {
+		r := newRig(t, bw)
+		vm := r.runningVM(t, "vm", 1*gb, virt.IdleWorkload{})
+		rep := migrateAndWait(t, r, vm, Config{Algorithm: PreCopy})
+		if !rep.Success {
+			t.Fatal(rep.Reason)
+		}
+		return rep.TotalTime
+	}
+	slow := total(1 * simnet.Gbps)
+	fast := total(10 * simnet.Gbps)
+	ratio := float64(slow) / float64(fast)
+	if ratio < 5 || ratio > 15 {
+		t.Fatalf("10x bandwidth gave %.1fx speedup", ratio)
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	for _, a := range []Algorithm{PreCopy, PostCopy, StopAndCopy} {
+		if a.String() == "" {
+			t.Fatal("empty algorithm name")
+		}
+	}
+}

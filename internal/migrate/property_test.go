@@ -1,0 +1,113 @@
+package migrate
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"videocloud/internal/simnet"
+	"videocloud/internal/simtime"
+	"videocloud/internal/virt"
+)
+
+// Property tests over randomized VM sizes, dirty rates and algorithms:
+// the invariants every migration must satisfy regardless of parameters.
+func TestPropertyMigrationInvariants(t *testing.T) {
+	f := func(memMB uint16, rateMB uint8, algRaw uint8) bool {
+		mem := int64(memMB%2048+64) * mb
+		rate := int64(rateMB%120) * mb
+		alg := Algorithm(int(algRaw) % 3)
+
+		sim := simtime.NewSimulator()
+		net := simnet.New(sim)
+		net.AddHost("a", 1*simnet.Gbps, 1*simnet.Gbps, 100*time.Microsecond)
+		net.AddHost("b", 1*simnet.Gbps, 1*simnet.Gbps, 100*time.Microsecond)
+		src := virt.NewHost("a", 8, 1e9, 64*gb, 500*gb, 0)
+		dst := virt.NewHost("b", 8, 1e9, 64*gb, 500*gb, 0)
+		vm, err := src.CreateVM(virt.VMConfig{
+			Name: "vm", VCPUs: 1, MemoryBytes: mem, Mode: virt.HWAssist,
+		})
+		if err != nil {
+			return false
+		}
+		if rate > 0 {
+			vm.Workload = virt.UniformWriter{Rate: rate}
+		} else {
+			vm.Workload = virt.IdleWorkload{}
+		}
+		if vm.Start() != nil {
+			return false
+		}
+		var rep Report
+		done := false
+		m := New(sim, net)
+		if err := m.Migrate(vm, dst, Config{Algorithm: alg}, func(r Report) { rep = r; done = true }); err != nil {
+			return false
+		}
+		sim.Run()
+		if !done || !rep.Success {
+			return false
+		}
+		// I1: the guest ends Running on the destination; source is empty.
+		if vm.State() != virt.StateRunning || vm.Host() != dst {
+			return false
+		}
+		if cpus, m2, _ := src.Usage(); cpus != 0 || m2 != 0 {
+			return false
+		}
+		// I2: downtime never exceeds total time.
+		if rep.Downtime > rep.TotalTime || rep.Downtime <= 0 || rep.TotalTime <= 0 {
+			return false
+		}
+		// I3: at least the VM's RAM crossed the wire (every page moves
+		// at least once for pre/stop; post-copy pushes all of RAM too).
+		if rep.TotalBytes < mem {
+			return false
+		}
+		// I4: the destination holds exactly the VM's reservation.
+		_, dm, _ := dst.Usage()
+		return dm == mem
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: pre-copy downtime is never worse than stop-and-copy downtime
+// for the same configuration.
+func TestPropertyPreCopyNeverWorseThanStopCopy(t *testing.T) {
+	f := func(memMB uint16, rateMB uint8) bool {
+		mem := int64(memMB%1024+128) * mb
+		rate := int64(rateMB%100) * mb
+		run := func(alg Algorithm) Report {
+			sim := simtime.NewSimulator()
+			net := simnet.New(sim)
+			net.AddHost("a", 1*simnet.Gbps, 1*simnet.Gbps, 0)
+			net.AddHost("b", 1*simnet.Gbps, 1*simnet.Gbps, 0)
+			src := virt.NewHost("a", 8, 1e9, 64*gb, 500*gb, 0)
+			dst := virt.NewHost("b", 8, 1e9, 64*gb, 500*gb, 0)
+			vm, _ := src.CreateVM(virt.VMConfig{Name: "vm", VCPUs: 1, MemoryBytes: mem, Mode: virt.HWAssist})
+			if rate > 0 {
+				vm.Workload = virt.HotspotWriter{Rate: rate}
+			} else {
+				vm.Workload = virt.IdleWorkload{}
+			}
+			vm.Start()
+			var rep Report
+			m := New(sim, net)
+			m.Migrate(vm, dst, Config{Algorithm: alg}, func(r Report) { rep = r })
+			sim.Run()
+			return rep
+		}
+		pre := run(PreCopy)
+		stop := run(StopAndCopy)
+		if !pre.Success || !stop.Success {
+			return false
+		}
+		// Allow a hair of slack for the resume overhead constant.
+		return pre.Downtime <= stop.Downtime+time.Millisecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,335 @@
+package nebula
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"videocloud/internal/virt"
+)
+
+// API serves the cloud's management interface over HTTP — the stand-in for
+// the web UI of Figures 7-10 ("this system uses a web-based interface to
+// manage virtual machines"). Endpoints are JSON except /api/metrics.
+//
+//	GET    /api/hosts              host pool with utilization
+//	GET    /api/vms                all instances
+//	GET    /api/vms/{id}           one instance, with state history
+//	POST   /api/vms                submit a template (TemplateRequest)
+//	POST   /api/vms/{id}/migrate   {"host": "node2"} — live migration
+//	POST   /api/vms/{id}/shutdown  graceful shutdown
+//	GET    /api/monitor            monitoring samples
+//	GET    /api/metrics            text metrics dump
+type API struct {
+	cloud *Cloud
+	mux   *http.ServeMux
+}
+
+// NewAPI returns the management API for cloud.
+func NewAPI(cloud *Cloud) *API {
+	a := &API{cloud: cloud, mux: http.NewServeMux()}
+	a.mux.HandleFunc("GET /api/hosts", a.hosts)
+	a.mux.HandleFunc("GET /api/vms", a.vms)
+	a.mux.HandleFunc("GET /api/vms/{id}", a.vm)
+	a.mux.HandleFunc("POST /api/vms", a.submit)
+	a.mux.HandleFunc("POST /api/vms/{id}/migrate", a.migrate)
+	a.mux.HandleFunc("POST /api/vms/{id}/shutdown", a.shutdown)
+	a.mux.HandleFunc("GET /api/monitor", a.monitor)
+	a.mux.HandleFunc("GET /api/metrics", a.metrics)
+	a.mux.HandleFunc("POST /api/hosts/{name}/evacuate", a.evacuate)
+	a.mux.HandleFunc("POST /api/hosts/{name}/enable", a.enable)
+	a.mux.HandleFunc("POST /api/consolidate", a.consolidate)
+	a.mux.HandleFunc("POST /api/vms/{id}/suspend", a.suspend)
+	a.mux.HandleFunc("POST /api/vms/{id}/resume", a.resume)
+	return a
+}
+
+// ServeHTTP implements http.Handler.
+func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// HostInfo is the wire form of a host row.
+type HostInfo struct {
+	Name      string  `json:"name"`
+	Cores     int     `json:"cores"`
+	MemoryMB  int64   `json:"memory_mb"`
+	UsedMemMB int64   `json:"used_mem_mb"`
+	UsedVCPUs int     `json:"used_vcpus"`
+	CPUUtil   float64 `json:"cpu_util"`
+	Failed    bool    `json:"failed"`
+	VMCount   int     `json:"vm_count"`
+}
+
+func (a *API) hosts(w http.ResponseWriter, r *http.Request) {
+	var out []HostInfo
+	for _, h := range a.cloud.Hosts() {
+		vcpus, mem, _ := h.Usage()
+		out = append(out, HostInfo{
+			Name: h.Name, Cores: h.Cores,
+			MemoryMB: h.MemoryBytes >> 20, UsedMemMB: mem >> 20,
+			UsedVCPUs: vcpus, CPUUtil: h.CPUUtilization(),
+			Failed: h.Failed(), VMCount: len(h.VMs()),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// VMWire is the wire form of a VM row.
+type VMWire struct {
+	ID    int    `json:"id"`
+	Name  string `json:"name"`
+	State string `json:"state"`
+	Host  string `json:"host"`
+	IP    string `json:"ip"`
+	Group string `json:"group,omitempty"`
+}
+
+func (a *API) vms(w http.ResponseWriter, r *http.Request) {
+	var out []VMWire
+	for _, info := range a.cloud.Snapshot() {
+		out = append(out, VMWire{
+			ID: info.ID, Name: info.Name, State: info.State.String(),
+			Host: info.Host, IP: info.IP, Group: info.Group,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// VMDetail extends VMWire with history and migration data.
+type VMDetail struct {
+	VMWire
+	FailReason string           `json:"fail_reason,omitempty"`
+	History    []TransitionWire `json:"history"`
+	Migration  *MigrationWire   `json:"last_migration,omitempty"`
+}
+
+// TransitionWire is one state-history entry.
+type TransitionWire struct {
+	AtSeconds float64 `json:"at_seconds"`
+	From      string  `json:"from"`
+	To        string  `json:"to"`
+}
+
+// MigrationWire summarises a migration report.
+type MigrationWire struct {
+	Success        bool    `json:"success"`
+	Reason         string  `json:"reason"`
+	Src            string  `json:"src"`
+	Dst            string  `json:"dst"`
+	Rounds         int     `json:"rounds"`
+	TotalSeconds   float64 `json:"total_seconds"`
+	DowntimeMillis float64 `json:"downtime_ms"`
+}
+
+func (a *API) vm(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad id: %v", err))
+		return
+	}
+	rec, err := a.cloud.VM(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	a.cloud.mu.Lock()
+	detail := VMDetail{
+		VMWire: VMWire{
+			ID: rec.ID, Name: rec.Name(), State: rec.State.String(),
+			Host: rec.HostName, IP: rec.IP, Group: rec.Template.Group,
+		},
+		FailReason: rec.FailReason,
+	}
+	for _, tr := range rec.StateLog {
+		detail.History = append(detail.History, TransitionWire{
+			AtSeconds: tr.At.Seconds(), From: tr.From.String(), To: tr.To.String(),
+		})
+	}
+	if m := rec.LastMigration; m != nil {
+		detail.Migration = &MigrationWire{
+			Success: m.Success, Reason: m.Reason, Src: m.Src, Dst: m.Dst,
+			Rounds: len(m.Rounds), TotalSeconds: m.TotalTime.Seconds(),
+			DowntimeMillis: float64(m.Downtime) / float64(time.Millisecond),
+		}
+	}
+	a.cloud.mu.Unlock()
+	writeJSON(w, http.StatusOK, detail)
+}
+
+// TemplateRequest is the JSON submission format. Workload selects a guest
+// behaviour model by name since behaviours are code, not data.
+type TemplateRequest struct {
+	Name      string            `json:"name"`
+	VCPUs     int               `json:"vcpus"`
+	MemoryMB  int64             `json:"memory_mb"`
+	DiskGB    int64             `json:"disk_gb"`
+	Image     string            `json:"image"`
+	FullClone bool              `json:"full_clone,omitempty"`
+	Group     string            `json:"group,omitempty"`
+	Requeue   bool              `json:"requeue,omitempty"`
+	Workload  string            `json:"workload,omitempty"`  // idle|uniform|hotspot|streaming
+	RateMBps  int64             `json:"rate_mbps,omitempty"` // dirty/stream rate for the workload
+	Context   map[string]string `json:"context,omitempty"`
+}
+
+// workloadByName builds the named guest workload.
+func workloadByName(name string, rateMBps int64) (virt.Workload, error) {
+	rate := rateMBps << 20
+	switch name {
+	case "", "idle":
+		return virt.IdleWorkload{}, nil
+	case "uniform":
+		return virt.UniformWriter{Rate: rate}, nil
+	case "hotspot":
+		return virt.HotspotWriter{Rate: rate}, nil
+	case "streaming":
+		return &virt.StreamingServer{StreamRate: rate}, nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+}
+
+func (a *API) submit(w http.ResponseWriter, r *http.Request) {
+	var req TemplateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	wl, err := workloadByName(req.Workload, req.RateMBps)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := a.cloud.Submit(Template{
+		Name: req.Name, VCPUs: req.VCPUs,
+		MemoryBytes: req.MemoryMB << 20, DiskBytes: req.DiskGB << 30,
+		Image: req.Image, FullClone: req.FullClone,
+		Group: req.Group, Requeue: req.Requeue,
+		Workload: wl, Context: req.Context,
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]int{"id": id})
+}
+
+func (a *API) migrate(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad id: %v", err))
+		return
+	}
+	var body struct {
+		Host string `json:"host"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := a.cloud.LiveMigrate(id, body.Host); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"status": "migrating"})
+}
+
+func (a *API) shutdown(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad id: %v", err))
+		return
+	}
+	if err := a.cloud.Shutdown(id); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"status": "shutting-down"})
+}
+
+// SampleWire is the wire form of a monitoring sample.
+type SampleWire struct {
+	AtSeconds  float64 `json:"at_seconds"`
+	Host       string  `json:"host"`
+	CPUUtil    float64 `json:"cpu_util"`
+	UsedMemMB  int64   `json:"used_mem_mb"`
+	RunningVMs int     `json:"running_vms"`
+}
+
+func (a *API) monitor(w http.ResponseWriter, r *http.Request) {
+	var out []SampleWire
+	for _, s := range a.cloud.Monitor().Samples() {
+		out = append(out, SampleWire{
+			AtSeconds: s.At.Seconds(), Host: s.Host, CPUUtil: s.CPUUtil,
+			UsedMemMB: s.UsedMem >> 20, RunningVMs: s.RunningVMs,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (a *API) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, a.cloud.Metrics().Dump())
+}
+
+func (a *API) evacuate(w http.ResponseWriter, r *http.Request) {
+	started, err := a.cloud.Evacuate(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]int{"migrations_started": started})
+}
+
+func (a *API) enable(w http.ResponseWriter, r *http.Request) {
+	if err := a.cloud.Enable(r.PathValue("name")); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "enabled"})
+}
+
+func (a *API) suspend(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad id: %v", err))
+		return
+	}
+	if err := a.cloud.Suspend(id); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"status": "suspended"})
+}
+
+func (a *API) resume(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad id: %v", err))
+		return
+	}
+	if err := a.cloud.Resume(id); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"status": "resuming"})
+}
+
+func (a *API) consolidate(w http.ResponseWriter, r *http.Request) {
+	plan := a.cloud.Consolidate()
+	writeJSON(w, http.StatusAccepted, map[string]int{
+		"moves":           len(plan.Moves),
+		"candidate_hosts": plan.CandidateHosts,
+	})
+}

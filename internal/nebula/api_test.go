@@ -1,0 +1,259 @@
+package nebula
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func apiRig(t *testing.T) (*Cloud, *httptest.Server) {
+	t.Helper()
+	c := testCloud(t, 2, Options{})
+	srv := httptest.NewServer(NewAPI(c))
+	t.Cleanup(srv.Close)
+	return c, srv
+}
+
+func doJSON(t *testing.T, method, url, body string, out any) int {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s %s: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestAPISubmitAndList(t *testing.T) {
+	c, srv := apiRig(t)
+	var created map[string]int
+	code := doJSON(t, "POST", srv.URL+"/api/vms",
+		`{"name":"web","vcpus":2,"memory_mb":2048,"disk_gb":10,"image":"ubuntu-10.04","workload":"streaming","rate_mbps":8}`,
+		&created)
+	if code != http.StatusCreated {
+		t.Fatalf("status = %d", code)
+	}
+	id := created["id"]
+	if id == 0 {
+		t.Fatal("no id returned")
+	}
+	c.WaitIdle()
+
+	var vms []VMWire
+	if code := doJSON(t, "GET", srv.URL+"/api/vms", "", &vms); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if len(vms) != 1 || vms[0].State != "running" || vms[0].IP == "" {
+		t.Fatalf("vms = %+v", vms)
+	}
+
+	var detail VMDetail
+	doJSON(t, "GET", fmt.Sprintf("%s/api/vms/%d", srv.URL, id), "", &detail)
+	if len(detail.History) < 4 {
+		t.Fatalf("history = %+v", detail.History)
+	}
+}
+
+func TestAPIHosts(t *testing.T) {
+	c, srv := apiRig(t)
+	doJSON(t, "POST", srv.URL+"/api/vms",
+		`{"name":"web","vcpus":2,"memory_mb":2048,"disk_gb":10,"image":"ubuntu-10.04"}`, nil)
+	c.WaitIdle()
+	var hosts []HostInfo
+	doJSON(t, "GET", srv.URL+"/api/hosts", "", &hosts)
+	if len(hosts) != 2 {
+		t.Fatalf("%d hosts", len(hosts))
+	}
+	total := 0
+	for _, h := range hosts {
+		total += h.VMCount
+	}
+	if total != 1 {
+		t.Fatalf("total VMs across hosts = %d", total)
+	}
+}
+
+func TestAPIMigrateFlow(t *testing.T) {
+	c, srv := apiRig(t)
+	var created map[string]int
+	doJSON(t, "POST", srv.URL+"/api/vms",
+		`{"name":"web","vcpus":2,"memory_mb":1024,"disk_gb":10,"image":"ubuntu-10.04"}`, &created)
+	c.WaitIdle()
+	var detail VMDetail
+	doJSON(t, "GET", fmt.Sprintf("%s/api/vms/%d", srv.URL, created["id"]), "", &detail)
+	dst := "node2"
+	if detail.Host == "node2" {
+		dst = "node1"
+	}
+	code := doJSON(t, "POST", fmt.Sprintf("%s/api/vms/%d/migrate", srv.URL, created["id"]),
+		fmt.Sprintf(`{"host":%q}`, dst), nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("migrate status = %d", code)
+	}
+	c.WaitIdle()
+	doJSON(t, "GET", fmt.Sprintf("%s/api/vms/%d", srv.URL, created["id"]), "", &detail)
+	if detail.Host != dst || detail.State != "running" {
+		t.Fatalf("after migrate: %+v", detail.VMWire)
+	}
+	if detail.Migration == nil || !detail.Migration.Success {
+		t.Fatal("no migration report in detail")
+	}
+	if detail.Migration.DowntimeMillis <= 0 {
+		t.Fatal("zero downtime reported")
+	}
+}
+
+func TestAPIShutdown(t *testing.T) {
+	c, srv := apiRig(t)
+	var created map[string]int
+	doJSON(t, "POST", srv.URL+"/api/vms",
+		`{"name":"web","vcpus":1,"memory_mb":1024,"disk_gb":1,"image":"ubuntu-10.04"}`, &created)
+	c.WaitIdle()
+	code := doJSON(t, "POST", fmt.Sprintf("%s/api/vms/%d/shutdown", srv.URL, created["id"]), "", nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("status = %d", code)
+	}
+	c.WaitIdle()
+	var detail VMDetail
+	doJSON(t, "GET", fmt.Sprintf("%s/api/vms/%d", srv.URL, created["id"]), "", &detail)
+	if detail.State != "done" {
+		t.Fatalf("state = %s", detail.State)
+	}
+}
+
+func TestAPIErrors(t *testing.T) {
+	_, srv := apiRig(t)
+	if code := doJSON(t, "GET", srv.URL+"/api/vms/999", "", nil); code != http.StatusNotFound {
+		t.Fatalf("missing vm status = %d", code)
+	}
+	if code := doJSON(t, "GET", srv.URL+"/api/vms/abc", "", nil); code != http.StatusBadRequest {
+		t.Fatalf("bad id status = %d", code)
+	}
+	if code := doJSON(t, "POST", srv.URL+"/api/vms", `{"name":"x"}`, nil); code != http.StatusBadRequest {
+		t.Fatalf("invalid template status = %d", code)
+	}
+	if code := doJSON(t, "POST", srv.URL+"/api/vms", `not json`, nil); code != http.StatusBadRequest {
+		t.Fatalf("garbage body status = %d", code)
+	}
+	if code := doJSON(t, "POST", srv.URL+"/api/vms",
+		`{"name":"x","vcpus":1,"memory_mb":512,"image":"ubuntu-10.04","workload":"quantum"}`, nil); code != http.StatusBadRequest {
+		t.Fatalf("unknown workload status = %d", code)
+	}
+	if code := doJSON(t, "POST", srv.URL+"/api/vms/1/migrate", `{"host":"node9"}`, nil); code != http.StatusConflict {
+		t.Fatalf("bad migrate status = %d", code)
+	}
+}
+
+func TestAPIMonitorAndMetrics(t *testing.T) {
+	c, srv := apiRig(t)
+	doJSON(t, "POST", srv.URL+"/api/vms",
+		`{"name":"web","vcpus":1,"memory_mb":1024,"disk_gb":1,"image":"ubuntu-10.04","workload":"uniform","rate_mbps":10}`, nil)
+	c.WaitIdle()
+	c.Monitor().SampleNow()
+	var samples []SampleWire
+	doJSON(t, "GET", srv.URL+"/api/monitor", "", &samples)
+	if len(samples) != 2 { // one per host
+		t.Fatalf("%d samples", len(samples))
+	}
+	resp, err := http.Get(srv.URL + "/api/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 4096)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "vms_submitted") {
+		t.Fatalf("metrics output missing counters: %s", buf[:n])
+	}
+}
+
+func TestAPIEvacuateAndConsolidate(t *testing.T) {
+	c, srv := apiRig(t)
+	doJSON(t, "POST", srv.URL+"/api/vms",
+		`{"name":"web","vcpus":1,"memory_mb":1024,"disk_gb":1,"image":"ubuntu-10.04"}`, nil)
+	c.WaitIdle()
+	var detail []VMWire
+	doJSON(t, "GET", srv.URL+"/api/vms", "", &detail)
+	host := detail[0].Host
+
+	var out map[string]int
+	code := doJSON(t, "POST", fmt.Sprintf("%s/api/hosts/%s/evacuate", srv.URL, host), "", &out)
+	if code != http.StatusAccepted || out["migrations_started"] != 1 {
+		t.Fatalf("evacuate: %d %v", code, out)
+	}
+	c.WaitIdle()
+	doJSON(t, "GET", srv.URL+"/api/vms", "", &detail)
+	if detail[0].Host == host {
+		t.Fatal("VM not evacuated")
+	}
+	if code := doJSON(t, "POST", fmt.Sprintf("%s/api/hosts/%s/enable", srv.URL, host), "", nil); code != http.StatusOK {
+		t.Fatalf("enable status %d", code)
+	}
+	if code := doJSON(t, "POST", srv.URL+"/api/hosts/ghost/evacuate", "", nil); code != http.StatusConflict {
+		t.Fatalf("ghost evacuate status %d", code)
+	}
+	var plan map[string]int
+	if code := doJSON(t, "POST", srv.URL+"/api/consolidate", "", &plan); code != http.StatusAccepted {
+		t.Fatalf("consolidate status %d", code)
+	}
+	c.WaitIdle()
+}
+
+func TestPacerAdvancesVirtualTime(t *testing.T) {
+	c := testCloud(t, 1, Options{})
+	p := StartPacer(c, 100) // 100x
+	defer p.Stop()
+	deadline := time.After(3 * time.Second)
+	for c.Now() < 2*time.Second {
+		select {
+		case <-deadline:
+			t.Fatalf("pacer advanced only to %v", c.Now())
+		default:
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+func TestMonitorSeriesAndTable(t *testing.T) {
+	c := testCloud(t, 2, Options{})
+	c.Submit(webTemplate("web"))
+	c.Monitor().Enable(10 * time.Second)
+	c.RunFor(65 * time.Second)
+	c.Monitor().Disable()
+	c.WaitIdle()
+	series := c.Monitor().HostSeries("node1")
+	if len(series) != 6 {
+		t.Fatalf("node1 series has %d samples, want 6", len(series))
+	}
+	all := c.Monitor().Samples()
+	if len(all) != 12 {
+		t.Fatalf("total samples = %d, want 12", len(all))
+	}
+	tbl := c.Monitor().UtilizationTable().String()
+	if !strings.Contains(tbl, "node1") || !strings.Contains(tbl, "node2") {
+		t.Fatalf("table missing hosts:\n%s", tbl)
+	}
+	// The VM's host shows committed memory.
+	found := false
+	for _, s := range all {
+		if s.UsedMem > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no sample recorded the running VM's memory")
+	}
+}

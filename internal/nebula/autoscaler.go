@@ -1,0 +1,172 @@
+package nebula
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"videocloud/internal/simtime"
+)
+
+// AutoScaler grows and shrinks a fleet of identical VMs to track offered
+// demand — the elasticity the paper's conclusion invokes ("with the
+// scalability of cloud hosting, streaming a video can become seamless") and
+// that its reference [28] (quality-assured cloud bandwidth auto-scaling for
+// VoD) studies in depth.
+//
+// Each tick the scaler reads the demand metric, computes per-instance
+// utilization against InstanceCapacity, and launches one instance above
+// HiLoad or retires the newest instance below LoLoad, clamped to
+// [Min, Max]. One move per tick plus hysteresis between the thresholds
+// keeps the fleet from oscillating.
+type AutoScaler struct {
+	cloud *Cloud
+	// Template stamps out fleet instances; instance names get -N
+	// suffixes via the usual record naming.
+	Template Template
+	// Min and Max bound the fleet size.
+	Min, Max int
+	// InstanceCapacity is the demand one instance absorbs (default 1).
+	InstanceCapacity float64
+	// HiLoad/LoLoad are per-instance utilization thresholds (defaults
+	// 0.8 and 0.3). LoLoad must stay below HiLoad for hysteresis.
+	HiLoad, LoLoad float64
+	// Metric returns the offered demand at the given virtual time, in
+	// the same units as InstanceCapacity. It runs inside the simulation
+	// tick (the cloud lock is held): it must not call Cloud methods.
+	Metric func(now time.Duration) float64
+
+	ticker    *simtime.Event
+	instances []int
+	history   []ScaleSample
+}
+
+// ScaleSample records one scaler decision point.
+type ScaleSample struct {
+	At        time.Duration
+	Load      float64
+	Instances int
+	Util      float64
+}
+
+// ErrScalerConfig reports invalid scaler parameters.
+var ErrScalerConfig = errors.New("nebula: invalid auto-scaler configuration")
+
+// NewAutoScaler binds a scaler to a cloud. Call Start to launch the fleet.
+func NewAutoScaler(cloud *Cloud, tpl Template, min, max int) *AutoScaler {
+	return &AutoScaler{
+		cloud: cloud, Template: tpl, Min: min, Max: max,
+		InstanceCapacity: 1, HiLoad: 0.8, LoLoad: 0.3,
+	}
+}
+
+func (a *AutoScaler) validate() error {
+	if a.Min < 1 || a.Max < a.Min {
+		return fmt.Errorf("%w: min=%d max=%d", ErrScalerConfig, a.Min, a.Max)
+	}
+	if a.Metric == nil {
+		return fmt.Errorf("%w: nil Metric", ErrScalerConfig)
+	}
+	if a.InstanceCapacity <= 0 || a.LoLoad >= a.HiLoad || a.LoLoad < 0 {
+		return fmt.Errorf("%w: capacity=%v thresholds=%v/%v",
+			ErrScalerConfig, a.InstanceCapacity, a.LoLoad, a.HiLoad)
+	}
+	return nil
+}
+
+// Start submits the minimum fleet and begins evaluating every interval of
+// virtual time.
+func (a *AutoScaler) Start(interval time.Duration) error {
+	if err := a.validate(); err != nil {
+		return err
+	}
+	c := a.cloud
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if a.ticker != nil {
+		return fmt.Errorf("%w: already started", ErrScalerConfig)
+	}
+	for i := 0; i < a.Min; i++ {
+		id, err := c.submitLocked(a.Template)
+		if err != nil {
+			return err
+		}
+		a.instances = append(a.instances, id)
+	}
+	a.ticker = c.sim.Every(interval, a.step)
+	return nil
+}
+
+// Stop halts evaluation (the fleet stays as it is).
+func (a *AutoScaler) Stop() {
+	c := a.cloud
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if a.ticker != nil {
+		a.ticker.Cancel()
+		a.ticker = nil
+	}
+}
+
+// step runs with the cloud lock held (simulation callback).
+func (a *AutoScaler) step() {
+	c := a.cloud
+	// Count instances that are alive (anything before Shutdown/Done).
+	alive := a.instances[:0]
+	for _, id := range a.instances {
+		rec := c.vms[id]
+		if rec == nil {
+			continue
+		}
+		switch rec.State {
+		case Pending, Prolog, Boot, Running, Migrating, Suspended:
+			alive = append(alive, id)
+		}
+	}
+	a.instances = alive
+
+	load := a.Metric(c.sim.Now())
+	n := len(a.instances)
+	util := 0.0
+	if n > 0 {
+		util = load / (a.InstanceCapacity * float64(n))
+	}
+	a.history = append(a.history, ScaleSample{
+		At: c.sim.Now(), Load: load, Instances: n, Util: util,
+	})
+
+	switch {
+	case (n == 0 || util > a.HiLoad) && n < a.Max:
+		if id, err := c.submitLocked(a.Template); err == nil {
+			a.instances = append(a.instances, id)
+			c.reg.Counter("autoscale_out").Inc()
+		}
+	case util < a.LoLoad && n > a.Min:
+		// Retire the newest running instance (oldest-first stability).
+		for i := len(a.instances) - 1; i >= 0; i-- {
+			id := a.instances[i]
+			if rec := c.vms[id]; rec != nil && rec.State == Running {
+				if err := c.shutdownLocked(id); err == nil {
+					c.reg.Counter("autoscale_in").Inc()
+					break
+				}
+			}
+		}
+	}
+}
+
+// Fleet returns the current instance IDs.
+func (a *AutoScaler) Fleet() []int {
+	c := a.cloud
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]int(nil), a.instances...)
+}
+
+// History returns all decision samples.
+func (a *AutoScaler) History() []ScaleSample {
+	c := a.cloud
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]ScaleSample(nil), a.history...)
+}

@@ -1,0 +1,158 @@
+package nebula
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func scalerCloud(t *testing.T) *Cloud {
+	t.Helper()
+	c := testCloud(t, 8, Options{})
+	return c
+}
+
+func streamerTemplate() Template {
+	tpl := webTemplate("streamer")
+	tpl.VCPUs = 1
+	tpl.MemoryBytes = 1 * gb
+	return tpl
+}
+
+func TestAutoScalerTracksDemandWave(t *testing.T) {
+	c := scalerCloud(t)
+	// Demand: 1 unit for the first hour, 6 units for two hours, then 1.
+	metric := func(now time.Duration) float64 {
+		switch {
+		case now < time.Hour:
+			return 1
+		case now < 3*time.Hour:
+			return 6
+		default:
+			return 1
+		}
+	}
+	a := NewAutoScaler(c, streamerTemplate(), 1, 8)
+	a.Metric = metric
+	if err := a.Start(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(4 * time.Hour)
+	a.Stop()
+	c.WaitIdle()
+
+	hist := a.History()
+	if len(hist) == 0 {
+		t.Fatal("no samples")
+	}
+	peak, trough := 0, 99
+	var lastPhase int
+	for _, s := range hist {
+		if s.At > time.Hour+30*time.Minute && s.At < 3*time.Hour && s.Instances > peak {
+			peak = s.Instances
+		}
+		if s.At > 3*time.Hour+30*time.Minute && s.Instances < trough {
+			trough = s.Instances
+		}
+		lastPhase = s.Instances
+	}
+	// 6 units at 0.8 threshold needs ~8 instances; at least 6.
+	if peak < 6 {
+		t.Fatalf("peak fleet = %d, want >= 6", peak)
+	}
+	// After the wave the fleet shrinks to the hysteresis floor: load 1
+	// with LoLoad 0.3 settles at 3 instances (1/3 ≈ 0.33 > 0.3).
+	if trough > 3 {
+		t.Fatalf("post-peak fleet = %d, want <= 3", trough)
+	}
+	if lastPhase > 3 {
+		t.Fatalf("final fleet = %d", lastPhase)
+	}
+	if c.Metrics().Counter("autoscale_out").Value() == 0 ||
+		c.Metrics().Counter("autoscale_in").Value() == 0 {
+		t.Fatal("scaling events not counted")
+	}
+}
+
+func TestAutoScalerRespectsBounds(t *testing.T) {
+	c := scalerCloud(t)
+	a := NewAutoScaler(c, streamerTemplate(), 2, 3)
+	a.Metric = func(time.Duration) float64 { return 100 } // infinite demand
+	if err := a.Start(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(time.Hour)
+	a.Stop()
+	c.WaitIdle()
+	if n := len(a.Fleet()); n != 3 {
+		t.Fatalf("fleet = %d, want Max=3", n)
+	}
+	// Zero demand never goes below Min.
+	c2 := scalerCloud(t)
+	a2 := NewAutoScaler(c2, streamerTemplate(), 2, 5)
+	a2.Metric = func(time.Duration) float64 { return 0 }
+	if err := a2.Start(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	c2.RunFor(time.Hour)
+	a2.Stop()
+	c2.WaitIdle()
+	if n := len(a2.Fleet()); n != 2 {
+		t.Fatalf("fleet = %d, want Min=2", n)
+	}
+}
+
+func TestAutoScalerHysteresisNoFlapping(t *testing.T) {
+	c := scalerCloud(t)
+	// Constant demand that sits between the thresholds for 3 instances:
+	// util = 2.0/3 ≈ 0.67, inside (0.3, 0.8) — no moves should happen
+	// once the fleet reaches 3.
+	a := NewAutoScaler(c, streamerTemplate(), 3, 8)
+	a.Metric = func(time.Duration) float64 { return 2.0 }
+	if err := a.Start(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(2 * time.Hour)
+	a.Stop()
+	c.WaitIdle()
+	if n := len(a.Fleet()); n != 3 {
+		t.Fatalf("fleet = %d, want steady 3", n)
+	}
+	if got := c.Metrics().Counter("autoscale_out").Value() +
+		c.Metrics().Counter("autoscale_in").Value(); got != 0 {
+		t.Fatalf("%d scaling moves under steady demand", got)
+	}
+}
+
+func TestAutoScalerValidation(t *testing.T) {
+	c := scalerCloud(t)
+	cases := []*AutoScaler{
+		func() *AutoScaler { a := NewAutoScaler(c, streamerTemplate(), 0, 3); a.Metric = zeroMetric; return a }(),
+		func() *AutoScaler { a := NewAutoScaler(c, streamerTemplate(), 3, 1); a.Metric = zeroMetric; return a }(),
+		NewAutoScaler(c, streamerTemplate(), 1, 3), // nil metric
+		func() *AutoScaler {
+			a := NewAutoScaler(c, streamerTemplate(), 1, 3)
+			a.Metric = zeroMetric
+			a.LoLoad, a.HiLoad = 0.9, 0.5
+			return a
+		}(),
+	}
+	for i, a := range cases {
+		if err := a.Start(time.Minute); !errors.Is(err, ErrScalerConfig) {
+			t.Fatalf("case %d: err = %v", i, err)
+		}
+	}
+	// Double start rejected.
+	ok := NewAutoScaler(c, streamerTemplate(), 1, 3)
+	ok.Metric = zeroMetric
+	if err := ok.Start(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := ok.Start(time.Minute); !errors.Is(err, ErrScalerConfig) {
+		t.Fatalf("double start: %v", err)
+	}
+	ok.Stop()
+	c.WaitIdle()
+}
+
+func zeroMetric(time.Duration) float64 { return 0 }

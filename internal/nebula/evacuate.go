@@ -1,0 +1,182 @@
+package nebula
+
+import (
+	"fmt"
+	"sort"
+
+	"videocloud/internal/virt"
+)
+
+// This file implements two orchestrator-level operations the paper's
+// deployment motivates: host evacuation (maintenance without downtime,
+// built on the live migration of Figures 8-10) and consolidation (the
+// §III-A "economize power" goal: pack VMs onto fewer hosts so the rest can
+// be powered down).
+
+// Evacuate puts a host in maintenance mode and live-migrates every running
+// VM off it, choosing destinations with the active placement policy. It
+// returns the number of migrations started; drive the simulation (WaitIdle)
+// to let them finish. VMs for which no destination fits stay put and are
+// reported in the error; the host remains disabled either way.
+func (c *Cloud) Evacuate(hostName string) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, ok := c.hostByName[hostName]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoSuchHost, hostName)
+	}
+	h.SetDisabled(true)
+	c.reg.Counter("hosts_disabled").Inc()
+
+	var stuck []string
+	started := 0
+	for _, rec := range c.recordsOnHost(hostName) {
+		if rec.State != Running {
+			continue
+		}
+		target := place(c.policy, c.candidateHosts(rec, c.otherHosts(h)), c.vmConfig(rec))
+		if target == nil {
+			stuck = append(stuck, rec.Name())
+			continue
+		}
+		if err := c.liveMigrateLocked(rec, target); err != nil {
+			stuck = append(stuck, rec.Name())
+			continue
+		}
+		started++
+	}
+	if len(stuck) > 0 {
+		return started, fmt.Errorf("nebula: evacuation of %q left %v in place (no capacity)",
+			hostName, stuck)
+	}
+	return started, nil
+}
+
+// Enable takes a host out of maintenance mode.
+func (c *Cloud) Enable(hostName string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, ok := c.hostByName[hostName]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchHost, hostName)
+	}
+	h.SetDisabled(false)
+	c.kickScheduler()
+	return nil
+}
+
+// recordsOnHost returns the records resident on a host, sorted by ID for
+// deterministic evacuation order.
+func (c *Cloud) recordsOnHost(hostName string) []*VMRecord {
+	var out []*VMRecord
+	for _, rec := range c.vms {
+		if rec.HostName == hostName && rec.VM != nil {
+			out = append(out, rec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func (c *Cloud) otherHosts(h *virt.Host) []*virt.Host {
+	out := make([]*virt.Host, 0, len(c.hosts)-1)
+	for _, cand := range c.hosts {
+		if cand != h {
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// ConsolidationPlan describes the migrations Consolidate started.
+type ConsolidationPlan struct {
+	// Moves lists (vm id, destination host) pairs.
+	Moves []ConsolidationMove
+	// CandidateHosts counts hosts the plan tries to empty.
+	CandidateHosts int
+}
+
+// ConsolidationMove is one planned migration.
+type ConsolidationMove struct {
+	VMID int
+	From string
+	To   string
+}
+
+// Consolidate runs one pass of power-saving consolidation: hosts are
+// visited emptiest first, and each of their VMs is live-migrated to the
+// fullest other host that can take it — the packing heuristic applied to an
+// already-running cloud. The migrations run in virtual time; after WaitIdle,
+// EmptyHosts reports how many machines could be powered down.
+func (c *Cloud) Consolidate() ConsolidationPlan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var plan ConsolidationPlan
+
+	hosts := append([]*virt.Host(nil), c.hosts...)
+	sort.Slice(hosts, func(i, j int) bool {
+		fi, fj := hosts[i].FreeMemory(), hosts[j].FreeMemory()
+		if fi != fj {
+			return fi > fj // emptiest (most free) first
+		}
+		return hosts[i].Name < hosts[j].Name
+	})
+	for _, h := range hosts {
+		recs := c.recordsOnHost(h.Name)
+		if len(recs) == 0 {
+			continue
+		}
+		plan.CandidateHosts++
+		for _, rec := range recs {
+			if rec.State != Running {
+				continue
+			}
+			// Fullest other host that fits, but never one emptier
+			// than the source (that would fight consolidation).
+			// Ties break toward the lexically smaller host name so
+			// equally loaded hosts drain in one direction instead
+			// of ping-ponging between passes.
+			cands := PackingPolicy{}.Rank(c.otherHosts(h), c.vmConfig(rec))
+			var target *virt.Host
+			for _, cand := range cands {
+				if !cand.CanFit(c.vmConfig(rec)) {
+					continue
+				}
+				cf, hf := cand.FreeMemory(), h.FreeMemory()
+				if cf < hf || (cf == hf && cand.Name < h.Name) {
+					target = cand
+					break
+				}
+			}
+			if target == nil {
+				continue
+			}
+			if err := c.liveMigrateLocked(rec, target); err != nil {
+				continue
+			}
+			plan.Moves = append(plan.Moves, ConsolidationMove{
+				VMID: rec.ID, From: h.Name, To: target.Name,
+			})
+		}
+	}
+	if len(plan.Moves) > 0 {
+		c.reg.Counter("consolidation_passes").Inc()
+	}
+	return plan
+}
+
+// EmptyHosts returns the names of hosts with no resident VMs or
+// reservations — the machines consolidation freed for power-down.
+func (c *Cloud) EmptyHosts() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for _, h := range c.hosts {
+		vcpus, mem, disk := h.Usage()
+		if vcpus == 0 && mem == 0 && disk == 0 && !h.Failed() {
+			out = append(out, h.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,180 @@
+package nebula
+
+import (
+	"errors"
+	"testing"
+
+	"videocloud/internal/virt"
+)
+
+func TestEvacuateMovesEveryVM(t *testing.T) {
+	c := testCloud(t, 3, Options{Policy: FixedPolicy{Host: "node1"}})
+	var ids []int
+	for i := 0; i < 3; i++ {
+		tpl := webTemplate("vm" + string(rune('a'+i)))
+		tpl.MemoryBytes = 1 * gb
+		tpl.VCPUs = 1
+		id, err := c.Submit(tpl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	c.WaitIdle()
+	// Switch to striping so evacuation spreads.
+	c.policy = StripingPolicy{}
+	started, err := c.Evacuate("node1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if started != 3 {
+		t.Fatalf("started = %d", started)
+	}
+	c.WaitIdle()
+	for _, id := range ids {
+		rec, _ := c.VM(id)
+		if rec.State != Running {
+			t.Fatalf("%s state = %v", rec.Name(), rec.State)
+		}
+		if rec.HostName == "node1" {
+			t.Fatalf("%s still on node1", rec.Name())
+		}
+		if rec.LastMigration == nil || !rec.LastMigration.Success {
+			t.Fatalf("%s has no successful migration", rec.Name())
+		}
+	}
+	// The evacuated host is empty and disabled: nothing new lands there.
+	h, _ := c.Host("node1")
+	if _, mem, _ := h.Usage(); mem != 0 {
+		t.Fatalf("node1 still holds %d", mem)
+	}
+	if !h.Disabled() {
+		t.Fatal("node1 not in maintenance mode")
+	}
+	id, _ := c.Submit(webTemplate("after"))
+	c.WaitIdle()
+	rec, _ := c.VM(id)
+	if rec.HostName == "node1" {
+		t.Fatal("placement on disabled host")
+	}
+	// Enable restores it as a target.
+	if err := c.Enable("node1"); err != nil {
+		t.Fatal(err)
+	}
+	if h.Disabled() {
+		t.Fatal("Enable did not clear maintenance")
+	}
+}
+
+func TestEvacuateInsufficientCapacity(t *testing.T) {
+	// Two hosts; the second is too small for the big VM.
+	c := New(Options{Policy: FixedPolicy{Host: "big"}})
+	if _, err := c.Catalog().Register("ubuntu-10.04", 2*gb, 7); err != nil {
+		t.Fatal(err)
+	}
+	c.AddHost("big", 8, 1e9, 32*gb, 500*gb)
+	c.AddHost("small", 8, 1e9, 4*gb, 500*gb)
+	tpl := webTemplate("huge")
+	tpl.MemoryBytes = 16 * gb
+	id, err := c.Submit(tpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.WaitIdle()
+	c.policy = StripingPolicy{}
+	started, err := c.Evacuate("big")
+	if err == nil {
+		t.Fatal("evacuation without capacity reported success")
+	}
+	if started != 0 {
+		t.Fatalf("started = %d", started)
+	}
+	// The VM keeps running in place.
+	rec, _ := c.VM(id)
+	if rec.State != Running || rec.HostName != "big" {
+		t.Fatalf("VM disturbed: %v on %s", rec.State, rec.HostName)
+	}
+}
+
+func TestEvacuateUnknownHost(t *testing.T) {
+	c := testCloud(t, 1, Options{})
+	if _, err := c.Evacuate("ghost"); !errors.Is(err, ErrNoSuchHost) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := c.Enable("ghost"); !errors.Is(err, ErrNoSuchHost) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConsolidatePacksAndFreesHosts(t *testing.T) {
+	// Striping spreads 4 small VMs over 4 hosts; consolidation should
+	// pack them back and free hosts.
+	c := testCloud(t, 4, Options{Policy: StripingPolicy{}})
+	for i := 0; i < 4; i++ {
+		tpl := webTemplate("vm" + string(rune('a'+i)))
+		tpl.MemoryBytes = 2 * gb
+		tpl.VCPUs = 1
+		if _, err := c.Submit(tpl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.WaitIdle()
+	if free := c.EmptyHosts(); len(free) != 0 {
+		t.Fatalf("hosts already empty: %v", free)
+	}
+	plan := c.Consolidate()
+	if len(plan.Moves) == 0 {
+		t.Fatal("consolidation planned nothing")
+	}
+	c.WaitIdle()
+	free := c.EmptyHosts()
+	if len(free) == 0 {
+		t.Fatal("consolidation freed no hosts")
+	}
+	// Every VM still runs.
+	for _, info := range c.Snapshot() {
+		if info.State != Running {
+			t.Fatalf("%s state = %v", info.Name, info.State)
+		}
+	}
+	// A second pass may finish the packing; it must terminate and never
+	// un-free a host.
+	before := len(free)
+	c.Consolidate()
+	c.WaitIdle()
+	if len(c.EmptyHosts()) < before {
+		t.Fatal("second pass reduced empty hosts")
+	}
+}
+
+func TestConsolidateNoOpWhenPacked(t *testing.T) {
+	c := testCloud(t, 2, Options{Policy: PackingPolicy{}})
+	for i := 0; i < 2; i++ {
+		tpl := webTemplate("vm" + string(rune('a'+i)))
+		tpl.VCPUs = 1
+		if _, err := c.Submit(tpl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.WaitIdle()
+	plan := c.Consolidate()
+	if len(plan.Moves) != 0 {
+		t.Fatalf("already-packed cloud planned %d moves", len(plan.Moves))
+	}
+}
+
+func TestDisabledHostRejectsReservation(t *testing.T) {
+	h := virt.NewHost("h", 8, 1e9, 16*gb, 100*gb, 0)
+	h.SetDisabled(true)
+	err := h.Reserve(virt.VMConfig{Name: "x", VCPUs: 1, MemoryBytes: 1 * gb})
+	if !errors.Is(err, virt.ErrInsufficientCapacity) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := h.CreateVM(virt.VMConfig{Name: "x", VCPUs: 1, MemoryBytes: 1 * gb}); err == nil {
+		t.Fatal("disabled host accepted VM")
+	}
+	h.SetDisabled(false)
+	if _, err := h.CreateVM(virt.VMConfig{Name: "x", VCPUs: 1, MemoryBytes: 1 * gb}); err != nil {
+		t.Fatal(err)
+	}
+}

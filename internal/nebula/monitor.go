@@ -1,0 +1,140 @@
+package nebula
+
+import (
+	"time"
+
+	"videocloud/internal/metrics"
+	"videocloud/internal/simtime"
+	"videocloud/internal/virt"
+)
+
+// Sample is one monitoring observation of one host — the data behind the
+// paper's web interface, which "shows the CPU utilization, host loading,
+// memory utilization, and VMs information" (§III-A).
+type Sample struct {
+	At          time.Duration
+	Host        string
+	CPUUtil     float64
+	UsedMem     int64
+	FreeMem     int64
+	RunningVMs  int
+	NetSent     int64
+	NetReceived int64
+}
+
+// Monitor periodically samples every host. It is created by the Cloud; use
+// Enable to start sampling and Disable before WaitIdle (periodic events keep
+// the simulation queue non-empty).
+type Monitor struct {
+	cloud   *Cloud
+	samples []Sample
+	ticker  *simtime.Event
+}
+
+func newMonitor(c *Cloud) *Monitor { return &Monitor{cloud: c} }
+
+// Enable starts sampling every interval of virtual time. Calling Enable
+// while enabled restarts the ticker with the new interval.
+func (m *Monitor) Enable(interval time.Duration) {
+	c := m.cloud
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m.ticker != nil {
+		m.ticker.Cancel()
+	}
+	m.ticker = c.sim.Every(interval, m.sampleLocked)
+}
+
+// Disable stops sampling.
+func (m *Monitor) Disable() {
+	c := m.cloud
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m.ticker != nil {
+		m.ticker.Cancel()
+		m.ticker = nil
+	}
+}
+
+// SampleNow records one observation of every host immediately.
+func (m *Monitor) SampleNow() {
+	c := m.cloud
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m.sampleLocked()
+}
+
+// sampleLocked runs with the cloud mutex held (from the sim callback or
+// SampleNow).
+func (m *Monitor) sampleLocked() {
+	c := m.cloud
+	for _, h := range c.hosts {
+		running := 0
+		for _, vm := range h.VMs() {
+			switch vm.State() {
+			case virt.StateRunning, virt.StateMigrating:
+				running++
+			}
+		}
+		_, usedMem, _ := h.Usage()
+		var sent, recv int64
+		if nh := c.net.Host(h.Name); nh != nil {
+			sent, recv = nh.Sent(), nh.Received()
+		}
+		m.samples = append(m.samples, Sample{
+			At: c.sim.Now(), Host: h.Name,
+			CPUUtil: h.CPUUtilization(),
+			UsedMem: usedMem, FreeMem: h.MemoryBytes - usedMem,
+			RunningVMs: running,
+			NetSent:    sent, NetReceived: recv,
+		})
+	}
+}
+
+// Samples returns all recorded observations in order.
+func (m *Monitor) Samples() []Sample {
+	c := m.cloud
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Sample(nil), m.samples...)
+}
+
+// HostSeries returns the observations for one host.
+func (m *Monitor) HostSeries(host string) []Sample {
+	c := m.cloud
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Sample
+	for _, s := range m.samples {
+		if s.Host == host {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// UtilizationTable renders the latest sample per host, the Sunstone-style
+// dashboard view of Figure 7.
+func (m *Monitor) UtilizationTable() *metrics.Table {
+	c := m.cloud
+	c.mu.Lock()
+	latest := make(map[string]Sample)
+	for _, s := range m.samples {
+		latest[s.Host] = s
+	}
+	var hosts []string
+	for _, h := range c.hosts {
+		hosts = append(hosts, h.Name)
+	}
+	c.mu.Unlock()
+
+	t := metrics.NewTable("host monitor", "host", "cpu_util", "used_mem_mb", "free_mem_mb", "running_vms")
+	for _, name := range hosts {
+		s, ok := latest[name]
+		if !ok {
+			continue
+		}
+		t.AddRow(name, s.CPUUtil, s.UsedMem>>20, s.FreeMem>>20, s.RunningVMs)
+	}
+	return t
+}

@@ -1,0 +1,49 @@
+package nebula
+
+import (
+	"sync"
+	"time"
+)
+
+// Pacer advances the cloud's virtual clock in step with wall time, so the
+// HTTP management API can be used interactively (cmd/onecloud,
+// cmd/videocloud): one wall second advances scale virtual seconds.
+type Pacer struct {
+	cloud *Cloud
+	scale float64
+	stop  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// StartPacer begins advancing the clock. scale <= 0 defaults to 1 (real
+// time). Call Stop to halt.
+func StartPacer(c *Cloud, scale float64) *Pacer {
+	if scale <= 0 {
+		scale = 1
+	}
+	p := &Pacer{cloud: c, scale: scale, stop: make(chan struct{})}
+	p.wg.Add(1)
+	go p.loop()
+	return p
+}
+
+func (p *Pacer) loop() {
+	defer p.wg.Done()
+	const tick = 50 * time.Millisecond
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.cloud.RunFor(time.Duration(float64(tick) * p.scale))
+		}
+	}
+}
+
+// Stop halts the pacer and waits for its goroutine to exit.
+func (p *Pacer) Stop() {
+	close(p.stop)
+	p.wg.Wait()
+}

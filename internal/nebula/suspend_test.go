@@ -1,0 +1,160 @@
+package nebula
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"videocloud/internal/virt"
+)
+
+func TestSuspendResumeCycle(t *testing.T) {
+	c := testCloud(t, 1, Options{})
+	id, _ := c.Submit(webTemplate("vm"))
+	c.WaitIdle()
+	rec, _ := c.VM(id)
+
+	if err := c.Suspend(id); err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != Suspended {
+		t.Fatalf("state = %v", rec.State)
+	}
+	if rec.VM.State() != virt.StatePaused {
+		t.Fatalf("guest state = %v", rec.VM.State())
+	}
+	// Resources stay reserved while suspended.
+	h, _ := c.Host("node1")
+	if _, mem, _ := h.Usage(); mem != 2*gb {
+		t.Fatalf("reservation dropped: %d", mem)
+	}
+	// Double suspend rejected.
+	if err := c.Suspend(id); !errors.Is(err, ErrBadState) {
+		t.Fatalf("double suspend: %v", err)
+	}
+	// Cannot migrate or shut down a suspended VM.
+	if err := c.LiveMigrate(id, "node1"); !errors.Is(err, ErrBadState) {
+		t.Fatalf("migrate suspended: %v", err)
+	}
+
+	before := c.Now()
+	if err := c.Resume(id); err != nil {
+		t.Fatal(err)
+	}
+	c.WaitIdle()
+	if rec.State != Running || rec.VM.State() != virt.StateRunning {
+		t.Fatalf("after resume: %v / %v", rec.State, rec.VM.State())
+	}
+	// Restoring 2 GiB from a 120 MB/s disk takes ~17s of virtual time.
+	if c.Now()-before < 10*time.Second {
+		t.Fatalf("resume was instantaneous (%v)", c.Now()-before)
+	}
+	// Resume only from Suspended.
+	if err := c.Resume(id); !errors.Is(err, ErrBadState) {
+		t.Fatalf("double resume: %v", err)
+	}
+}
+
+func TestSuspendErrors(t *testing.T) {
+	c := testCloud(t, 1, Options{})
+	if err := c.Suspend(99); !errors.Is(err, ErrNoSuchVM) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := c.Resume(99); !errors.Is(err, ErrNoSuchVM) {
+		t.Fatalf("err = %v", err)
+	}
+	id, _ := c.Submit(webTemplate("vm"))
+	// Still pending.
+	if err := c.Suspend(id); !errors.Is(err, ErrBadState) {
+		t.Fatalf("suspend pending: %v", err)
+	}
+	c.WaitIdle()
+}
+
+func TestResumeAfterHostFailureFails(t *testing.T) {
+	c := testCloud(t, 1, Options{})
+	id, _ := c.Submit(webTemplate("vm"))
+	c.WaitIdle()
+	c.Suspend(id)
+	h, _ := c.Host("node1")
+	h.Fail()
+	if err := c.Resume(id); err == nil {
+		t.Fatal("resume on failed host accepted")
+	}
+	rec, _ := c.VM(id)
+	if rec.State != Failed {
+		t.Fatalf("state = %v", rec.State)
+	}
+}
+
+func TestAntiAffinitySpreadsGroup(t *testing.T) {
+	// Packing policy would stack everything on one host; anti-affinity
+	// must override it for group members.
+	c := testCloud(t, 3, Options{Policy: PackingPolicy{}})
+	tpls := make([]Template, 3)
+	for i := range tpls {
+		tpl := webTemplate("dn" + string(rune('a'+i)))
+		tpl.VCPUs = 1
+		tpl.AntiAffinity = true
+		tpls[i] = tpl
+	}
+	ids, err := c.SubmitGroup("hdfs", tpls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.WaitIdle()
+	hosts := map[string]bool{}
+	for _, id := range ids {
+		rec, _ := c.VM(id)
+		if rec.State != Running {
+			t.Fatalf("%s state = %v", rec.Name(), rec.State)
+		}
+		if hosts[rec.HostName] {
+			t.Fatalf("two group members on %s", rec.HostName)
+		}
+		hosts[rec.HostName] = true
+	}
+}
+
+func TestAntiAffinityBlocksWhenHostsExhausted(t *testing.T) {
+	// 2 hosts, 3 anti-affine members: the third must stay pending rather
+	// than violate the constraint.
+	c := testCloud(t, 2, Options{})
+	tpls := make([]Template, 3)
+	for i := range tpls {
+		tpl := webTemplate("dn" + string(rune('a'+i)))
+		tpl.VCPUs = 1
+		tpl.AntiAffinity = true
+		tpls[i] = tpl
+	}
+	if _, err := c.SubmitGroup("hdfs", tpls); err != nil {
+		t.Fatal(err)
+	}
+	c.WaitIdle()
+	if got := c.PendingCount(); got != 1 {
+		t.Fatalf("pending = %d, want 1", got)
+	}
+	// Adding a third host unblocks it.
+	if _, err := c.AddHost("node3", 8, 1e9, 16*gb, 500*gb); err != nil {
+		t.Fatal(err)
+	}
+	c.WaitIdle()
+	if got := c.PendingCount(); got != 0 {
+		t.Fatalf("pending = %d after host added", got)
+	}
+}
+
+func TestNonGroupVMsUnaffectedByAntiAffinity(t *testing.T) {
+	c := testCloud(t, 1, Options{})
+	tpl := webTemplate("solo")
+	tpl.AntiAffinity = true // no Group: flag is inert
+	id, err := c.Submit(tpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.WaitIdle()
+	rec, _ := c.VM(id)
+	if rec.State != Running {
+		t.Fatalf("state = %v", rec.State)
+	}
+}

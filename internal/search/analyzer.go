@@ -1,0 +1,72 @@
+// Package search is the Nutch/Lucene stand-in of the paper's §IV: "Nutch is
+// set on Hadoop and then input distributed application of Map/Reduce to
+// search index for desired information by using HDFS as searching index
+// storage database."
+//
+// It provides the text analyzer, a TF-IDF ranked inverted index, index
+// segments persisted in HDFS, a crawler that discovers documents by
+// following links (crawler.go), and MapReduce-based distributed index
+// construction (mrindex.go) — the paper's claimed route to "sufficiently
+// shorten the time spent in searching indexes space construction".
+package search
+
+import (
+	"strings"
+	"unicode"
+)
+
+// stopwords is the small English stopword list Lucene's StandardAnalyzer
+// shipped with.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "and": true, "are": true, "as": true, "at": true,
+	"be": true, "but": true, "by": true, "for": true, "if": true, "in": true,
+	"into": true, "is": true, "it": true, "no": true, "not": true, "of": true,
+	"on": true, "or": true, "such": true, "that": true, "the": true,
+	"their": true, "then": true, "there": true, "these": true, "they": true,
+	"this": true, "to": true, "was": true, "will": true, "with": true,
+}
+
+// Analyze tokenizes text the way our indexer and query parser both must:
+// lower-cased alphanumeric runs, stopwords removed, trivial plural 's'
+// stripped from words of four or more letters.
+func Analyze(text string) []string {
+	var tokens []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() == 0 {
+			return
+		}
+		tok := cur.String()
+		cur.Reset()
+		// Possessive handling: "video's" indexes as "video".
+		if i := strings.IndexByte(tok, '\''); i >= 0 {
+			tok = tok[:i]
+		}
+		if tok == "" || stopwords[tok] {
+			return
+		}
+		tokens = append(tokens, stem(tok))
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			cur.WriteRune(unicode.ToLower(r))
+		case r == '\'' && cur.Len() > 0:
+			cur.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// stem applies a minimal plural stemmer: "videos" and "video" index to the
+// same term, without the mis-stemming a full Porter pass risks.
+func stem(tok string) string {
+	if len(tok) >= 4 && strings.HasSuffix(tok, "s") &&
+		!strings.HasSuffix(tok, "ss") && !strings.HasSuffix(tok, "us") {
+		return tok[:len(tok)-1]
+	}
+	return tok
+}

@@ -1,0 +1,108 @@
+package search
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Page is what a fetch returns: the document content plus outgoing links.
+type Page struct {
+	Doc   Document
+	Links []string
+}
+
+// Fetcher retrieves one URL. The video website exposes its pages through
+// this interface; tests use an in-memory site.
+type Fetcher interface {
+	Fetch(url string) (Page, error)
+}
+
+// FetcherFunc adapts a function to the Fetcher interface.
+type FetcherFunc func(url string) (Page, error)
+
+// Fetch implements Fetcher.
+func (f FetcherFunc) Fetch(url string) (Page, error) { return f(url) }
+
+// CrawlResult reports a finished crawl.
+type CrawlResult struct {
+	// Fetched maps URL to the discovered document.
+	Fetched map[string]Document
+	// Failed maps URL to the fetch error's message.
+	Failed map[string]string
+	// Frontier holds URLs discovered but not visited (depth exhausted).
+	Frontier []string
+}
+
+// Crawl walks the link graph breadth-first from the seeds, up to maxDepth
+// hops away and at most maxPages fetches — Nutch's generate/fetch/update
+// cycle collapsed into one in-process pass. Each URL is fetched at most
+// once; fetch failures are recorded, not fatal.
+func Crawl(f Fetcher, seeds []string, maxDepth, maxPages int) CrawlResult {
+	res := CrawlResult{Fetched: map[string]Document{}, Failed: map[string]string{}}
+	if maxPages <= 0 {
+		return res
+	}
+	visited := map[string]bool{}
+	frontier := append([]string(nil), seeds...)
+	for depth := 0; depth <= maxDepth && len(frontier) > 0; depth++ {
+		var next []string
+		for _, url := range frontier {
+			if visited[url] {
+				continue
+			}
+			visited[url] = true
+			if len(res.Fetched)+len(res.Failed) >= maxPages {
+				res.Frontier = appendUnvisited(res.Frontier, visited, frontier, next)
+				return res
+			}
+			page, err := f.Fetch(url)
+			if err != nil {
+				res.Failed[url] = err.Error()
+				continue
+			}
+			res.Fetched[url] = page.Doc
+			next = append(next, page.Links...)
+		}
+		frontier = next
+	}
+	res.Frontier = appendUnvisited(res.Frontier, visited, frontier, nil)
+	return res
+}
+
+func appendUnvisited(dst []string, visited map[string]bool, lists ...[]string) []string {
+	seen := map[string]bool{}
+	for _, d := range dst {
+		seen[d] = true
+	}
+	for _, list := range lists {
+		for _, u := range list {
+			if !visited[u] && !seen[u] {
+				seen[u] = true
+				dst = append(dst, u)
+			}
+		}
+	}
+	sort.Strings(dst)
+	return dst
+}
+
+// IndexCrawl builds an index from a crawl's documents.
+func IndexCrawl(res CrawlResult) *Index {
+	ix := NewIndex()
+	// Deterministic insertion order.
+	urls := make([]string, 0, len(res.Fetched))
+	for u := range res.Fetched {
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
+	for _, u := range urls {
+		ix.Add(res.Fetched[u])
+	}
+	return ix
+}
+
+// String summarizes the crawl.
+func (r CrawlResult) String() string {
+	return fmt.Sprintf("crawl: %d fetched, %d failed, %d frontier",
+		len(r.Fetched), len(r.Failed), len(r.Frontier))
+}

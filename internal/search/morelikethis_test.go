@@ -1,0 +1,109 @@
+package search
+
+import (
+	"testing"
+)
+
+func themedIndex() *Index {
+	ix := NewIndex()
+	// Two dance videos, two cooking videos, one cloud lecture.
+	ix.Add(Document{ID: 1, Title: "Nobody dance practice", Body: "pop dance choreography studio mirror"})
+	ix.Add(Document{ID: 2, Title: "Dance cover compilation", Body: "pop dance choreography stage lights"})
+	ix.Add(Document{ID: 3, Title: "Pasta carbonara", Body: "cooking recipe kitchen italian eggs"})
+	ix.Add(Document{ID: 4, Title: "Ramen at home", Body: "cooking recipe kitchen broth noodles"})
+	ix.Add(Document{ID: 5, Title: "KVM lecture", Body: "cloud virtualization hypervisor kernel"})
+	return ix
+}
+
+func TestMoreLikeThisFindsThematicNeighbours(t *testing.T) {
+	ix := themedIndex()
+	rel := ix.MoreLikeThis(1, 3)
+	if len(rel) == 0 {
+		t.Fatal("no related docs")
+	}
+	if rel[0].Doc != 2 {
+		t.Fatalf("top related to dance video = %d, want the other dance video", rel[0].Doc)
+	}
+	for _, h := range rel {
+		if h.Doc == 1 {
+			t.Fatal("MoreLikeThis returned the source document")
+		}
+	}
+	// Cooking video relates to cooking video.
+	rel = ix.MoreLikeThis(3, 1)
+	if len(rel) != 1 || rel[0].Doc != 4 {
+		t.Fatalf("related to pasta = %+v, want ramen", rel)
+	}
+}
+
+func TestMoreLikeThisEdgeCases(t *testing.T) {
+	ix := themedIndex()
+	if rel := ix.MoreLikeThis(999, 5); rel != nil {
+		t.Fatalf("unknown doc returned %v", rel)
+	}
+	if rel := ix.MoreLikeThis(1, 0); rel != nil {
+		t.Fatal("limit 0 returned hits")
+	}
+	// Removing the only neighbour empties the result.
+	ix.Remove(2)
+	rel := ix.MoreLikeThis(1, 5)
+	for _, h := range rel {
+		if h.Doc == 2 {
+			t.Fatal("removed doc still related")
+		}
+	}
+	// Ordered by score.
+	for i := 1; i < len(rel); i++ {
+		if rel[i].Score > rel[i-1].Score {
+			t.Fatal("related hits not sorted")
+		}
+	}
+}
+
+func TestMoreLikeThisSurvivesSegmentRoundTrip(t *testing.T) {
+	ix := themedIndex()
+	data, err := ix.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeIndex(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := back.MoreLikeThis(1, 1)
+	if len(rel) != 1 || rel[0].Doc != 2 {
+		t.Fatalf("related after round trip = %+v", rel)
+	}
+}
+
+func TestMoreLikeThisFromMapReduceIndex(t *testing.T) {
+	c, e := mrRig(t, 3)
+	docs := []Document{
+		{ID: 1, Title: "dance one", Body: "pop dance choreography"},
+		{ID: 2, Title: "dance two", Body: "pop dance stage"},
+		{ID: 3, Title: "cooking", Body: "recipe kitchen pasta"},
+	}
+	paths, err := WriteCorpus(c.Client(""), "/corpus", docs, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, _, err := BuildIndexMR(e, paths, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := ix.MoreLikeThis(1, 1)
+	if len(rel) != 1 || rel[0].Doc != 2 {
+		t.Fatalf("MR-built related = %+v", rel)
+	}
+}
+
+func TestMoreLikeThisMergePreservesForwardIndex(t *testing.T) {
+	a, b := NewIndex(), NewIndex()
+	a.Add(Document{ID: 1, Title: "dance one", Body: "pop dance"})
+	b.Add(Document{ID: 2, Title: "dance two", Body: "pop dance"})
+	a.Merge(b)
+	rel := a.MoreLikeThis(2, 1)
+	if len(rel) != 1 || rel[0].Doc != 1 {
+		t.Fatalf("related after merge = %+v", rel)
+	}
+}

@@ -1,0 +1,388 @@
+package search
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"videocloud/internal/hdfs"
+	"videocloud/internal/mapred"
+)
+
+func TestAnalyze(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Hello, World!", []string{"hello", "world"}},
+		{"The quick brown fox", []string{"quick", "brown", "fox"}},
+		{"videos VIDEO Video's", []string{"video", "video", "video"}},
+		{"H.264 1080p", []string{"h", "264", "1080p"}},
+		{"", nil},
+		{"the a of to", nil},
+		{"glass buses", []string{"glass", "buse"}}, // -ss and -es edge
+		{"日本語 test", []string{"日本語", "test"}},
+	}
+	for _, tc := range cases {
+		if got := Analyze(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Fatalf("Analyze(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func sampleDocs() []Document {
+	return []Document{
+		{ID: 1, Title: "Nobody knows", Body: "music video pop korea dance"},
+		{ID: 2, Title: "Cloud computing tutorial", Body: "kvm opennebula hadoop deployment lecture"},
+		{ID: 3, Title: "Dance practice", Body: "nobody dance cover practice room"},
+		{ID: 4, Title: "Cooking pasta", Body: "italian kitchen recipe tomato"},
+		{ID: 5, Title: "KVM internals", Body: "virtualization kernel linux hypervisor cloud"},
+	}
+}
+
+func buildIndex() *Index {
+	ix := NewIndex()
+	for _, d := range sampleDocs() {
+		ix.Add(d)
+	}
+	return ix
+}
+
+func TestSearchBasics(t *testing.T) {
+	ix := buildIndex()
+	if ix.Docs() != 5 {
+		t.Fatalf("Docs = %d", ix.Docs())
+	}
+	if ix.Terms() == 0 {
+		t.Fatal("empty vocabulary")
+	}
+	// The paper's demo query (Figure 18): "nobody".
+	hits := ix.Search("nobody", 10)
+	if len(hits) != 2 {
+		t.Fatalf("hits = %+v", hits)
+	}
+	// Title match (doc 1) outranks body match (doc 3).
+	if hits[0].Doc != 1 || hits[1].Doc != 3 {
+		t.Fatalf("ranking = %+v, want doc1 before doc3", hits)
+	}
+	// No match.
+	if hits := ix.Search("zebra", 10); len(hits) != 0 {
+		t.Fatalf("ghost query hits = %+v", hits)
+	}
+	// Empty and stopword-only queries.
+	if hits := ix.Search("", 10); hits != nil {
+		t.Fatal("empty query returned hits")
+	}
+	if hits := ix.Search("the of and", 10); hits != nil {
+		t.Fatal("stopword query returned hits")
+	}
+	if hits := ix.Search("nobody", 0); hits != nil {
+		t.Fatal("limit 0 returned hits")
+	}
+}
+
+func TestMultiTermConjunctiveTiering(t *testing.T) {
+	ix := buildIndex()
+	// "cloud kvm": doc 5 matches both, docs 2 matches both too; doc 2 and
+	// 5 must both rank above any single-term match.
+	hits := ix.Search("cloud kvm", 10)
+	if len(hits) < 2 {
+		t.Fatalf("hits = %+v", hits)
+	}
+	top2 := map[int64]bool{hits[0].Doc: true, hits[1].Doc: true}
+	if !top2[2] || !top2[5] {
+		t.Fatalf("docs matching both terms not on top: %+v", hits)
+	}
+}
+
+func TestSearchLimit(t *testing.T) {
+	ix := buildIndex()
+	hits := ix.Search("dance", 1)
+	if len(hits) != 1 {
+		t.Fatalf("limit ignored: %+v", hits)
+	}
+}
+
+func TestRemoveAndReAdd(t *testing.T) {
+	ix := buildIndex()
+	ix.Remove(1)
+	if ix.Docs() != 4 {
+		t.Fatalf("Docs = %d", ix.Docs())
+	}
+	hits := ix.Search("nobody", 10)
+	if len(hits) != 1 || hits[0].Doc != 3 {
+		t.Fatalf("hits after remove = %+v", hits)
+	}
+	// Replace semantics: re-add with new content.
+	ix.Add(Document{ID: 3, Title: "Totally different", Body: "unrelated content"})
+	if ix.Docs() != 4 {
+		t.Fatalf("Docs after replace = %d", ix.Docs())
+	}
+	if hits := ix.Search("nobody", 10); len(hits) != 0 {
+		t.Fatalf("stale postings: %+v", hits)
+	}
+	if hits := ix.Search("totally different", 10); len(hits) != 1 {
+		t.Fatalf("replacement not searchable: %+v", hits)
+	}
+	// Removing a ghost is a no-op.
+	ix.Remove(999)
+	if ix.Docs() != 4 {
+		t.Fatal("ghost remove changed count")
+	}
+}
+
+func TestIDFPrefersRareTerms(t *testing.T) {
+	ix := NewIndex()
+	for i := int64(1); i <= 20; i++ {
+		ix.Add(Document{ID: i, Title: fmt.Sprintf("video %d", i), Body: "common common common"})
+	}
+	ix.Add(Document{ID: 100, Title: "the rare gem", Body: "common unique"})
+	hits := ix.Search("common unique", 5)
+	if hits[0].Doc != 100 {
+		t.Fatalf("doc with rare term not first: %+v", hits)
+	}
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	ix := buildIndex()
+	data, err := ix.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeIndex(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Docs() != ix.Docs() || back.Terms() != ix.Terms() {
+		t.Fatalf("decoded %d/%d, want %d/%d", back.Docs(), back.Terms(), ix.Docs(), ix.Terms())
+	}
+	for _, q := range []string{"nobody", "cloud kvm", "dance"} {
+		if !reflect.DeepEqual(back.Search(q, 10), ix.Search(q, 10)) {
+			t.Fatalf("query %q differs after round trip", q)
+		}
+	}
+	if _, err := DecodeIndex([]byte("garbage")); err == nil {
+		t.Fatal("garbage segment decoded")
+	}
+}
+
+func TestSegmentInHDFS(t *testing.T) {
+	c := hdfs.NewCluster(3, 64*1024)
+	cl := c.Client("")
+	ix := buildIndex()
+	if err := ix.SaveSegment(cl, "/index/segment-0", 3); err != nil {
+		t.Fatal(err)
+	}
+	// Re-index overwrites ("renew indexed material every certain time").
+	ix.Add(Document{ID: 6, Title: "Fresh upload", Body: "new video"})
+	if err := ix.SaveSegment(cl, "/index/segment-0", 3); err != nil {
+		t.Fatal(err)
+	}
+	// A datanode dies; the segment must still load (replicated storage).
+	blocks, _ := cl.BlockLocations("/index/segment-0")
+	c.KillDataNode(blocks[0].Locations[0])
+	back, err := LoadSegment(cl, "/index/segment-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Docs() != 6 {
+		t.Fatalf("Docs = %d after reload", back.Docs())
+	}
+	if hits := back.Search("fresh upload", 5); len(hits) != 1 || hits[0].Doc != 6 {
+		t.Fatalf("hits = %+v", hits)
+	}
+}
+
+func TestMergeDisjoint(t *testing.T) {
+	a, b := NewIndex(), NewIndex()
+	a.Add(Document{ID: 1, Title: "alpha", Body: "shared term"})
+	b.Add(Document{ID: 2, Title: "beta", Body: "shared term"})
+	a.Merge(b)
+	if a.Docs() != 2 {
+		t.Fatalf("Docs = %d", a.Docs())
+	}
+	if hits := a.Search("shared", 5); len(hits) != 2 {
+		t.Fatalf("hits = %+v", hits)
+	}
+	// Overlap panics.
+	c := NewIndex()
+	c.Add(Document{ID: 1, Title: "dup", Body: "x"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlapping merge did not panic")
+		}
+	}()
+	a.Merge(c)
+}
+
+func TestCrawler(t *testing.T) {
+	site := map[string]Page{
+		"/":        {Doc: Document{ID: 1, Title: "home", Body: "welcome"}, Links: []string{"/v/1", "/v/2"}},
+		"/v/1":     {Doc: Document{ID: 2, Title: "first video", Body: "cats"}, Links: []string{"/v/2", "/v/3"}},
+		"/v/2":     {Doc: Document{ID: 3, Title: "second video", Body: "dogs"}, Links: []string{"/"}},
+		"/v/3":     {Doc: Document{ID: 4, Title: "third video", Body: "birds"}, Links: []string{"/deep"}},
+		"/deep":    {Doc: Document{ID: 5, Title: "deep page", Body: "hidden"}, Links: nil},
+		"/broken2": {},
+	}
+	fetch := FetcherFunc(func(url string) (Page, error) {
+		p, ok := site[url]
+		if !ok || url == "/broken2" {
+			return Page{}, fmt.Errorf("404 %s", url)
+		}
+		return p, nil
+	})
+	res := Crawl(fetch, []string{"/", "/broken"}, 2, 100)
+	if len(res.Fetched) != 4 { // home, v1, v2, v3 (deep is depth 3)
+		t.Fatalf("fetched = %v", res)
+	}
+	if len(res.Failed) != 1 {
+		t.Fatalf("failed = %v", res.Failed)
+	}
+	if len(res.Frontier) != 1 || res.Frontier[0] != "/deep" {
+		t.Fatalf("frontier = %v", res.Frontier)
+	}
+	// Deeper crawl reaches everything.
+	res = Crawl(fetch, []string{"/"}, 5, 100)
+	if len(res.Fetched) != 5 {
+		t.Fatalf("deep crawl fetched %d", len(res.Fetched))
+	}
+	// Page cap respected.
+	res = Crawl(fetch, []string{"/"}, 5, 2)
+	if len(res.Fetched)+len(res.Failed) > 2 {
+		t.Fatalf("page cap exceeded: %s", res)
+	}
+	// Index the crawl.
+	ix := IndexCrawl(Crawl(fetch, []string{"/"}, 5, 100))
+	if hits := ix.Search("birds", 5); len(hits) != 1 || hits[0].Doc != 4 {
+		t.Fatalf("crawl index hits = %+v", hits)
+	}
+	if res.String() == "" {
+		t.Fatal("empty crawl summary")
+	}
+}
+
+func mrRig(t *testing.T, nodes int) (*hdfs.Cluster, *mapred.Engine) {
+	t.Helper()
+	c := hdfs.NewCluster(nodes, 32*1024)
+	trackers := make([]string, nodes)
+	for i := range trackers {
+		trackers[i] = fmt.Sprintf("dn%d", i)
+	}
+	e, err := mapred.NewEngine(c, trackers, mapred.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, e
+}
+
+func bigCorpus(n int) []Document {
+	topics := []string{"cloud kvm virtualization", "music dance pop", "cooking recipe pasta",
+		"lecture hadoop mapreduce", "travel tokyo japan"}
+	docs := make([]Document, n)
+	for i := range docs {
+		docs[i] = Document{
+			ID:    int64(i + 1),
+			Title: fmt.Sprintf("video number %d about %s", i+1, topics[i%len(topics)]),
+			Body:  strings.Repeat(topics[i%len(topics)]+" uploaded content description ", 8),
+		}
+	}
+	return docs
+}
+
+func TestMapReduceIndexMatchesDirect(t *testing.T) {
+	c, e := mrRig(t, 4)
+	docs := bigCorpus(300)
+	paths, err := WriteCorpus(c.Client(""), "/corpus", docs, 50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 6 {
+		t.Fatalf("%d shards", len(paths))
+	}
+	mrIx, res, err := BuildIndexMR(e, paths, "/index-out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := NewIndex()
+	for _, d := range docs {
+		direct.Add(d)
+	}
+	if mrIx.Docs() != direct.Docs() || mrIx.Terms() != direct.Terms() {
+		t.Fatalf("MR index %d/%d vs direct %d/%d",
+			mrIx.Docs(), mrIx.Terms(), direct.Docs(), direct.Terms())
+	}
+	for _, q := range []string{"cloud kvm", "dance", "tokyo", "recipe pasta"} {
+		a, b := mrIx.Search(q, 20), direct.Search(q, 20)
+		if len(a) != len(b) {
+			t.Fatalf("query %q: MR %d hits vs direct %d", q, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Doc != b[i].Doc {
+				t.Fatalf("query %q: rank %d differs (%d vs %d)", q, i, a[i].Doc, b[i].Doc)
+			}
+		}
+	}
+	if res.Duration == 0 || len(res.MapTasks) == 0 {
+		t.Fatal("no job stats")
+	}
+}
+
+func TestMapReduceIndexScales(t *testing.T) {
+	build := func(nodes int) *mapred.JobResult {
+		c, e := mrRig(t, nodes)
+		docs := bigCorpus(400)
+		paths, err := WriteCorpus(c.Client(""), "/corpus", docs, 25, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, res, err := BuildIndexMR(e, paths, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	d1 := build(1).Duration
+	d8 := build(8).Duration
+	if speedup := float64(d1) / float64(d8); speedup < 2 {
+		t.Fatalf("8-node index build speedup = %.2f", speedup)
+	}
+}
+
+// Property: search scores are non-increasing down the hit list and every
+// hit actually contains at least one query term.
+func TestPropertyRankingInvariants(t *testing.T) {
+	docs := bigCorpus(60)
+	ix := NewIndex()
+	for _, d := range docs {
+		ix.Add(d)
+	}
+	queries := []string{"cloud", "dance pop", "hadoop mapreduce lecture", "travel", "video"}
+	f := func(qi uint8, limit uint8) bool {
+		q := queries[int(qi)%len(queries)]
+		hits := ix.Search(q, int(limit%30)+1)
+		terms := Analyze(q)
+		for i, h := range hits {
+			if i > 0 && hits[i-1].Score < h.Score {
+				return false
+			}
+			doc := docs[h.Doc-1]
+			text := strings.ToLower(doc.Title + " " + doc.Body)
+			any := false
+			for _, term := range terms {
+				if strings.Contains(text, term) {
+					any = true
+					break
+				}
+			}
+			if !any {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

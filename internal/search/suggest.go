@@ -1,0 +1,60 @@
+package search
+
+import (
+	"sort"
+	"strings"
+)
+
+// Suggest returns up to limit indexed terms that begin with the query's
+// last token, ranked by document frequency — the type-ahead behaviour of
+// the paper's search box ("people can find films fast via index searching",
+// §IV-A). Earlier tokens of the query are kept verbatim in the returned
+// completions.
+func (ix *Index) Suggest(query string, limit int) []string {
+	if limit <= 0 {
+		return nil
+	}
+	// The last token is being typed; analyze leniently (no stopword
+	// filtering on the prefix — "th" should still complete).
+	raw := strings.Fields(strings.ToLower(query))
+	if len(raw) == 0 {
+		return nil
+	}
+	prefix := stem(raw[len(raw)-1])
+	if strings.HasSuffix(raw[len(raw)-1], "s") {
+		// Don't stem a still-being-typed token: "glas" vs "glass".
+		prefix = raw[len(raw)-1]
+	}
+	head := strings.Join(raw[:len(raw)-1], " ")
+
+	ix.mu.RLock()
+	type cand struct {
+		term string
+		df   int
+	}
+	var cands []cand
+	for term, list := range ix.postings {
+		if strings.HasPrefix(term, prefix) {
+			cands = append(cands, cand{term, len(list)})
+		}
+	}
+	ix.mu.RUnlock()
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].df != cands[j].df {
+			return cands[i].df > cands[j].df
+		}
+		return cands[i].term < cands[j].term
+	})
+	if len(cands) > limit {
+		cands = cands[:limit]
+	}
+	out := make([]string, len(cands))
+	for i, c := range cands {
+		if head == "" {
+			out[i] = c.term
+		} else {
+			out[i] = head + " " + c.term
+		}
+	}
+	return out
+}

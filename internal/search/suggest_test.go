@@ -1,0 +1,77 @@
+package search
+
+import (
+	"reflect"
+	"testing"
+)
+
+func suggestIndex() *Index {
+	ix := NewIndex()
+	ix.Add(Document{ID: 1, Title: "dance practice", Body: "dance dance dance"})
+	ix.Add(Document{ID: 2, Title: "dance cover", Body: "dancing stage"})
+	ix.Add(Document{ID: 3, Title: "dandelion field", Body: "nature spring"})
+	ix.Add(Document{ID: 4, Title: "cooking show", Body: "kitchen"})
+	return ix
+}
+
+func TestSuggestRanksByFrequency(t *testing.T) {
+	ix := suggestIndex()
+	got := ix.Suggest("dan", 5)
+	// "dance" (2 docs) outranks "dancing" (1) and "dandelion" (1).
+	if len(got) < 3 || got[0] != "dance" {
+		t.Fatalf("Suggest = %v", got)
+	}
+	rest := got[1:]
+	want := []string{"dancing", "dandelion"}
+	if !reflect.DeepEqual(rest, want) {
+		t.Fatalf("tail = %v, want %v (alphabetical among equals)", rest, want)
+	}
+}
+
+func TestSuggestKeepsQueryHead(t *testing.T) {
+	ix := suggestIndex()
+	got := ix.Suggest("cooking da", 2)
+	if len(got) == 0 || got[0] != "cooking dance" {
+		t.Fatalf("Suggest = %v", got)
+	}
+}
+
+func TestSuggestLimitsAndEdges(t *testing.T) {
+	ix := suggestIndex()
+	if got := ix.Suggest("dan", 1); len(got) != 1 {
+		t.Fatalf("limit ignored: %v", got)
+	}
+	if got := ix.Suggest("", 5); got != nil {
+		t.Fatalf("empty query suggested %v", got)
+	}
+	if got := ix.Suggest("dan", 0); got != nil {
+		t.Fatal("limit 0 returned suggestions")
+	}
+	if got := ix.Suggest("zzz", 5); len(got) != 0 {
+		t.Fatalf("no-match prefix suggested %v", got)
+	}
+	// Case-insensitive.
+	if got := ix.Suggest("DAN", 5); len(got) == 0 {
+		t.Fatal("uppercase prefix found nothing")
+	}
+}
+
+func TestSuggestFollowsIndexUpdates(t *testing.T) {
+	ix := suggestIndex()
+	ix.Remove(3)
+	for _, s := range ix.Suggest("dan", 5) {
+		if s == "dandelion" {
+			t.Fatal("removed doc's term still suggested")
+		}
+	}
+	ix.Add(Document{ID: 5, Title: "dangerous stunts", Body: "action"})
+	found := false
+	for _, s := range ix.Suggest("dang", 5) {
+		if s == "dangerou" || s == "dangerous" { // analyzer may stem
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("new doc's term not suggested")
+	}
+}

@@ -1,0 +1,29 @@
+package simnet
+
+import (
+	"fmt"
+	"testing"
+
+	"videocloud/internal/simtime"
+)
+
+// BenchmarkManyConcurrentFlows measures the max-min fair-share recomputation
+// under churn: 32 hosts, 64 overlapping flows.
+func BenchmarkManyConcurrentFlows(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sim := simtime.NewSimulator()
+		n := New(sim)
+		n.AddUniformHosts("h", 32, 100*MB, 0)
+		for f := 0; f < 64; f++ {
+			src := fmt.Sprintf("h%d", f%32)
+			dst := fmt.Sprintf("h%d", (f+7)%32)
+			if _, err := n.Transfer(src, dst, 10*MB, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sim.Run()
+		if got := n.Metrics().Counter("flows_completed").Value(); got != 64 {
+			b.Fatalf("completed %d flows", got)
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package simnet
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"videocloud/internal/simtime"
+)
+
+func newNet(t *testing.T) (*simtime.Simulator, *Network) {
+	t.Helper()
+	sim := simtime.NewSimulator()
+	return sim, New(sim)
+}
+
+func TestSingleFlowTime(t *testing.T) {
+	sim, n := newNet(t)
+	n.AddHost("a", 100*MB, 100*MB, 0)
+	n.AddHost("b", 100*MB, 100*MB, 0)
+	var res Result
+	if _, err := n.Transfer("a", "b", 100*MB, func(r Result) { res = r }); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	got := res.Duration().Seconds()
+	if math.Abs(got-1.0) > 0.01 {
+		t.Fatalf("100MB over 100MB/s took %.4fs, want ~1s", got)
+	}
+}
+
+func TestLatencyAdded(t *testing.T) {
+	sim, n := newNet(t)
+	n.AddHost("a", 100*MB, 100*MB, 5*time.Millisecond)
+	n.AddHost("b", 100*MB, 100*MB, 5*time.Millisecond)
+	var res Result
+	n.Transfer("a", "b", 0, func(r Result) { res = r })
+	sim.Run()
+	if res.Duration() != 10*time.Millisecond {
+		t.Fatalf("zero-byte transfer took %v, want 10ms latency", res.Duration())
+	}
+}
+
+func TestEstimateMatchesUncontendedTransfer(t *testing.T) {
+	sim, n := newNet(t)
+	n.AddHost("a", 1*Gbps, 1*Gbps, time.Millisecond)
+	n.AddHost("b", 1*Gbps, 1*Gbps, time.Millisecond)
+	est, err := n.EstimateTransfer("a", "b", 512*MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res Result
+	n.Transfer("a", "b", 512*MB, func(r Result) { res = r })
+	sim.Run()
+	diff := (res.Duration() - est).Seconds()
+	if math.Abs(diff) > 0.001 {
+		t.Fatalf("estimate %v vs actual %v", est, res.Duration())
+	}
+}
+
+func TestBottleneckIsSlowerNIC(t *testing.T) {
+	sim, n := newNet(t)
+	n.AddHost("fast", 100*MB, 100*MB, 0)
+	n.AddHost("slow", 10*MB, 10*MB, 0)
+	var res Result
+	n.Transfer("fast", "slow", 10*MB, func(r Result) { res = r })
+	sim.Run()
+	got := res.Duration().Seconds()
+	if math.Abs(got-1.0) > 0.01 {
+		t.Fatalf("transfer limited by slow ingress took %.3fs, want ~1s", got)
+	}
+}
+
+func TestTwoFlowsShareEgressFairly(t *testing.T) {
+	sim, n := newNet(t)
+	n.AddHost("src", 100*MB, 100*MB, 0)
+	n.AddHost("d1", 100*MB, 100*MB, 0)
+	n.AddHost("d2", 100*MB, 100*MB, 0)
+	var r1, r2 Result
+	n.Transfer("src", "d1", 50*MB, func(r Result) { r1 = r })
+	n.Transfer("src", "d2", 50*MB, func(r Result) { r2 = r })
+	sim.Run()
+	// Each gets 50MB/s of the shared 100MB/s egress: both finish at ~1s.
+	for _, r := range []Result{r1, r2} {
+		if math.Abs(r.Duration().Seconds()-1.0) > 0.02 {
+			t.Fatalf("shared flow took %.3fs, want ~1s", r.Duration().Seconds())
+		}
+	}
+}
+
+func TestShortFlowFreesBandwidthForLongFlow(t *testing.T) {
+	sim, n := newNet(t)
+	n.AddHost("src", 100*MB, 100*MB, 0)
+	n.AddHost("d1", 100*MB, 100*MB, 0)
+	n.AddHost("d2", 100*MB, 100*MB, 0)
+	var long Result
+	n.Transfer("src", "d1", 100*MB, func(r Result) { long = r })
+	n.Transfer("src", "d2", 25*MB, nil)
+	sim.Run()
+	// Short flow: 25MB at 50MB/s = 0.5s. Long flow: 25MB in first 0.5s,
+	// remaining 75MB at full 100MB/s = 0.75s. Total 1.25s.
+	got := long.Duration().Seconds()
+	if math.Abs(got-1.25) > 0.03 {
+		t.Fatalf("long flow took %.3fs, want ~1.25s", got)
+	}
+}
+
+func TestIndependentPairsDoNotInterfere(t *testing.T) {
+	sim, n := newNet(t)
+	n.AddUniformHosts("h", 4, 100*MB, 0)
+	var r1, r2 Result
+	n.Transfer("h0", "h1", 100*MB, func(r Result) { r1 = r })
+	n.Transfer("h2", "h3", 100*MB, func(r Result) { r2 = r })
+	sim.Run()
+	for _, r := range []Result{r1, r2} {
+		if math.Abs(r.Duration().Seconds()-1.0) > 0.01 {
+			t.Fatalf("independent flow took %.3fs, want ~1s", r.Duration().Seconds())
+		}
+	}
+}
+
+func TestCancelStopsFlow(t *testing.T) {
+	sim, n := newNet(t)
+	n.AddHost("a", 100*MB, 100*MB, 0)
+	n.AddHost("b", 100*MB, 100*MB, 0)
+	called := false
+	f, _ := n.Transfer("a", "b", 100*MB, func(Result) { called = true })
+	sim.RunFor(500 * time.Millisecond)
+	if !f.Cancel() {
+		t.Fatal("Cancel reported not in progress")
+	}
+	if f.Cancel() {
+		t.Fatal("double Cancel reported in progress")
+	}
+	sim.Run()
+	if called {
+		t.Fatal("done callback ran for cancelled flow")
+	}
+	if n.ActiveFlows() != 0 {
+		t.Fatalf("ActiveFlows = %d after cancel", n.ActiveFlows())
+	}
+}
+
+func TestCancelBeforeLatencyPhase(t *testing.T) {
+	sim, n := newNet(t)
+	n.AddHost("a", 100*MB, 100*MB, 10*time.Millisecond)
+	n.AddHost("b", 100*MB, 100*MB, 10*time.Millisecond)
+	called := false
+	f, _ := n.Transfer("a", "b", 10*MB, func(Result) { called = true })
+	// Cancel before the propagation delay elapses (flow not yet active).
+	if !f.Cancel() {
+		t.Fatal("Cancel reported not in progress")
+	}
+	sim.Run()
+	if called {
+		t.Fatal("cancelled-before-start flow completed")
+	}
+	if n.ActiveFlows() != 0 {
+		t.Fatalf("ActiveFlows = %d", n.ActiveFlows())
+	}
+}
+
+func TestCancelReleasesBandwidth(t *testing.T) {
+	sim, n := newNet(t)
+	n.AddHost("src", 100*MB, 100*MB, 0)
+	n.AddHost("d1", 100*MB, 100*MB, 0)
+	n.AddHost("d2", 100*MB, 100*MB, 0)
+	var surv Result
+	f, _ := n.Transfer("src", "d1", 100*MB, nil)
+	n.Transfer("src", "d2", 100*MB, func(r Result) { surv = r })
+	sim.RunFor(500 * time.Millisecond)
+	f.Cancel()
+	sim.Run()
+	// Survivor: 25MB in first 0.5s at 50MB/s, then 75MB at 100MB/s = 1.25s.
+	got := surv.Duration().Seconds()
+	if math.Abs(got-1.25) > 0.03 {
+		t.Fatalf("survivor took %.3fs, want ~1.25s", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	_, n := newNet(t)
+	n.AddHost("a", 1*Gbps, 1*Gbps, 0)
+	if _, err := n.Transfer("a", "nope", 1, nil); !errors.Is(err, ErrUnknownHost) {
+		t.Fatalf("err = %v, want ErrUnknownHost", err)
+	}
+	if _, err := n.Transfer("nope", "a", 1, nil); !errors.Is(err, ErrUnknownHost) {
+		t.Fatalf("err = %v, want ErrUnknownHost", err)
+	}
+	if _, err := n.Transfer("a", "a", 1, nil); !errors.Is(err, ErrSameHost) {
+		t.Fatalf("err = %v, want ErrSameHost", err)
+	}
+	if _, err := n.Transfer("a", "a", -5, nil); err == nil {
+		t.Fatal("negative size accepted")
+	}
+	n.AddHost("b", 1*Gbps, 1*Gbps, 0)
+	if _, err := n.Transfer("a", "b", -5, nil); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestAddHostValidation(t *testing.T) {
+	_, n := newNet(t)
+	n.AddHost("a", 1, 1, 0)
+	for _, fn := range []func(){
+		func() { n.AddHost("a", 1, 1, 0) },
+		func() { n.AddHost("", 1, 1, 0) },
+		func() { n.AddHost("x", 0, 1, 0) },
+		func() { n.AddHost("y", 1, -1, 0) },
+		func() { n.AddHost("z", 1, 1, -time.Second) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad AddHost did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestByteAccounting(t *testing.T) {
+	sim, n := newNet(t)
+	a := n.AddHost("a", 1*Gbps, 1*Gbps, 0)
+	b := n.AddHost("b", 1*Gbps, 1*Gbps, 0)
+	n.Transfer("a", "b", 7*MB, nil)
+	n.Transfer("a", "b", 3*MB, nil)
+	sim.Run()
+	if a.Sent() != 10*MB || b.Received() != 10*MB {
+		t.Fatalf("sent=%d received=%d, want 10MB each", a.Sent(), b.Received())
+	}
+	if got := n.Metrics().Counter("bytes_transferred").Value(); got != 10*MB {
+		t.Fatalf("bytes_transferred = %d", got)
+	}
+}
+
+// Property: N equal flows from one source complete in ~N× the single-flow
+// time (work conservation), and total bytes are conserved exactly.
+func TestPropertyWorkConservation(t *testing.T) {
+	f := func(nFlows uint8) bool {
+		k := int(nFlows%8) + 1
+		sim := simtime.NewSimulator()
+		n := New(sim)
+		n.AddHost("src", 100*MB, 100*MB, 0)
+		var last time.Duration
+		for i := 0; i < k; i++ {
+			dst := n.AddHost(string(rune('a'+i)), 100*MB, 100*MB, 0)
+			n.Transfer("src", dst.Name, 10*MB, func(r Result) {
+				if r.End > last {
+					last = r.End
+				}
+			})
+		}
+		sim.Run()
+		want := float64(k) * 0.1 // k*10MB over 100MB/s egress
+		if math.Abs(last.Seconds()-want) > want*0.05+0.01 {
+			return false
+		}
+		return n.Host("src").Sent() == int64(k)*10*MB
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: EstimateTransfer is a lower bound on (or equal to) any actual
+// contended transfer time.
+func TestPropertyEstimateIsLowerBound(t *testing.T) {
+	f := func(sz uint32, extra uint8) bool {
+		bytes := int64(sz%100+1) * MB
+		k := int(extra % 4)
+		sim := simtime.NewSimulator()
+		n := New(sim)
+		n.AddUniformHosts("h", 3+k, 50*MB, time.Millisecond)
+		est, _ := n.EstimateTransfer("h0", "h1", bytes)
+		var res Result
+		n.Transfer("h0", "h1", bytes, func(r Result) { res = r })
+		for i := 0; i < k; i++ {
+			n.Transfer("h0", n.Hosts()[2+i].Name, 20*MB, nil)
+		}
+		sim.Run()
+		return res.Duration() >= est-time.Millisecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,36 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkScheduleRun measures raw event throughput of the DES kernel.
+func BenchmarkScheduleRun(b *testing.B) {
+	s := NewSimulator()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(time.Duration(i%1000)*time.Microsecond, func() {})
+		if i%1024 == 1023 {
+			s.Run()
+		}
+	}
+	s.Run()
+}
+
+// BenchmarkNestedScheduling measures the self-rescheduling pattern the
+// migration rounds use.
+func BenchmarkNestedScheduling(b *testing.B) {
+	s := NewSimulator()
+	remaining := b.N
+	var step func()
+	step = func() {
+		remaining--
+		if remaining > 0 {
+			s.Schedule(time.Microsecond, step)
+		}
+	}
+	b.ResetTimer()
+	s.Schedule(0, step)
+	s.Run()
+}

@@ -1,0 +1,240 @@
+package simtime
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	s := NewSimulator()
+	var got []int
+	s.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	s.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	s.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Fatalf("clock = %v, want 30ms", s.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := NewSimulator()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	s := NewSimulator()
+	s.RunUntil(5 * time.Second)
+	fired := time.Duration(-1)
+	s.Schedule(-time.Hour, func() { fired = s.Now() })
+	s.Run()
+	if fired != 5*time.Second {
+		t.Fatalf("negative delay fired at %v, want 5s", fired)
+	}
+}
+
+func TestScheduleAtPastClamped(t *testing.T) {
+	s := NewSimulator()
+	s.RunUntil(10 * time.Second)
+	var at time.Duration
+	s.ScheduleAt(3*time.Second, func() { at = s.Now() })
+	s.Run()
+	if at != 10*time.Second {
+		t.Fatalf("past ScheduleAt fired at %v, want clamp to 10s", at)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := NewSimulator()
+	fired := false
+	ev := s.Schedule(time.Second, func() { fired = true })
+	if !ev.Cancel() {
+		t.Fatal("Cancel reported not pending")
+	}
+	if ev.Cancel() {
+		t.Fatal("second Cancel reported pending")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelFromEarlierEvent(t *testing.T) {
+	s := NewSimulator()
+	fired := false
+	later := s.Schedule(2*time.Second, func() { fired = true })
+	s.Schedule(time.Second, func() { later.Cancel() })
+	s.Run()
+	if fired {
+		t.Fatal("event cancelled mid-run still fired")
+	}
+}
+
+func TestEvery(t *testing.T) {
+	s := NewSimulator()
+	n := 0
+	var ev *Event
+	ev = s.Every(time.Second, func() {
+		n++
+		if n == 5 {
+			ev.Cancel()
+		}
+	})
+	s.RunUntil(time.Minute)
+	if n != 5 {
+		t.Fatalf("periodic fired %d times, want 5", n)
+	}
+	if s.Now() != time.Minute {
+		t.Fatalf("RunUntil left clock at %v", s.Now())
+	}
+}
+
+func TestEveryPanicsOnZeroPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every(0) did not panic")
+		}
+	}()
+	NewSimulator().Every(0, func() {})
+}
+
+func TestRunUntilAdvancesClockWithoutEvents(t *testing.T) {
+	s := NewSimulator()
+	s.RunUntil(42 * time.Second)
+	if s.Now() != 42*time.Second {
+		t.Fatalf("Now() = %v", s.Now())
+	}
+}
+
+func TestRunForIsRelative(t *testing.T) {
+	s := NewSimulator()
+	s.RunUntil(10 * time.Second)
+	fired := false
+	s.Schedule(5*time.Second, func() { fired = true })
+	s.RunFor(4 * time.Second)
+	if fired {
+		t.Fatal("event fired too early")
+	}
+	s.RunFor(time.Second)
+	if !fired {
+		t.Fatal("event did not fire at its time")
+	}
+}
+
+func TestRunWhile(t *testing.T) {
+	s := NewSimulator()
+	n := 0
+	for i := 0; i < 100; i++ {
+		s.Schedule(time.Duration(i)*time.Second, func() { n++ })
+	}
+	s.RunWhile(func() bool { return n < 10 })
+	if n != 10 {
+		t.Fatalf("RunWhile ran %d events, want 10", n)
+	}
+	if s.Pending() != 90 {
+		t.Fatalf("pending = %d, want 90", s.Pending())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := NewSimulator()
+	var order []string
+	s.Schedule(time.Second, func() {
+		order = append(order, "a")
+		s.Schedule(time.Second, func() { order = append(order, "c") })
+		s.Schedule(0, func() { order = append(order, "b") })
+	})
+	s.Run()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// Property: regardless of insertion order, events fire sorted by time, and
+// same-time events fire in insertion order.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(seed int64, raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 200 {
+			raw = raw[:200]
+		}
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSimulator()
+		type stamp struct {
+			at  time.Duration
+			seq int
+		}
+		var fired []stamp
+		for i, r := range raw {
+			d := time.Duration(r%1000) * time.Millisecond
+			i := i
+			s.Schedule(d, func() { fired = append(fired, stamp{s.Now(), i}) })
+			// Occasionally interleave a step to exercise mid-run inserts.
+			if rng.Intn(4) == 0 {
+				s.Step()
+			}
+		}
+		s.Run()
+		if len(fired) != len(raw) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool {
+			if fired[i].at != fired[j].at {
+				return fired[i].at < fired[j].at
+			}
+			return i < j
+		})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []time.Duration {
+		s := NewSimulator()
+		rng := rand.New(rand.NewSource(7))
+		var log []time.Duration
+		var rec func()
+		rec = func() {
+			log = append(log, s.Now())
+			if len(log) < 50 {
+				s.Schedule(time.Duration(rng.Intn(1000))*time.Millisecond, rec)
+			}
+		}
+		s.Schedule(0, rec)
+		s.Run()
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

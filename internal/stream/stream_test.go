@@ -1,0 +1,146 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"videocloud/internal/fusebridge"
+	"videocloud/internal/hdfs"
+)
+
+// server serves one file from HDFS through the fuse mount.
+func server(t *testing.T, data []byte) (*httptest.Server, []byte) {
+	t.Helper()
+	c := hdfs.NewCluster(3, 64*1024)
+	m, err := fusebridge.New(c.Client(""), "/videos", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteFile("v.vcf", data); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rd, err := m.OpenSeeker("v.vcf")
+		if err != nil {
+			http.NotFound(w, r)
+			return
+		}
+		Serve(w, r, "v.vcf", rd)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, data
+}
+
+func payload(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i * 7)
+	}
+	return b
+}
+
+func TestProbe(t *testing.T) {
+	srv, data := server(t, payload(300000))
+	p := &Player{}
+	size, err := p.Probe(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != int64(len(data)) {
+		t.Fatalf("size = %d, want %d", size, len(data))
+	}
+}
+
+func TestFetchRange(t *testing.T) {
+	srv, data := server(t, payload(300000))
+	p := &Player{}
+	got, err := p.FetchRange(srv.URL, 100000, 100099)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data[100000:100100]) {
+		t.Fatal("range bytes wrong")
+	}
+	// Tail range.
+	got, err = p.FetchRange(srv.URL, int64(len(data)-10), int64(len(data)-1))
+	if err != nil || len(got) != 10 {
+		t.Fatalf("tail range: %v (%d bytes)", err, len(got))
+	}
+}
+
+func TestPlayWithSeeks(t *testing.T) {
+	srv, data := server(t, payload(1_000_000))
+	p := &Player{ChunkBytes: 64 << 10}
+	rep, err := p.Play(srv.URL, []float64{0.5, 0.9, 0.1}, func(off int64, chunk []byte) error {
+		if !bytes.Equal(chunk, data[off:off+int64(len(chunk))]) {
+			t.Fatalf("content mismatch at %d", off)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Seeks != 3 {
+		t.Fatalf("seeks = %d", rep.Seeks)
+	}
+	if rep.Requests != 5 { // probe + startup + 3 seeks
+		t.Fatalf("requests = %d", rep.Requests)
+	}
+	// Progressive download fetched far less than the whole file — the
+	// point of a seekable time bar: "not necessary to view from the very
+	// beginning to the end".
+	if rep.BytesFetched >= rep.Size/2 {
+		t.Fatalf("fetched %d of %d despite seeking", rep.BytesFetched, rep.Size)
+	}
+}
+
+func TestPlayValidation(t *testing.T) {
+	srv, _ := server(t, payload(100000))
+	p := &Player{}
+	if _, err := p.Play(srv.URL, []float64{1.5}, nil); err == nil {
+		t.Fatal("bad seek fraction accepted")
+	}
+	if _, err := p.Play(srv.URL, []float64{-0.1}, nil); err == nil {
+		t.Fatal("negative seek accepted")
+	}
+}
+
+func TestNoRangeSupportDetected(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("plain body, no ranges"))
+	}))
+	defer srv.Close()
+	p := &Player{}
+	if _, err := p.Probe(srv.URL); !errors.Is(err, ErrNoRangeSupport) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStreamingSurvivesDataNodeDeath(t *testing.T) {
+	c := hdfs.NewCluster(3, 64*1024)
+	m, _ := fusebridge.New(c.Client(""), "/videos", 3)
+	data := payload(500000)
+	m.WriteFile("v.vcf", data)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rd, _ := m.OpenSeeker("v.vcf")
+		Serve(w, r, "v.vcf", rd)
+	}))
+	defer srv.Close()
+	c.KillDataNode("dn0")
+	p := &Player{}
+	rep, err := p.Play(srv.URL, []float64{0.7}, func(off int64, chunk []byte) error {
+		if !bytes.Equal(chunk, data[off:off+int64(len(chunk))]) {
+			return errors.New("content mismatch")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("playback after node death: %v", err)
+	}
+	if rep.Size != int64(len(data)) {
+		t.Fatalf("size = %d", rep.Size)
+	}
+}

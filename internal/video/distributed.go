@@ -1,0 +1,159 @@
+package video
+
+import (
+	"fmt"
+	"time"
+)
+
+// Farm is the distributed conversion service of Figure 16: "we use FFmpeg to
+// distribute videos to different hosts for uploading, transfer files at the
+// same time and later integrate with the previous. It takes even less
+// execution time than transferring files by FFmpeg on a single node."
+//
+// Conversion work is real (every byte is rewritten); the reported duration
+// comes from a list schedule of segment tasks over node slots plus the
+// scatter/gather network cost, so the speedup curve of experiment E2 is
+// deterministic and hardware-independent.
+type Farm struct {
+	// Nodes are the worker names; one conversion slot each (FFmpeg
+	// pegs a core per encode).
+	Nodes []string
+	// NodeSpeed is each node's compute factor (default 1.0).
+	NodeSpeed float64
+	// NetBandwidth models segment scatter/gather transfers in
+	// bytes/second (default 1 GbE).
+	NetBandwidth float64
+	// SegmentsPerNode controls split granularity: the file is cut into
+	// len(Nodes)*SegmentsPerNode segments (default 2 — finer grain evens
+	// out the last-segment straggler).
+	SegmentsPerNode int
+}
+
+func (f Farm) nodeSpeed() float64 {
+	if f.NodeSpeed <= 0 {
+		return 1.0
+	}
+	return f.NodeSpeed
+}
+
+func (f Farm) netBandwidth() float64 {
+	if f.NetBandwidth <= 0 {
+		return 125e6
+	}
+	return f.NetBandwidth
+}
+
+// SegmentStat records one converted segment.
+type SegmentStat struct {
+	Node    string
+	GOPs    int
+	InBytes int64
+	Start   time.Duration
+	End     time.Duration
+}
+
+// FarmResult reports a distributed conversion.
+type FarmResult struct {
+	Output []byte
+	Info   Info
+	// Duration is the modelled wall time of the parallel conversion:
+	// scatter + max over nodes of compute + gather + merge.
+	Duration time.Duration
+	// SingleNodeDuration is the modelled time one node would need (the
+	// baseline the paper compares against).
+	SingleNodeDuration time.Duration
+	Segments           []SegmentStat
+}
+
+// Speedup returns SingleNodeDuration / Duration.
+func (r *FarmResult) Speedup() float64 {
+	if r.Duration == 0 {
+		return 0
+	}
+	return float64(r.SingleNodeDuration) / float64(r.Duration)
+}
+
+// Convert runs the split → parallel transcode → merge pipeline.
+func (f Farm) Convert(data []byte, target Spec) (*FarmResult, error) {
+	if len(f.Nodes) == 0 {
+		return nil, fmt.Errorf("video: farm with no nodes")
+	}
+	info, _, err := Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	perNode := f.SegmentsPerNode
+	if perNode <= 0 {
+		perNode = 2
+	}
+	segments, err := Split(data, len(f.Nodes)*perNode)
+	if err != nil {
+		return nil, err
+	}
+	tr := Transcoder{Speed: f.nodeSpeed()}
+
+	// One slot per node; segments scheduled longest-first onto the
+	// earliest-free node (LPT list scheduling, what a work queue
+	// converges to).
+	type slot struct {
+		name string
+		free time.Duration
+	}
+	slots := make([]*slot, len(f.Nodes))
+	for i, n := range f.Nodes {
+		slots[i] = &slot{name: n}
+	}
+	converted := make([][]byte, len(segments))
+	var stats []SegmentStat
+	var makespan time.Duration
+	for i, seg := range segments {
+		segInfo, segGOPs, perr := Parse(seg)
+		if perr != nil {
+			return nil, perr
+		}
+		res, cerr := tr.Convert(seg, target)
+		if cerr != nil {
+			return nil, cerr
+		}
+		converted[i] = res.Output
+		// Scatter this segment to the node and gather the result.
+		xfer := time.Duration((float64(len(seg)) + float64(len(res.Output))) /
+			f.netBandwidth() * float64(time.Second))
+		cost := res.CPUTime + xfer
+		s := slots[0]
+		for _, cand := range slots[1:] {
+			if cand.free < s.free || (cand.free == s.free && cand.name < s.name) {
+				s = cand
+			}
+		}
+		start := s.free
+		s.free += cost
+		if s.free > makespan {
+			makespan = s.free
+		}
+		stats = append(stats, SegmentStat{
+			Node: s.name, GOPs: len(segGOPs), InBytes: int64(len(seg)),
+			Start: start, End: s.free,
+		})
+		_ = segInfo
+	}
+	merged, err := Merge(converted)
+	if err != nil {
+		return nil, err
+	}
+	outInfo, _, err := Parse(merged)
+	if err != nil {
+		return nil, err
+	}
+	// Merge cost: re-writing the output once at disk speed.
+	mergeCost := time.Duration(float64(len(merged)) / 120e6 * float64(time.Second))
+
+	single := CostSeconds(info.Spec, target, float64(info.DurationSeconds)) / f.nodeSpeed()
+	return &FarmResult{
+		Output:             merged,
+		Info:               outInfo,
+		Duration:           makespan + mergeCost,
+		SingleNodeDuration: time.Duration(single * float64(time.Second)),
+		Segments:           stats,
+	}, nil
+}

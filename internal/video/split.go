@@ -1,0 +1,114 @@
+package video
+
+import (
+	"fmt"
+)
+
+// This file implements Figure 16: "how films [are] transferred and divided
+// after uploading, and later assembled in integration stage". Splitting cuts
+// at GOP boundaries (each GOP decodes independently, so segments are valid
+// media files), and merging restores a container bit-identical to what
+// whole-file conversion would have produced.
+
+// Split cuts a media file into up to n segments of whole GOPs, as evenly as
+// possible. Fewer segments are returned when the file has fewer GOPs than n.
+// Each segment is a self-contained container preserving its global GOP
+// indices (Info.FirstGOP).
+func Split(data []byte, n int) ([][]byte, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("video: split into %d segments", n)
+	}
+	info, gops, err := Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	if n > len(gops) {
+		n = len(gops)
+	}
+	var segments [][]byte
+	per := len(gops) / n
+	extra := len(gops) % n
+	start := 0
+	for s := 0; s < n; s++ {
+		count := per
+		if s < extra {
+			count++
+		}
+		end := start + count
+		segInfo := Info{
+			Spec:            info.Spec,
+			DurationSeconds: segmentDuration(info, start, end),
+			GOPs:            count,
+			FirstGOP:        start,
+		}
+		out := appendHeader(nil, segInfo)
+		for _, g := range gops[start:end] {
+			out = appendGOP(out, g.index, data[g.payload:g.payload+g.length])
+		}
+		segments = append(segments, out)
+		start = end
+	}
+	return segments, nil
+}
+
+// segmentDuration is the play time covered by GOPs [start, end): full GOPs
+// except that the file's final GOP may be shorter.
+func segmentDuration(info Info, start, end int) int {
+	d := (end - start) * info.Spec.GOPSeconds
+	if end == info.GOPs {
+		full := (info.GOPs - 1) * info.Spec.GOPSeconds
+		last := info.DurationSeconds - full
+		d = (end-start-1)*info.Spec.GOPSeconds + last
+	}
+	return d
+}
+
+// Merge reassembles segments (in any order) into one container. Segments
+// must share a spec and cover a contiguous GOP range starting at 0.
+func Merge(segments [][]byte) ([]byte, error) {
+	if len(segments) == 0 {
+		return nil, fmt.Errorf("video: merge of zero segments")
+	}
+	type seg struct {
+		info Info
+		gops []gopRange
+		data []byte
+	}
+	parsed := make([]seg, len(segments))
+	for i, s := range segments {
+		info, gops, err := Parse(s)
+		if err != nil {
+			return nil, fmt.Errorf("video: segment %d: %w", i, err)
+		}
+		parsed[i] = seg{info: info, gops: gops, data: s}
+	}
+	// Order by FirstGOP.
+	for i := range parsed {
+		for j := i + 1; j < len(parsed); j++ {
+			if parsed[j].info.FirstGOP < parsed[i].info.FirstGOP {
+				parsed[i], parsed[j] = parsed[j], parsed[i]
+			}
+		}
+	}
+	spec := parsed[0].info.Spec
+	totalGOPs, totalDur := 0, 0
+	for i, s := range parsed {
+		if s.info.Spec != spec {
+			return nil, fmt.Errorf("video: segment %d spec mismatch", i)
+		}
+		if s.info.FirstGOP != totalGOPs {
+			return nil, fmt.Errorf("video: GOP gap at segment %d: have %d, want %d",
+				i, s.info.FirstGOP, totalGOPs)
+		}
+		totalGOPs += s.info.GOPs
+		totalDur += s.info.DurationSeconds
+	}
+	outInfo := Info{Spec: spec, DurationSeconds: totalDur, GOPs: totalGOPs}
+	out := appendHeader(nil, outInfo)
+	for _, s := range parsed {
+		for _, g := range s.gops {
+			out = appendGOP(out, g.index, s.data[g.payload:g.payload+g.length])
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,64 @@
+package videodb
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchDB(b *testing.B, rows int) *DB {
+	b.Helper()
+	db := New()
+	if err := db.CreateTable("videos",
+		Column{Name: "title", Type: TString},
+		Column{Name: "uploader", Type: TInt, Indexed: true},
+	); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		if _, err := db.Insert("videos", Row{
+			"title": fmt.Sprintf("video %d cloud dance", i), "uploader": int64(i % 100),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+// BenchmarkInsert measures typed-row insertion with index maintenance.
+func BenchmarkInsert(b *testing.B) {
+	db := New()
+	db.CreateTable("videos",
+		Column{Name: "title", Type: TString},
+		Column{Name: "uploader", Type: TInt, Indexed: true},
+	)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Insert("videos", Row{"title": "t", "uploader": int64(i % 100)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIndexedSelect measures hash-index equality lookup on 10k rows.
+func BenchmarkIndexedSelect(b *testing.B) {
+	db := benchDB(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := db.Select("videos", "uploader", int64(i%100))
+		if err != nil || len(rows) == 0 {
+			b.Fatal("lookup failed")
+		}
+	}
+}
+
+// BenchmarkSubstringScan measures the LIKE-scan baseline on 10k rows.
+func BenchmarkSubstringScan(b *testing.B) {
+	db := benchDB(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := db.ScanSubstring("videos", "title", "dance")
+		if err != nil || len(rows) == 0 {
+			b.Fatal("scan failed")
+		}
+	}
+}

@@ -1,0 +1,398 @@
+// Package videodb is the MySQL stand-in of the paper's §IV: "we use MySQL
+// in database to store a user's account, passwords, and film information."
+//
+// It is a small embedded relational store: typed columns, auto-increment
+// primary keys, unique constraints, hash secondary indexes for equality
+// lookups, and full-table scans with predicates. The scan path doubles as
+// the experiment E4 baseline — "the traditional way which searches directly
+// in the database" that the cloud search engine is compared against.
+package videodb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ColType is a column's type.
+type ColType int
+
+// Column types.
+const (
+	TInt ColType = iota
+	TString
+	TBool
+	TFloat
+)
+
+// String implements fmt.Stringer.
+func (t ColType) String() string {
+	switch t {
+	case TInt:
+		return "int"
+	case TString:
+		return "string"
+	case TBool:
+		return "bool"
+	case TFloat:
+		return "float"
+	default:
+		return fmt.Sprintf("ColType(%d)", int(t))
+	}
+}
+
+// Column declares one field of a table.
+type Column struct {
+	Name string
+	Type ColType
+	// Unique enforces per-column uniqueness (e.g. usernames).
+	Unique bool
+	// Indexed builds a hash index for fast equality Select.
+	Indexed bool
+}
+
+// Row maps column names to values. The primary key is the reserved column
+// "id" (int64), assigned on insert.
+type Row map[string]any
+
+// Errors returned by the store.
+var (
+	ErrNoTable      = errors.New("videodb: no such table")
+	ErrTableExists  = errors.New("videodb: table exists")
+	ErrNoRow        = errors.New("videodb: no such row")
+	ErrBadColumn    = errors.New("videodb: unknown column")
+	ErrTypeMismatch = errors.New("videodb: value type mismatch")
+	ErrUnique       = errors.New("videodb: unique constraint violation")
+)
+
+type table struct {
+	name    string
+	cols    map[string]Column
+	order   []string
+	rows    map[int64]Row
+	nextID  int64
+	indexes map[string]map[any][]int64 // col -> value -> ids
+}
+
+// DB is an embedded multi-table store, safe for concurrent use.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*table
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{tables: make(map[string]*table)}
+}
+
+// CreateTable declares a table. The "id" primary key is implicit and must
+// not be declared.
+func (db *DB) CreateTable(name string, cols ...Column) error {
+	if name == "" {
+		return fmt.Errorf("videodb: empty table name")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.tables[name]; dup {
+		return fmt.Errorf("%w: %q", ErrTableExists, name)
+	}
+	t := &table{
+		name:    name,
+		cols:    make(map[string]Column, len(cols)),
+		rows:    make(map[int64]Row),
+		indexes: make(map[string]map[any][]int64),
+	}
+	for _, c := range cols {
+		if c.Name == "" || c.Name == "id" {
+			return fmt.Errorf("videodb: bad column name %q", c.Name)
+		}
+		if _, dup := t.cols[c.Name]; dup {
+			return fmt.Errorf("videodb: duplicate column %q", c.Name)
+		}
+		t.cols[c.Name] = c
+		t.order = append(t.order, c.Name)
+		if c.Unique || c.Indexed {
+			t.indexes[c.Name] = make(map[any][]int64)
+		}
+	}
+	db.tables[name] = t
+	return nil
+}
+
+func (db *DB) table(name string) (*table, error) {
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, name)
+	}
+	return t, nil
+}
+
+func (t *table) checkValue(col string, v any) error {
+	c, ok := t.cols[col]
+	if !ok {
+		return fmt.Errorf("%w: %s.%s", ErrBadColumn, t.name, col)
+	}
+	okType := false
+	switch c.Type {
+	case TInt:
+		_, okType = v.(int64)
+	case TString:
+		_, okType = v.(string)
+	case TBool:
+		_, okType = v.(bool)
+	case TFloat:
+		_, okType = v.(float64)
+	}
+	if !okType {
+		return fmt.Errorf("%w: %s.%s wants %v, got %T", ErrTypeMismatch, t.name, col, c.Type, v)
+	}
+	return nil
+}
+
+// Insert adds a row and returns its assigned id. Missing columns default to
+// zero values; unknown columns or wrong types fail.
+func (db *DB) Insert(tableName string, row Row) (int64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.table(tableName)
+	if err != nil {
+		return 0, err
+	}
+	full := make(Row, len(t.cols))
+	for col, v := range row {
+		if err := t.checkValue(col, v); err != nil {
+			return 0, err
+		}
+		full[col] = v
+	}
+	for _, col := range t.order {
+		if _, ok := full[col]; ok {
+			continue
+		}
+		switch t.cols[col].Type {
+		case TInt:
+			full[col] = int64(0)
+		case TString:
+			full[col] = ""
+		case TBool:
+			full[col] = false
+		case TFloat:
+			full[col] = float64(0)
+		}
+	}
+	for col := range t.indexes {
+		if t.cols[col].Unique {
+			if ids := t.indexes[col][full[col]]; len(ids) > 0 {
+				return 0, fmt.Errorf("%w: %s.%s = %v", ErrUnique, t.name, col, full[col])
+			}
+		}
+	}
+	t.nextID++
+	id := t.nextID
+	full["id"] = id
+	t.rows[id] = full
+	for col, idx := range t.indexes {
+		idx[full[col]] = append(idx[full[col]], id)
+	}
+	return id, nil
+}
+
+// Get returns a copy of the row with the given id.
+func (db *DB) Get(tableName string, id int64) (Row, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, err := db.table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	row, ok := t.rows[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s[%d]", ErrNoRow, tableName, id)
+	}
+	return copyRow(row), nil
+}
+
+func copyRow(r Row) Row {
+	out := make(Row, len(r))
+	for k, v := range r {
+		out[k] = v
+	}
+	return out
+}
+
+// Update overwrites the given columns of a row.
+func (db *DB) Update(tableName string, id int64, changes Row) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.table(tableName)
+	if err != nil {
+		return err
+	}
+	row, ok := t.rows[id]
+	if !ok {
+		return fmt.Errorf("%w: %s[%d]", ErrNoRow, tableName, id)
+	}
+	for col, v := range changes {
+		if err := t.checkValue(col, v); err != nil {
+			return err
+		}
+	}
+	// Unique checks against other rows.
+	for col, v := range changes {
+		if !t.cols[col].Unique {
+			continue
+		}
+		for _, other := range t.indexes[col][v] {
+			if other != id {
+				return fmt.Errorf("%w: %s.%s = %v", ErrUnique, t.name, col, v)
+			}
+		}
+	}
+	for col, v := range changes {
+		if idx, ok := t.indexes[col]; ok {
+			old := row[col]
+			idx[old] = removeID(idx[old], id)
+			if len(idx[old]) == 0 {
+				delete(idx, old)
+			}
+			idx[v] = append(idx[v], id)
+		}
+		row[col] = v
+	}
+	return nil
+}
+
+func removeID(ids []int64, id int64) []int64 {
+	out := ids[:0]
+	for _, x := range ids {
+		if x != id {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Delete removes a row.
+func (db *DB) Delete(tableName string, id int64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.table(tableName)
+	if err != nil {
+		return err
+	}
+	row, ok := t.rows[id]
+	if !ok {
+		return fmt.Errorf("%w: %s[%d]", ErrNoRow, tableName, id)
+	}
+	for col, idx := range t.indexes {
+		v := row[col]
+		idx[v] = removeID(idx[v], id)
+		if len(idx[v]) == 0 {
+			delete(idx, v)
+		}
+	}
+	delete(t.rows, id)
+	return nil
+}
+
+// Select returns rows where col == value, using the hash index when one
+// exists, else scanning. Results are sorted by id.
+func (db *DB) Select(tableName, col string, value any) ([]Row, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, err := db.table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	if col != "id" {
+		if err := t.checkValue(col, value); err != nil {
+			return nil, err
+		}
+	}
+	var ids []int64
+	if idx, ok := t.indexes[col]; ok {
+		ids = append(ids, idx[value]...)
+	} else {
+		for id, row := range t.rows {
+			if row[col] == value {
+				ids = append(ids, id)
+			}
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]Row, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, copyRow(t.rows[id]))
+	}
+	return out, nil
+}
+
+// SelectOne returns the single row where col == value, or ErrNoRow.
+func (db *DB) SelectOne(tableName, col string, value any) (Row, error) {
+	rows, err := db.Select(tableName, col, value)
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("%w: %s where %s = %v", ErrNoRow, tableName, col, value)
+	}
+	return rows[0], nil
+}
+
+// Scan returns every row matching the predicate, sorted by id — a full
+// table scan, the query plan MySQL falls back to for LIKE '%word%' filters.
+func (db *DB) Scan(tableName string, pred func(Row) bool) ([]Row, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, err := db.table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]int64, 0, len(t.rows))
+	for id := range t.rows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var out []Row
+	for _, id := range ids {
+		if pred(t.rows[id]) {
+			out = append(out, copyRow(t.rows[id]))
+		}
+	}
+	return out, nil
+}
+
+// ScanSubstring is the E4 baseline query: SELECT * FROM t WHERE col LIKE
+// '%needle%' (case-insensitive), necessarily a full scan.
+func (db *DB) ScanSubstring(tableName, col, needle string) ([]Row, error) {
+	lower := strings.ToLower(needle)
+	return db.Scan(tableName, func(r Row) bool {
+		s, ok := r[col].(string)
+		return ok && strings.Contains(strings.ToLower(s), lower)
+	})
+}
+
+// Count returns the number of rows in a table.
+func (db *DB) Count(tableName string) (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, err := db.table(tableName)
+	if err != nil {
+		return 0, err
+	}
+	return len(t.rows), nil
+}
+
+// Tables lists table names, sorted.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for name := range db.tables {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

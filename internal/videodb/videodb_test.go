@@ -1,0 +1,269 @@
+package videodb
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func usersDB(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	err := db.CreateTable("users",
+		Column{Name: "username", Type: TString, Unique: true},
+		Column{Name: "password_hash", Type: TString},
+		Column{Name: "email", Type: TString},
+		Column{Name: "blocked", Type: TBool, Indexed: true},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestInsertGet(t *testing.T) {
+	db := usersDB(t)
+	id, err := db.Insert("users", Row{"username": "alice", "email": "a@x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := db.Get("users", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row["username"] != "alice" || row["email"] != "a@x" {
+		t.Fatalf("row = %v", row)
+	}
+	// Defaults applied.
+	if row["blocked"] != false || row["password_hash"] != "" {
+		t.Fatalf("defaults = %v", row)
+	}
+	// Returned row is a copy.
+	row["username"] = "mallory"
+	again, _ := db.Get("users", id)
+	if again["username"] != "alice" {
+		t.Fatal("Get aliases storage")
+	}
+}
+
+func TestAutoIncrementIDs(t *testing.T) {
+	db := usersDB(t)
+	a, _ := db.Insert("users", Row{"username": "a"})
+	b, _ := db.Insert("users", Row{"username": "b"})
+	if b != a+1 {
+		t.Fatalf("ids %d, %d", a, b)
+	}
+	db.Delete("users", b)
+	c, _ := db.Insert("users", Row{"username": "c"})
+	if c <= b {
+		t.Fatalf("id reused after delete: %d", c)
+	}
+}
+
+func TestUniqueConstraint(t *testing.T) {
+	db := usersDB(t)
+	db.Insert("users", Row{"username": "alice"})
+	if _, err := db.Insert("users", Row{"username": "alice"}); !errors.Is(err, ErrUnique) {
+		t.Fatalf("err = %v", err)
+	}
+	// Unique also enforced on update.
+	id, _ := db.Insert("users", Row{"username": "bob"})
+	if err := db.Update("users", id, Row{"username": "alice"}); !errors.Is(err, ErrUnique) {
+		t.Fatalf("update err = %v", err)
+	}
+	// Updating to own value is fine.
+	if err := db.Update("users", id, Row{"username": "bob"}); err != nil {
+		t.Fatal(err)
+	}
+	// After delete, the name is free again.
+	alice, _ := db.SelectOne("users", "username", "alice")
+	db.Delete("users", alice["id"].(int64))
+	if _, err := db.Insert("users", Row{"username": "alice"}); err != nil {
+		t.Fatalf("reuse after delete: %v", err)
+	}
+}
+
+func TestTypeChecking(t *testing.T) {
+	db := usersDB(t)
+	if _, err := db.Insert("users", Row{"username": 42}); !errors.Is(err, ErrTypeMismatch) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := db.Insert("users", Row{"nonexistent": "x"}); !errors.Is(err, ErrBadColumn) {
+		t.Fatalf("err = %v", err)
+	}
+	id, _ := db.Insert("users", Row{"username": "ok"})
+	if err := db.Update("users", id, Row{"blocked": "yes"}); !errors.Is(err, ErrTypeMismatch) {
+		t.Fatalf("update err = %v", err)
+	}
+}
+
+func TestSelectByIndex(t *testing.T) {
+	db := usersDB(t)
+	for i := 0; i < 10; i++ {
+		db.Insert("users", Row{"username": fmt.Sprintf("u%d", i), "blocked": i%2 == 0})
+	}
+	blocked, err := db.Select("users", "blocked", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocked) != 5 {
+		t.Fatalf("%d blocked", len(blocked))
+	}
+	// Sorted by id.
+	for i := 1; i < len(blocked); i++ {
+		if blocked[i]["id"].(int64) <= blocked[i-1]["id"].(int64) {
+			t.Fatal("not sorted by id")
+		}
+	}
+	// Select on unindexed column falls back to scan.
+	byEmail, err := db.Select("users", "email", "")
+	if err != nil || len(byEmail) != 10 {
+		t.Fatalf("scan select: %v, %d rows", err, len(byEmail))
+	}
+}
+
+func TestSelectOne(t *testing.T) {
+	db := usersDB(t)
+	db.Insert("users", Row{"username": "alice"})
+	row, err := db.SelectOne("users", "username", "alice")
+	if err != nil || row["username"] != "alice" {
+		t.Fatalf("%v %v", err, row)
+	}
+	if _, err := db.SelectOne("users", "username", "ghost"); !errors.Is(err, ErrNoRow) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUpdateMaintainsIndexes(t *testing.T) {
+	db := usersDB(t)
+	id, _ := db.Insert("users", Row{"username": "alice", "blocked": false})
+	db.Update("users", id, Row{"blocked": true})
+	rows, _ := db.Select("users", "blocked", true)
+	if len(rows) != 1 {
+		t.Fatalf("index not updated: %v", rows)
+	}
+	rows, _ = db.Select("users", "blocked", false)
+	if len(rows) != 0 {
+		t.Fatalf("stale index entry: %v", rows)
+	}
+}
+
+func TestDeleteAndErrors(t *testing.T) {
+	db := usersDB(t)
+	id, _ := db.Insert("users", Row{"username": "alice"})
+	if err := db.Delete("users", id); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete("users", id); !errors.Is(err, ErrNoRow) {
+		t.Fatalf("double delete: %v", err)
+	}
+	if _, err := db.Get("users", id); !errors.Is(err, ErrNoRow) {
+		t.Fatalf("get deleted: %v", err)
+	}
+	if _, err := db.Get("ghosts", 1); !errors.Is(err, ErrNoTable) {
+		t.Fatalf("ghost table: %v", err)
+	}
+	if err := db.CreateTable("users"); !errors.Is(err, ErrTableExists) {
+		t.Fatalf("dup table: %v", err)
+	}
+	if err := db.CreateTable("bad", Column{Name: "id", Type: TInt}); err == nil {
+		t.Fatal("reserved column accepted")
+	}
+	if err := db.CreateTable("bad2", Column{Name: "x", Type: TInt}, Column{Name: "x", Type: TInt}); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+}
+
+func TestScanSubstring(t *testing.T) {
+	db := New()
+	db.CreateTable("videos",
+		Column{Name: "title", Type: TString},
+		Column{Name: "uploader", Type: TString, Indexed: true},
+	)
+	titles := []string{"Nobody MV", "Cloud lecture", "My holiday", "NOBODY dance cover", "cooking"}
+	for _, title := range titles {
+		db.Insert("videos", Row{"title": title, "uploader": "u"})
+	}
+	rows, err := db.ScanSubstring("videos", "title", "nobody")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("LIKE scan found %d rows", len(rows))
+	}
+	rows, _ = db.ScanSubstring("videos", "title", "zzz")
+	if len(rows) != 0 {
+		t.Fatal("false positives")
+	}
+}
+
+func TestCountAndTables(t *testing.T) {
+	db := usersDB(t)
+	db.CreateTable("videos", Column{Name: "title", Type: TString})
+	db.Insert("users", Row{"username": "a"})
+	db.Insert("users", Row{"username": "b"})
+	n, err := db.Count("users")
+	if err != nil || n != 2 {
+		t.Fatalf("Count = %d, %v", n, err)
+	}
+	tabs := db.Tables()
+	if len(tabs) != 2 || tabs[0] != "users" || tabs[1] != "videos" {
+		t.Fatalf("Tables = %v", tabs)
+	}
+}
+
+// Property: after any sequence of inserts/updates/deletes, Select via index
+// equals Scan with the equivalent predicate.
+func TestPropertyIndexMatchesScan(t *testing.T) {
+	f := func(ops []uint8) bool {
+		db := New()
+		db.CreateTable("t",
+			Column{Name: "k", Type: TInt, Indexed: true},
+			Column{Name: "v", Type: TString},
+		)
+		var ids []int64
+		for i, op := range ops {
+			switch op % 4 {
+			case 0, 1:
+				id, err := db.Insert("t", Row{"k": int64(op % 5), "v": fmt.Sprint(i)})
+				if err != nil {
+					return false
+				}
+				ids = append(ids, id)
+			case 2:
+				if len(ids) > 0 {
+					db.Update("t", ids[int(op)%len(ids)], Row{"k": int64(op % 7)})
+				}
+			case 3:
+				if len(ids) > 0 {
+					idx := int(op) % len(ids)
+					db.Delete("t", ids[idx])
+					ids = append(ids[:idx], ids[idx+1:]...)
+				}
+			}
+		}
+		for k := int64(0); k < 7; k++ {
+			byIndex, err := db.Select("t", "k", k)
+			if err != nil {
+				return false
+			}
+			byScan, err := db.Scan("t", func(r Row) bool { return r["k"] == k })
+			if err != nil {
+				return false
+			}
+			if len(byIndex) != len(byScan) {
+				return false
+			}
+			for i := range byIndex {
+				if byIndex[i]["id"] != byScan[i]["id"] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

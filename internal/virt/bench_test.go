@@ -1,0 +1,60 @@
+package virt
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// BenchmarkDirtyBitmapRandom measures the page-dirtying hot path the
+// migration engine drives (1 GiB guest, uniform writes).
+func BenchmarkDirtyBitmapRandom(b *testing.B) {
+	m := NewGuestMemory(1 << 30)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.DirtyRandom(4096, rng)
+		if m.DirtyCount() > m.Pages()/2 {
+			m.ClearDirty()
+		}
+	}
+}
+
+// BenchmarkDirtyBitmapClear measures harvesting a fully dirty 1 GiB guest.
+func BenchmarkDirtyBitmapClear(b *testing.B) {
+	m := NewGuestMemory(1 << 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MarkAllDirty()
+		if m.ClearDirty() != m.Pages() {
+			b.Fatal("wrong count")
+		}
+	}
+}
+
+// BenchmarkWorkloadApply measures one second of hotspot-writer guest time.
+func BenchmarkWorkloadApply(b *testing.B) {
+	m := NewGuestMemory(256 << 20)
+	w := HotspotWriter{Rate: 40 << 20}
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.ApplyDirty(m, time.Second, rng)
+		m.ClearDirty()
+	}
+}
+
+// BenchmarkCreateDestroyVM measures hypervisor bookkeeping.
+func BenchmarkCreateDestroyVM(b *testing.B) {
+	h := NewHost("bench", 64, 1e9, 1<<40, 1<<40, 0)
+	cfg := VMConfig{Name: "vm", VCPUs: 1, MemoryBytes: 1 << 30}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.CreateVM(cfg); err != nil {
+			b.Fatal(err)
+		}
+		if err := h.DestroyVM("vm"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

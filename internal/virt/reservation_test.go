@@ -1,0 +1,93 @@
+package virt
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestReservationLifecycle(t *testing.T) {
+	h := testHost("n1")
+	cfg := testCfg("vm1")
+	if err := h.Reserve(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Reservation counts against capacity.
+	vcpus, mem, disk := h.Usage()
+	if vcpus != 2 || mem != 2*gb || disk != 10*gb {
+		t.Fatalf("usage = %d/%d/%d", vcpus, mem, disk)
+	}
+	// Duplicate reservation and same-name VM rejected.
+	if err := h.Reserve(cfg); !errors.Is(err, ErrDuplicateVM) {
+		t.Fatalf("double reserve: %v", err)
+	}
+	if _, err := h.CreateVM(cfg); err == nil {
+		t.Fatal("CreateVM over a reservation accepted")
+	}
+	// Cancel releases.
+	if err := h.CancelReservation("vm1"); err != nil {
+		t.Fatal(err)
+	}
+	if vcpus, mem, _ := h.Usage(); vcpus != 0 || mem != 0 {
+		t.Fatalf("usage after cancel = %d/%d", vcpus, mem)
+	}
+	if err := h.CancelReservation("vm1"); err == nil {
+		t.Fatal("double cancel accepted")
+	}
+}
+
+func TestCommitReservationAttachesVM(t *testing.T) {
+	src, dst := testHost("src"), testHost("dst")
+	vm, _ := src.CreateVM(testCfg("vm1"))
+	if err := dst.CommitReservation(vm); err == nil {
+		t.Fatal("commit without reservation accepted")
+	}
+	if err := dst.Reserve(vm.Config); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.CommitReservation(vm); err != nil {
+		t.Fatal(err)
+	}
+	if vm.Host() != dst {
+		t.Fatal("commit did not move the VM")
+	}
+	// The reservation is consumed; usage unchanged by commit.
+	vcpus, mem, _ := dst.Usage()
+	if vcpus != 2 || mem != 2*gb {
+		t.Fatalf("usage = %d/%d", vcpus, mem)
+	}
+	if dst.VM("vm1") != vm {
+		t.Fatal("VM not resident after commit")
+	}
+	// Second commit fails (no reservation anymore).
+	if err := dst.CommitReservation(vm); err == nil {
+		t.Fatal("double commit accepted")
+	}
+}
+
+func TestReserveValidation(t *testing.T) {
+	h := testHost("n1")
+	if err := h.Reserve(VMConfig{Name: "", VCPUs: 1, MemoryBytes: 1}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+	big := testCfg("big")
+	big.MemoryBytes = 100 * gb
+	if err := h.Reserve(big); !errors.Is(err, ErrInsufficientCapacity) {
+		t.Fatalf("oversized reserve: %v", err)
+	}
+}
+
+func TestFinishMigrationStates(t *testing.T) {
+	h := testHost("n1")
+	vm, _ := h.CreateVM(testCfg("vm1"))
+	if err := vm.FinishMigration(true); !errors.Is(err, ErrBadState) {
+		t.Fatalf("finish without migration: %v", err)
+	}
+	vm.Start()
+	vm.BeginMigration()
+	if err := vm.FinishMigration(false); err != nil {
+		t.Fatal(err)
+	}
+	if vm.State() != StateFailed {
+		t.Fatalf("state = %v after failed migration", vm.State())
+	}
+}

@@ -1,0 +1,319 @@
+package virt
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+const (
+	gb = int64(1) << 30
+	mb = int64(1) << 20
+)
+
+func testHost(name string) *Host {
+	return NewHost(name, 8, 1e9, 16*gb, 500*gb, 0)
+}
+
+func testCfg(name string) VMConfig {
+	return VMConfig{Name: name, VCPUs: 2, MemoryBytes: 2 * gb, DiskBytes: 10 * gb, Mode: HWAssist}
+}
+
+func TestModePenaltiesOrdering(t *testing.T) {
+	// Paper §II-B: para outperforms full; everything virtualized is slower
+	// than native; KVM-with-VT sits between para and software-full.
+	if !(Native.CPUPenalty() < ParaVirt.CPUPenalty() &&
+		ParaVirt.CPUPenalty() < HWAssist.CPUPenalty() &&
+		HWAssist.CPUPenalty() < FullVirt.CPUPenalty()) {
+		t.Fatal("CPU penalty ordering violates the paper's §II-B claims")
+	}
+	if !(Native.IOPenalty() < ParaVirt.IOPenalty() &&
+		ParaVirt.IOPenalty() < HWAssist.IOPenalty() &&
+		HWAssist.IOPenalty() < FullVirt.IOPenalty()) {
+		t.Fatal("IO penalty ordering violates the paper's §II-B claims")
+	}
+	for _, m := range []VirtMode{Native, FullVirt, ParaVirt, HWAssist} {
+		if m.String() == "" {
+			t.Fatal("empty mode name")
+		}
+	}
+}
+
+func TestCreateVMReservesCapacity(t *testing.T) {
+	h := testHost("n1")
+	vm, err := h.CreateVM(testCfg("vm1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vcpu, mem, disk := h.Usage()
+	if vcpu != 2 || mem != 2*gb || disk != 10*gb {
+		t.Fatalf("usage = %d/%d/%d", vcpu, mem, disk)
+	}
+	if vm.State() != StateCreated {
+		t.Fatalf("state = %v", vm.State())
+	}
+	if vm.Host() != h {
+		t.Fatal("VM not attached to host")
+	}
+	if vm.Mem.Bytes() != 2*gb {
+		t.Fatalf("guest memory = %d", vm.Mem.Bytes())
+	}
+}
+
+func TestCreateVMRejectsOverCapacity(t *testing.T) {
+	h := testHost("n1")
+	cfg := testCfg("big")
+	cfg.MemoryBytes = 32 * gb
+	if _, err := h.CreateVM(cfg); !errors.Is(err, ErrInsufficientCapacity) {
+		t.Fatalf("err = %v", err)
+	}
+	cfg = testCfg("cpu")
+	cfg.VCPUs = 100
+	if _, err := h.CreateVM(cfg); !errors.Is(err, ErrInsufficientCapacity) {
+		t.Fatalf("err = %v", err)
+	}
+	cfg = testCfg("disk")
+	cfg.DiskBytes = 1000 * gb
+	if _, err := h.CreateVM(cfg); !errors.Is(err, ErrInsufficientCapacity) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCreateVMValidation(t *testing.T) {
+	h := testHost("n1")
+	for _, cfg := range []VMConfig{
+		{Name: "", VCPUs: 1, MemoryBytes: mb},
+		{Name: "x", VCPUs: 0, MemoryBytes: mb},
+		{Name: "x", VCPUs: 1, MemoryBytes: 0},
+		{Name: "x", VCPUs: 1, MemoryBytes: mb, DiskBytes: -1},
+	} {
+		if _, err := h.CreateVM(cfg); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestDuplicateVMName(t *testing.T) {
+	h := testHost("n1")
+	if _, err := h.CreateVM(testCfg("vm1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.CreateVM(testCfg("vm1")); !errors.Is(err, ErrDuplicateVM) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDestroyReleasesCapacity(t *testing.T) {
+	h := testHost("n1")
+	vm, _ := h.CreateVM(testCfg("vm1"))
+	if err := h.DestroyVM("vm1"); err != nil {
+		t.Fatal(err)
+	}
+	vcpu, mem, disk := h.Usage()
+	if vcpu != 0 || mem != 0 || disk != 0 {
+		t.Fatalf("usage after destroy = %d/%d/%d", vcpu, mem, disk)
+	}
+	if vm.Host() != nil {
+		t.Fatal("destroyed VM still attached")
+	}
+	if err := h.DestroyVM("vm1"); !errors.Is(err, ErrNoSuchVM) {
+		t.Fatalf("second destroy err = %v", err)
+	}
+}
+
+func TestCPUOvercommit(t *testing.T) {
+	h := testHost("n1") // 8 cores
+	h.SetCPUOvercommit(2.0)
+	for i := 0; i < 8; i++ { // 16 vcpus on 8 cores
+		cfg := testCfg(string(rune('a' + i)))
+		cfg.MemoryBytes = mb
+		cfg.DiskBytes = 0
+		if _, err := h.CreateVM(cfg); err != nil {
+			t.Fatalf("vm %d rejected under 2x overcommit: %v", i, err)
+		}
+	}
+	cfg := testCfg("one-too-many")
+	cfg.MemoryBytes = mb
+	cfg.DiskBytes = 0
+	if _, err := h.CreateVM(cfg); !errors.Is(err, ErrInsufficientCapacity) {
+		t.Fatalf("17th vcpu pair accepted: %v", err)
+	}
+}
+
+func TestLifecycleTransitions(t *testing.T) {
+	h := testHost("n1")
+	vm, _ := h.CreateVM(testCfg("vm1"))
+	if err := vm.Pause(); !errors.Is(err, ErrBadState) {
+		t.Fatalf("pause from created: %v", err)
+	}
+	if err := vm.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Start(); !errors.Is(err, ErrBadState) {
+		t.Fatal("double start accepted")
+	}
+	if err := vm.Pause(); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.BeginMigration(); err != nil {
+		t.Fatal(err)
+	}
+	if vm.State() != StateMigrating {
+		t.Fatalf("state = %v", vm.State())
+	}
+	vm.setState(StateRunning)
+	if err := vm.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Start(); err != nil {
+		t.Fatal("restart from shutdown rejected")
+	}
+}
+
+func TestMigrationAdoptRelease(t *testing.T) {
+	src, dst := testHost("src"), testHost("dst")
+	vm, _ := src.CreateVM(testCfg("vm1"))
+	if err := dst.AdoptVM(vm); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.ReleaseVM("vm1"); err != nil {
+		t.Fatal(err)
+	}
+	if vm.Host() != dst {
+		t.Fatal("VM not moved to dst")
+	}
+	vcpu, _, _ := src.Usage()
+	if vcpu != 0 {
+		t.Fatal("src still holds reservation")
+	}
+	dv, dm, dd := dst.Usage()
+	if dv != 2 || dm != 2*gb || dd != 10*gb {
+		t.Fatalf("dst usage = %d/%d/%d", dv, dm, dd)
+	}
+}
+
+func TestAdoptRejectsWhenFull(t *testing.T) {
+	src := testHost("src")
+	dst := NewHost("dst", 1, 1e9, 1*gb, 1*gb, 0)
+	vm, _ := src.CreateVM(testCfg("vm1"))
+	if err := dst.AdoptVM(vm); !errors.Is(err, ErrInsufficientCapacity) {
+		t.Fatalf("adopt into tiny host: %v", err)
+	}
+	if vm.Host() != src {
+		t.Fatal("failed adopt moved the VM")
+	}
+}
+
+func TestHostFailCrashesVMs(t *testing.T) {
+	h := testHost("n1")
+	vm, _ := h.CreateVM(testCfg("vm1"))
+	vm.Start()
+	h.Fail()
+	if !h.Failed() {
+		t.Fatal("host not failed")
+	}
+	if vm.State() != StateFailed {
+		t.Fatalf("VM state = %v, want failed", vm.State())
+	}
+	if h.CanFit(testCfg("vm2")) {
+		t.Fatal("failed host accepts placement")
+	}
+}
+
+func TestContextDelivery(t *testing.T) {
+	h := testHost("n1")
+	vm, _ := h.CreateVM(testCfg("vm1"))
+	vm.SetContext(map[string]string{"IP": "10.0.0.5", "ROLE": "webserver"})
+	ctx := vm.Context()
+	if ctx["IP"] != "10.0.0.5" || ctx["ROLE"] != "webserver" {
+		t.Fatalf("context = %v", ctx)
+	}
+	// Returned map is a copy.
+	ctx["IP"] = "tampered"
+	if vm.Context()["IP"] != "10.0.0.5" {
+		t.Fatal("Context returned aliased map")
+	}
+}
+
+func TestCPUTimeReflectsModeAndVCPUs(t *testing.T) {
+	h := testHost("n1")
+	mk := func(name string, vcpus int, mode VirtMode) *VM {
+		cfg := testCfg(name)
+		cfg.VCPUs = vcpus
+		cfg.Mode = mode
+		vm, err := h.CreateVM(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return vm
+	}
+	para := mk("para", 1, ParaVirt)
+	full := mk("full", 1, FullVirt)
+	if para.CPUTime(1e9) >= full.CPUTime(1e9) {
+		t.Fatal("para not faster than full")
+	}
+	wide := mk("wide", 4, ParaVirt)
+	if wide.CPUTime(1e9)*3 >= para.CPUTime(1e9) {
+		t.Fatal("4 vcpus not ~4x faster")
+	}
+	if para.IOTime(mb) >= full.IOTime(mb) {
+		t.Fatal("para IO not faster than full")
+	}
+}
+
+func TestCPUUtilization(t *testing.T) {
+	h := testHost("n1") // 8 cores
+	cfg := testCfg("busy")
+	cfg.VCPUs = 4
+	vm, _ := h.CreateVM(cfg)
+	vm.Workload = UniformWriter{Rate: mb, Util: 1.0}
+	if got := h.CPUUtilization(); got != 0 {
+		t.Fatalf("utilization before start = %v", got)
+	}
+	vm.Start()
+	if got := h.CPUUtilization(); got != 0.5 { // 4 busy vcpus / 8 cores
+		t.Fatalf("utilization = %v, want 0.5", got)
+	}
+}
+
+// Property: for any sequence of create/destroy, host usage equals the sum of
+// resident VM configs, and never exceeds capacity.
+func TestPropertyCapacityConservation(t *testing.T) {
+	f := func(ops []uint8) bool {
+		h := NewHost("h", 16, 1e9, 32*gb, 1000*gb, 0)
+		names := []string{}
+		for i, op := range ops {
+			if op%3 != 0 && len(names) > 0 {
+				h.DestroyVM(names[0])
+				names = names[1:]
+				continue
+			}
+			name := string(rune('a'+i%26)) + string(rune('0'+i%10))
+			cfg := VMConfig{
+				Name: name, VCPUs: 1 + int(op%4),
+				MemoryBytes: int64(1+op%8) * gb, DiskBytes: int64(op%50) * gb,
+			}
+			if _, err := h.CreateVM(cfg); err == nil {
+				names = append(names, name)
+			}
+		}
+		var wantCPU int
+		var wantMem, wantDisk int64
+		for _, vm := range h.VMs() {
+			wantCPU += vm.Config.VCPUs
+			wantMem += vm.Config.MemoryBytes
+			wantDisk += vm.Config.DiskBytes
+		}
+		cpu, mem, disk := h.Usage()
+		if cpu != wantCPU || mem != wantMem || disk != wantDisk {
+			return false
+		}
+		return cpu <= h.Cores && mem <= h.MemoryBytes && disk <= h.DiskBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

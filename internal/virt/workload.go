@@ -1,0 +1,135 @@
+package virt
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Workload models what a guest does with its CPU and memory while it runs.
+// The migration engine applies a workload's dirtying to the guest bitmap for
+// each elapsed interval of virtual time; the scheduler and the E5
+// virtualization-overhead experiment read its CPU demand.
+type Workload interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// CPUUtil is the fraction of the VM's vCPUs the workload keeps busy,
+	// in [0,1].
+	CPUUtil() float64
+	// DirtyBytesPerSec is the nominal page-write rate. The effective
+	// dirty-page growth is lower once the working set saturates.
+	DirtyBytesPerSec() int64
+	// ApplyDirty marks pages in mem for dt of guest run time.
+	ApplyDirty(mem *GuestMemory, dt time.Duration, rng *rand.Rand)
+}
+
+// IdleWorkload is a VM that boots and does nothing — the baseline for
+// migration (converges immediately) and placement experiments.
+type IdleWorkload struct{}
+
+// Name implements Workload.
+func (IdleWorkload) Name() string { return "idle" }
+
+// CPUUtil implements Workload.
+func (IdleWorkload) CPUUtil() float64 { return 0.02 }
+
+// DirtyBytesPerSec implements Workload.
+func (IdleWorkload) DirtyBytesPerSec() int64 { return 64 * 1024 } // kernel housekeeping
+
+// ApplyDirty implements Workload.
+func (w IdleWorkload) ApplyDirty(mem *GuestMemory, dt time.Duration, rng *rand.Rand) {
+	writes := int(float64(w.DirtyBytesPerSec()) * dt.Seconds() / PageSize)
+	mem.DirtyRandom(writes, rng)
+}
+
+// UniformWriter dirties pages uniformly at random at Rate bytes/second —
+// the adversarial case for pre-copy (no working-set locality), used to find
+// the dirty-rate/bandwidth crossover in E1.
+type UniformWriter struct {
+	Rate int64 // bytes/second of page-granularity stores
+	Util float64
+}
+
+// Name implements Workload.
+func (w UniformWriter) Name() string { return "uniform-writer" }
+
+// CPUUtil implements Workload.
+func (w UniformWriter) CPUUtil() float64 {
+	if w.Util == 0 {
+		return 0.5
+	}
+	return w.Util
+}
+
+// DirtyBytesPerSec implements Workload.
+func (w UniformWriter) DirtyBytesPerSec() int64 { return w.Rate }
+
+// ApplyDirty implements Workload.
+func (w UniformWriter) ApplyDirty(mem *GuestMemory, dt time.Duration, rng *rand.Rand) {
+	writes := int(float64(w.Rate) * dt.Seconds() / PageSize)
+	mem.DirtyRandom(writes, rng)
+}
+
+// HotspotWriter concentrates HotBias of its writes on HotFraction of memory
+// — the realistic server shape (Clark et al. call it the writable working
+// set) under which pre-copy converges in a few rounds.
+type HotspotWriter struct {
+	Rate        int64
+	HotFraction float64 // e.g. 0.1: 10% of pages are hot
+	HotBias     float64 // e.g. 0.9: hot pages take 90% of writes
+	Util        float64
+}
+
+// Name implements Workload.
+func (w HotspotWriter) Name() string { return "hotspot-writer" }
+
+// CPUUtil implements Workload.
+func (w HotspotWriter) CPUUtil() float64 {
+	if w.Util == 0 {
+		return 0.6
+	}
+	return w.Util
+}
+
+// DirtyBytesPerSec implements Workload.
+func (w HotspotWriter) DirtyBytesPerSec() int64 { return w.Rate }
+
+// ApplyDirty implements Workload.
+func (w HotspotWriter) ApplyDirty(mem *GuestMemory, dt time.Duration, rng *rand.Rand) {
+	writes := int(float64(w.Rate) * dt.Seconds() / PageSize)
+	frac, bias := w.HotFraction, w.HotBias
+	if frac == 0 {
+		frac = 0.1
+	}
+	if bias == 0 {
+		bias = 0.9
+	}
+	mem.DirtyHotspot(writes, frac, bias, rng)
+}
+
+// StreamingServer models the paper's video-serving VM: a cyclic buffer is
+// refilled sequentially at the streaming rate while a small hot set (session
+// state) is rewritten continuously.
+type StreamingServer struct {
+	StreamRate int64 // bytes/second written into the playout buffer
+	cursor     int
+}
+
+// Name implements Workload.
+func (w *StreamingServer) Name() string { return "streaming-server" }
+
+// CPUUtil implements Workload.
+func (w *StreamingServer) CPUUtil() float64 { return 0.35 }
+
+// DirtyBytesPerSec implements Workload.
+func (w *StreamingServer) DirtyBytesPerSec() int64 { return w.StreamRate + w.StreamRate/10 }
+
+// ApplyDirty implements Workload.
+func (w *StreamingServer) ApplyDirty(mem *GuestMemory, dt time.Duration, rng *rand.Rand) {
+	seq := int(float64(w.StreamRate) * dt.Seconds() / PageSize)
+	mem.DirtySequential(seq, &w.cursor)
+	// Session state: ~10% extra writes within the first 2% of memory.
+	hot := seq / 10
+	if hot > 0 {
+		mem.DirtyHotspot(hot, 0.02, 1.0, rng)
+	}
+}

@@ -1,0 +1,526 @@
+package web
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"videocloud/internal/search"
+	"videocloud/internal/stream"
+	"videocloud/internal/video"
+	"videocloud/internal/videodb"
+)
+
+// maxUploadBytes bounds multipart uploads (a DVD-quality hour).
+const maxUploadBytes = 512 << 20
+
+func (s *Site) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", s.handleHome)
+	mux.HandleFunc("GET /search", s.handleSearch)
+	mux.HandleFunc("GET /suggest", s.handleSuggest)
+	mux.HandleFunc("GET /register", s.handleRegisterPage)
+	mux.HandleFunc("POST /register", s.handleRegister)
+	mux.HandleFunc("GET /verify", s.handleVerify)
+	mux.HandleFunc("GET /login", s.handleLoginPage)
+	mux.HandleFunc("POST /login", s.handleLogin)
+	mux.HandleFunc("POST /logout", s.handleLogout)
+	mux.HandleFunc("GET /upload", s.handleUploadPage)
+	mux.HandleFunc("POST /upload", s.handleUpload)
+	mux.HandleFunc("GET /watch/{id}", s.handleWatch)
+	mux.HandleFunc("GET /stream/{id}", s.handleStream)
+	mux.HandleFunc("POST /watch/{id}/comment", s.handleComment)
+	mux.HandleFunc("POST /watch/{id}/report", s.handleReport)
+	mux.HandleFunc("POST /watch/{id}/delete", s.handleDelete)
+	mux.HandleFunc("POST /watch/{id}/edit", s.handleEdit)
+	mux.HandleFunc("GET /my", s.handleMy)
+	mux.HandleFunc("GET /admin", s.handleAdmin)
+	mux.HandleFunc("POST /admin/block", s.handleBlock)
+	return mux
+}
+
+func (s *Site) render(w http.ResponseWriter, r *http.Request, v view) {
+	if u := s.currentUser(r); u != nil {
+		v.User = u["username"].(string)
+		v.Admin = u["admin"].(bool)
+	}
+	if v.Title == "" {
+		v.Title = v.Page
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := pageTpl.ExecuteTemplate(w, "shell", v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Site) videoView(row videodb.Row) videoView {
+	uploader := "unknown"
+	if u, err := s.db.Get("users", row["uploader_id"].(int64)); err == nil {
+		uploader = u["username"].(string)
+	}
+	return videoView{
+		ID:          row["id"].(int64),
+		Title:       row["title"].(string),
+		Description: row["description"].(string),
+		Uploader:    uploader,
+		Duration:    row["duration_seconds"].(int64),
+		Views:       row["views"].(int64),
+		Reports:     row["reports"].(int64),
+	}
+}
+
+// ---- home & search (Figures 17-18) ----
+
+func (s *Site) handleHome(w http.ResponseWriter, r *http.Request) {
+	rows, _ := s.db.Scan("videos", func(videodb.Row) bool { return true })
+	v := view{Page: "home", Title: "Search"}
+	// Most recent first, capped at 10.
+	for i := len(rows) - 1; i >= 0 && len(v.Recent) < 10; i-- {
+		v.Recent = append(v.Recent, s.videoView(rows[i]))
+	}
+	s.render(w, r, v)
+}
+
+// handleSearch serves /search?q=...; engine=scan selects the direct
+// database LIKE-scan baseline instead of the inverted index.
+func (s *Site) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.FormValue("q")
+	v := view{Page: "home", Title: "Search", Query: q}
+	if q != "" {
+		s.reg.Counter("searches").Inc()
+		if r.FormValue("engine") == "scan" {
+			v.Hits = s.searchByScan(q)
+		} else {
+			v.Hits = s.searchByIndex(q)
+		}
+	}
+	s.render(w, r, v)
+}
+
+// handleSuggest serves search-box type-ahead as a JSON array (the jQuery
+// autocomplete a 2012 video site would wire to the search field).
+func (s *Site) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	suggestions := s.Index().Suggest(r.FormValue("q"), 8)
+	if suggestions == nil {
+		suggestions = []string{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(suggestions)
+}
+
+func (s *Site) searchByIndex(q string) []videoView {
+	var out []videoView
+	for _, hit := range s.Index().Search(q, 25) {
+		if row, err := s.db.Get("videos", hit.Doc); err == nil {
+			out = append(out, s.videoView(row))
+		}
+	}
+	return out
+}
+
+func (s *Site) searchByScan(q string) []videoView {
+	lower := strings.ToLower(q)
+	rows, _ := s.db.Scan("videos", func(r videodb.Row) bool {
+		return strings.Contains(strings.ToLower(r["title"].(string)), lower) ||
+			strings.Contains(strings.ToLower(r["description"].(string)), lower)
+	})
+	var out []videoView
+	for _, row := range rows {
+		if len(out) == 25 {
+			break
+		}
+		out = append(out, s.videoView(row))
+	}
+	return out
+}
+
+// ---- register / verify / login / logout (Figures 19-21) ----
+
+func (s *Site) handleRegisterPage(w http.ResponseWriter, r *http.Request) {
+	s.render(w, r, view{Page: "register", Title: "Register"})
+}
+
+func (s *Site) handleRegister(w http.ResponseWriter, r *http.Request) {
+	id, err := s.register(r.FormValue("username"), r.FormValue("password"), r.FormValue("email"), false)
+	if err != nil {
+		s.render(w, r, view{Page: "register", Title: "Register", Error: err.Error()})
+		return
+	}
+	// The paper verifies membership "via e-mail"; with no mailbox in the
+	// testbed the verification link is returned in a header (the
+	// simulated email) and the page tells the user to check mail.
+	token := randomToken()
+	s.mu.Lock()
+	if s.verifyTokens == nil {
+		s.verifyTokens = make(map[string]int64)
+	}
+	s.verifyTokens[token] = id
+	s.mu.Unlock()
+	w.Header().Set("X-Verification-Link", "/verify?token="+token)
+	s.render(w, r, view{Page: "login", Title: "Log in",
+		Error: "Registered. Check your email for the verification link."})
+}
+
+func (s *Site) handleVerify(w http.ResponseWriter, r *http.Request) {
+	token := r.FormValue("token")
+	s.mu.Lock()
+	id, ok := s.verifyTokens[token]
+	if ok {
+		delete(s.verifyTokens, token)
+	}
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, "bad verification token", http.StatusBadRequest)
+		return
+	}
+	if err := s.verifyUser(id); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.render(w, r, view{Page: "login", Title: "Log in", Error: "Account verified — you can log in now."})
+}
+
+func (s *Site) handleLoginPage(w http.ResponseWriter, r *http.Request) {
+	s.render(w, r, view{Page: "login", Title: "Log in"})
+}
+
+func (s *Site) handleLogin(w http.ResponseWriter, r *http.Request) {
+	token, err := s.login(r.FormValue("username"), r.FormValue("password"))
+	if err != nil {
+		s.render(w, r, view{Page: "login", Title: "Log in", Error: err.Error()})
+		return
+	}
+	http.SetCookie(w, &http.Cookie{Name: "session", Value: token, Path: "/"})
+	http.Redirect(w, r, "/", http.StatusSeeOther)
+}
+
+func (s *Site) handleLogout(w http.ResponseWriter, r *http.Request) {
+	if c, err := r.Cookie("session"); err == nil {
+		s.logout(c.Value)
+	}
+	http.SetCookie(w, &http.Cookie{Name: "session", Value: "", Path: "/", MaxAge: -1})
+	http.Redirect(w, r, "/", http.StatusSeeOther)
+}
+
+// ---- upload (Figure 22) ----
+
+func (s *Site) handleUploadPage(w http.ResponseWriter, r *http.Request) {
+	s.render(w, r, view{Page: "upload", Title: "Upload"})
+}
+
+func (s *Site) handleUpload(w http.ResponseWriter, r *http.Request) {
+	user := s.currentUser(r)
+	if user == nil {
+		http.Error(w, "log in to upload", http.StatusUnauthorized)
+		return
+	}
+	if err := r.ParseMultipartForm(maxUploadBytes); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	file, _, err := r.FormFile("video")
+	if err != nil {
+		http.Error(w, "missing video file", http.StatusBadRequest)
+		return
+	}
+	defer file.Close()
+	data, err := io.ReadAll(io.LimitReader(file, maxUploadBytes))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	title := strings.TrimSpace(r.FormValue("title"))
+	if title == "" {
+		http.Error(w, "title required", http.StatusBadRequest)
+		return
+	}
+	id, err := s.ProcessUpload(user["id"].(int64), title, r.FormValue("description"), data)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	http.Redirect(w, r, fmt.Sprintf("/watch/%d", id), http.StatusSeeOther)
+}
+
+// ProcessUpload runs the paper's upload pipeline (Figures 14 and 16): probe
+// the file, convert it to the playback target in parallel across the farm,
+// store the result through the FUSE mount into HDFS, record film metadata
+// in the database, and index it for search. Exposed so experiments can
+// drive uploads without HTTP multipart overhead.
+func (s *Site) ProcessUpload(uploaderID int64, title, description string, data []byte) (int64, error) {
+	if _, err := video.Probe(data); err != nil {
+		return 0, fmt.Errorf("web: not a playable upload: %w", err)
+	}
+	res, err := s.farm.Convert(data, s.target)
+	if err != nil {
+		return 0, fmt.Errorf("web: conversion failed: %w", err)
+	}
+	id, err := s.db.Insert("videos", videodb.Row{
+		"title": title, "description": description,
+		"uploader_id":      uploaderID,
+		"duration_seconds": int64(res.Info.DurationSeconds),
+	})
+	if err != nil {
+		return 0, err
+	}
+	path := fmt.Sprintf("videos/%d.vcf", id)
+	if err := s.store.WriteFile(path, res.Output); err != nil {
+		s.db.Delete("videos", id)
+		return 0, fmt.Errorf("web: store failed: %w", err)
+	}
+	// Additional renditions (e.g. a mobile 360p), each converted on the
+	// farm and stored beside the main file.
+	labels := []string{QualityLabel(s.target)}
+	for _, spec := range s.renditions {
+		rres, rerr := s.farm.Convert(data, spec)
+		if rerr != nil {
+			return 0, fmt.Errorf("web: %s conversion failed: %w", QualityLabel(spec), rerr)
+		}
+		rpath := fmt.Sprintf("videos/%d-%s.vcf", id, QualityLabel(spec))
+		if werr := s.store.WriteFile(rpath, rres.Output); werr != nil {
+			return 0, fmt.Errorf("web: store %s failed: %w", QualityLabel(spec), werr)
+		}
+		labels = append(labels, QualityLabel(spec))
+	}
+	if err := s.db.Update("videos", id, videodb.Row{
+		"path": path, "renditions": strings.Join(labels, ","),
+	}); err != nil {
+		return 0, err
+	}
+	s.Index().Add(search.Document{ID: id, Title: title, Body: description})
+	s.reg.Counter("uploads").Inc()
+	s.reg.Counter("upload_bytes").Add(int64(len(data)))
+	s.reg.Histogram("conversion_seconds").Observe(res.Duration.Seconds())
+	s.reg.Histogram("conversion_speedup").Observe(res.Speedup())
+	return id, nil
+}
+
+// ---- watch & stream (Figure 23) ----
+
+func (s *Site) videoByRequest(r *http.Request) (videodb.Row, error) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("web: bad video id: %v", err)
+	}
+	return s.db.Get("videos", id)
+}
+
+func (s *Site) handleWatch(w http.ResponseWriter, r *http.Request) {
+	row, err := s.videoByRequest(r)
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	id := row["id"].(int64)
+	s.db.Update("videos", id, videodb.Row{"views": row["views"].(int64) + 1})
+	row["views"] = row["views"].(int64) + 1
+	v := view{Page: "watch", Title: row["title"].(string), Video: s.videoView(row)}
+	v.Qualities = strings.Split(row["renditions"].(string), ",")
+	if u := s.currentUser(r); u != nil {
+		v.Owner = u["id"] == row["uploader_id"] || u["admin"].(bool)
+	}
+	// Related videos (§IV-A "related ranking methods").
+	for _, hit := range s.Index().MoreLikeThis(id, 5) {
+		if rel, err := s.db.Get("videos", hit.Doc); err == nil {
+			v.Related = append(v.Related, s.videoView(rel))
+		}
+	}
+	comments, _ := s.db.Select("comments", "video_id", id)
+	for _, c := range comments {
+		name := "anonymous"
+		if u, err := s.db.Get("users", c["user_id"].(int64)); err == nil {
+			name = u["username"].(string)
+		}
+		v.Comments = append(v.Comments, commentView{User: name, Text: c["text"].(string)})
+	}
+	s.render(w, r, v)
+}
+
+func (s *Site) handleStream(w http.ResponseWriter, r *http.Request) {
+	row, err := s.videoByRequest(r)
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	path := row["path"].(string)
+	// quality=<label> selects a rendition; the default is the target.
+	if q := r.FormValue("quality"); q != "" && q != QualityLabel(s.target) {
+		available := strings.Split(row["renditions"].(string), ",")
+		found := false
+		for _, label := range available {
+			if label == q {
+				found = true
+				break
+			}
+		}
+		if !found {
+			http.Error(w, fmt.Sprintf("no %s rendition (have %s)", q, row["renditions"]),
+				http.StatusNotFound)
+			return
+		}
+		path = fmt.Sprintf("videos/%d-%s.vcf", row["id"].(int64), q)
+	}
+	rd, err := s.store.OpenSeeker(path)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.reg.Counter("stream_requests").Inc()
+	stream.Serve(w, r, path, rd)
+}
+
+// ---- comments, reports, edit, delete ----
+
+func (s *Site) handleComment(w http.ResponseWriter, r *http.Request) {
+	user := s.currentUser(r)
+	if user == nil {
+		http.Error(w, "log in to comment", http.StatusUnauthorized)
+		return
+	}
+	row, err := s.videoByRequest(r)
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	text := strings.TrimSpace(r.FormValue("text"))
+	if text == "" {
+		http.Error(w, "empty comment", http.StatusBadRequest)
+		return
+	}
+	s.db.Insert("comments", videodb.Row{
+		"video_id": row["id"].(int64), "user_id": user["id"].(int64), "text": text,
+	})
+	s.reg.Counter("comments").Inc()
+	http.Redirect(w, r, fmt.Sprintf("/watch/%d", row["id"].(int64)), http.StatusSeeOther)
+}
+
+func (s *Site) handleReport(w http.ResponseWriter, r *http.Request) {
+	row, err := s.videoByRequest(r)
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	s.db.Update("videos", row["id"].(int64), videodb.Row{"reports": row["reports"].(int64) + 1})
+	s.reg.Counter("reports").Inc()
+	http.Redirect(w, r, fmt.Sprintf("/watch/%d", row["id"].(int64)), http.StatusSeeOther)
+}
+
+func (s *Site) authorizeOwner(r *http.Request) (videodb.Row, error) {
+	user := s.currentUser(r)
+	if user == nil {
+		return nil, errors.New("web: authentication required")
+	}
+	row, err := s.videoByRequest(r)
+	if err != nil {
+		return nil, err
+	}
+	if user["id"] != row["uploader_id"] && !user["admin"].(bool) {
+		return nil, errors.New("web: not the uploader")
+	}
+	return row, nil
+}
+
+func (s *Site) handleDelete(w http.ResponseWriter, r *http.Request) {
+	row, err := s.authorizeOwner(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusForbidden)
+		return
+	}
+	id := row["id"].(int64)
+	if path := row["path"].(string); path != "" {
+		s.store.Remove(path)
+	}
+	s.db.Delete("videos", id)
+	s.Index().Remove(id)
+	comments, _ := s.db.Select("comments", "video_id", id)
+	for _, c := range comments {
+		s.db.Delete("comments", c["id"].(int64))
+	}
+	s.reg.Counter("videos_deleted").Inc()
+	http.Redirect(w, r, "/", http.StatusSeeOther)
+}
+
+func (s *Site) handleEdit(w http.ResponseWriter, r *http.Request) {
+	row, err := s.authorizeOwner(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusForbidden)
+		return
+	}
+	id := row["id"].(int64)
+	title := strings.TrimSpace(r.FormValue("title"))
+	if title == "" {
+		http.Error(w, "title required", http.StatusBadRequest)
+		return
+	}
+	desc := r.FormValue("description")
+	s.db.Update("videos", id, videodb.Row{"title": title, "description": desc})
+	s.Index().Add(search.Document{ID: id, Title: title, Body: desc})
+	http.Redirect(w, r, fmt.Sprintf("/watch/%d", id), http.StatusSeeOther)
+}
+
+// ---- my videos & admin ----
+
+func (s *Site) handleMy(w http.ResponseWriter, r *http.Request) {
+	user := s.currentUser(r)
+	if user == nil {
+		http.Redirect(w, r, "/login", http.StatusSeeOther)
+		return
+	}
+	rows, _ := s.db.Select("videos", "uploader_id", user["id"].(int64))
+	v := view{Page: "my", Title: "My videos"}
+	for _, row := range rows {
+		v.Hits = append(v.Hits, s.videoView(row))
+	}
+	s.render(w, r, v)
+}
+
+func (s *Site) handleAdmin(w http.ResponseWriter, r *http.Request) {
+	user := s.currentUser(r)
+	if user == nil || !user["admin"].(bool) {
+		http.Error(w, "administrators only", http.StatusForbidden)
+		return
+	}
+	v := view{Page: "admin", Title: "Admin"}
+	users, _ := s.db.Scan("users", func(videodb.Row) bool { return true })
+	for _, u := range users {
+		v.Users = append(v.Users, userView{Name: u["username"].(string), Blocked: u["blocked"].(bool)})
+	}
+	reported, _ := s.db.Scan("videos", func(row videodb.Row) bool { return row["reports"].(int64) > 0 })
+	for _, row := range reported {
+		v.Hits = append(v.Hits, s.videoView(row))
+	}
+	s.render(w, r, v)
+}
+
+func (s *Site) handleBlock(w http.ResponseWriter, r *http.Request) {
+	user := s.currentUser(r)
+	if user == nil || !user["admin"].(bool) {
+		http.Error(w, "administrators only", http.StatusForbidden)
+		return
+	}
+	target, err := s.db.SelectOne("users", "username", r.FormValue("username"))
+	if err != nil {
+		target, err = s.db.SelectOne("users", "username", r.FormValue("user"))
+	}
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	blocked := r.FormValue("blocked") != "false"
+	s.db.Update("users", target["id"].(int64), videodb.Row{"blocked": blocked})
+	if blocked {
+		// Kill the blocked user's sessions.
+		s.mu.Lock()
+		for tok, uid := range s.sessions {
+			if uid == target["id"].(int64) {
+				delete(s.sessions, tok)
+			}
+		}
+		s.mu.Unlock()
+	}
+	http.Redirect(w, r, "/admin", http.StatusSeeOther)
+}

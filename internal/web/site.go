@@ -1,0 +1,272 @@
+// Package web is the video website of the paper's §IV and Figures 17-23: a
+// Lighttpd+PHP application reproduced as a net/http server. It offers the
+// same page set — search home, register, log-in/out, upload, player, and
+// administration — over the same substrate mapping: accounts and film
+// information in the database (videodb), uploads stored through the FUSE
+// mount into HDFS (fusebridge), distributed FFmpeg conversion on upload
+// (video.Farm), Nutch-style index search (search.Index), and seekable
+// H.264 playback over HTTP ranges (stream.Serve).
+package web
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"videocloud/internal/fusebridge"
+	"videocloud/internal/metrics"
+	"videocloud/internal/search"
+	"videocloud/internal/video"
+	"videocloud/internal/videodb"
+)
+
+// Config assembles a Site.
+type Config struct {
+	// Store is the FUSE mount where uploads land (required).
+	Store *fusebridge.Mount
+	// Farm performs distributed conversion of uploads (required: at
+	// least one node).
+	Farm video.Farm
+	// Target is the playback encoding; zero selects the paper's H.264
+	// 720p at 2 Mbps with 2-second GOPs.
+	Target video.Spec
+	// Renditions are additional encodings produced on upload (e.g. a
+	// 360p mobile rendition); viewers pick with /stream/{id}?quality=.
+	Renditions []video.Spec
+	// AdminUser is created at startup with AdminPassword.
+	AdminUser, AdminPassword string
+}
+
+// QualityLabel names a rendition by its vertical resolution ("720p").
+func QualityLabel(s video.Spec) string { return fmt.Sprintf("%dp", s.Res.H) }
+
+// Site is the running website.
+type Site struct {
+	db         *videodb.DB
+	store      *fusebridge.Mount
+	index      *search.Index
+	farm       video.Farm
+	target     video.Spec
+	renditions []video.Spec
+	reg        *metrics.Registry
+	mux        *http.ServeMux
+
+	mu           sync.Mutex
+	sessions     map[string]int64 // token -> user id
+	verifyTokens map[string]int64 // emailed verification link -> user id
+	adminID      int64
+}
+
+// New builds the site, creating its database schema and admin account.
+func New(cfg Config) (*Site, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("web: config missing Store")
+	}
+	if len(cfg.Farm.Nodes) == 0 {
+		return nil, errors.New("web: farm has no conversion nodes")
+	}
+	target := cfg.Target
+	if target.Codec == "" {
+		target = video.Spec{Codec: video.H264, Res: video.R720p, FPS: 30, GOPSeconds: 2, BitrateBps: 2_000_000}
+	}
+	if cfg.AdminUser == "" {
+		cfg.AdminUser = "admin"
+		cfg.AdminPassword = "admin"
+	}
+	for _, r := range cfg.Renditions {
+		if r.GOPSeconds != target.GOPSeconds {
+			return nil, fmt.Errorf("web: rendition %s GOP cadence differs from target", QualityLabel(r))
+		}
+	}
+	s := &Site{
+		db:         videodb.New(),
+		store:      cfg.Store,
+		index:      search.NewIndex(),
+		farm:       cfg.Farm,
+		target:     target,
+		renditions: cfg.Renditions,
+		reg:        metrics.NewRegistry(),
+		sessions:   make(map[string]int64),
+	}
+	if err := s.createSchema(); err != nil {
+		return nil, err
+	}
+	adminID, err := s.register(cfg.AdminUser, cfg.AdminPassword, "admin@videocloud", true)
+	if err != nil {
+		return nil, err
+	}
+	s.adminID = adminID
+	s.mux = s.routes()
+	return s, nil
+}
+
+func (s *Site) createSchema() error {
+	if err := s.db.CreateTable("users",
+		videodb.Column{Name: "username", Type: videodb.TString, Unique: true},
+		videodb.Column{Name: "password_hash", Type: videodb.TString},
+		videodb.Column{Name: "salt", Type: videodb.TString},
+		videodb.Column{Name: "email", Type: videodb.TString},
+		videodb.Column{Name: "verified", Type: videodb.TBool},
+		videodb.Column{Name: "blocked", Type: videodb.TBool, Indexed: true},
+		videodb.Column{Name: "admin", Type: videodb.TBool},
+	); err != nil {
+		return err
+	}
+	if err := s.db.CreateTable("videos",
+		videodb.Column{Name: "title", Type: videodb.TString},
+		videodb.Column{Name: "description", Type: videodb.TString},
+		videodb.Column{Name: "uploader_id", Type: videodb.TInt, Indexed: true},
+		videodb.Column{Name: "path", Type: videodb.TString},
+		videodb.Column{Name: "duration_seconds", Type: videodb.TInt},
+		videodb.Column{Name: "views", Type: videodb.TInt},
+		videodb.Column{Name: "reports", Type: videodb.TInt},
+		videodb.Column{Name: "renditions", Type: videodb.TString},
+	); err != nil {
+		return err
+	}
+	return s.db.CreateTable("comments",
+		videodb.Column{Name: "video_id", Type: videodb.TInt, Indexed: true},
+		videodb.Column{Name: "user_id", Type: videodb.TInt},
+		videodb.Column{Name: "text", Type: videodb.TString},
+	)
+}
+
+// DB exposes the underlying database (experiments query it directly).
+func (s *Site) DB() *videodb.DB { return s.db }
+
+// Index returns the live search index (the core re-indexes it via
+// MapReduce).
+func (s *Site) Index() *search.Index {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.index
+}
+
+// ReplaceIndex swaps in a freshly built index — the paper's "set Nutch
+// searching engine [to] renew indexed material every certain time" (§III).
+// In-flight queries finish on the old index.
+func (s *Site) ReplaceIndex(ix *search.Index) {
+	if ix == nil {
+		return
+	}
+	s.mu.Lock()
+	s.index = ix
+	s.mu.Unlock()
+	s.reg.Counter("index_refreshes").Inc()
+}
+
+// Documents exports every video as an indexable document, the corpus the
+// periodic MapReduce re-index consumes.
+func (s *Site) Documents() []search.Document {
+	rows, _ := s.db.Scan("videos", func(videodb.Row) bool { return true })
+	docs := make([]search.Document, 0, len(rows))
+	for _, row := range rows {
+		docs = append(docs, search.Document{
+			ID:    row["id"].(int64),
+			Title: row["title"].(string),
+			Body:  row["description"].(string),
+		})
+	}
+	return docs
+}
+
+// Metrics exposes site counters.
+func (s *Site) Metrics() *metrics.Registry { return s.reg }
+
+// Target returns the playback encoding spec.
+func (s *Site) Target() video.Spec { return s.target }
+
+// ServeHTTP implements http.Handler.
+func (s *Site) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// ---- accounts & sessions ----
+
+func hashPassword(password, salt string) string {
+	sum := sha256.Sum256([]byte(salt + ":" + password))
+	return hex.EncodeToString(sum[:])
+}
+
+func randomToken() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("web: entropy unavailable: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// register creates an account. Matching the paper's flow, ordinary accounts
+// start unverified and must confirm via the emailed link (§IV-B/C); the
+// admin is pre-verified.
+func (s *Site) register(username, password, email string, admin bool) (int64, error) {
+	if username == "" || password == "" {
+		return 0, errors.New("web: username and password required")
+	}
+	salt := randomToken()
+	id, err := s.db.Insert("users", videodb.Row{
+		"username": username, "salt": salt,
+		"password_hash": hashPassword(password, salt),
+		"email":         email, "verified": admin, "admin": admin,
+	})
+	if err != nil {
+		return 0, err
+	}
+	s.reg.Counter("users_registered").Inc()
+	return id, nil
+}
+
+// verifyUser marks the account verified (the emailed confirmation link).
+func (s *Site) verifyUser(id int64) error {
+	return s.db.Update("users", id, videodb.Row{"verified": true})
+}
+
+// login checks credentials and returns a session token.
+func (s *Site) login(username, password string) (string, error) {
+	row, err := s.db.SelectOne("users", "username", username)
+	if err != nil {
+		return "", errors.New("web: unknown user or wrong password")
+	}
+	if hashPassword(password, row["salt"].(string)) != row["password_hash"].(string) {
+		return "", errors.New("web: unknown user or wrong password")
+	}
+	if !row["verified"].(bool) {
+		return "", errors.New("web: account not verified — follow the email link first")
+	}
+	if row["blocked"].(bool) {
+		return "", errors.New("web: account blocked by the administrator")
+	}
+	token := randomToken()
+	s.mu.Lock()
+	s.sessions[token] = row["id"].(int64)
+	s.mu.Unlock()
+	s.reg.Counter("logins").Inc()
+	return token, nil
+}
+
+func (s *Site) logout(token string) {
+	s.mu.Lock()
+	delete(s.sessions, token)
+	s.mu.Unlock()
+}
+
+// currentUser resolves the request's session cookie to a user row, or nil.
+func (s *Site) currentUser(r *http.Request) videodb.Row {
+	c, err := r.Cookie("session")
+	if err != nil {
+		return nil
+	}
+	s.mu.Lock()
+	id, ok := s.sessions[c.Value]
+	s.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	row, err := s.db.Get("users", id)
+	if err != nil {
+		return nil
+	}
+	return row
+}

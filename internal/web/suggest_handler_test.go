@@ -1,0 +1,28 @@
+package web
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestSuggestEndpoint(t *testing.T) {
+	site, _ := newSite(t)
+	b := newBrowser(t, site)
+	b.registerAndLogin("alice", "pw")
+	b.upload("Dance practice", "pop dance", 10, 1)
+	b.upload("Dandelion timelapse", "nature", 10, 2)
+
+	_, body := b.get("/suggest?q=dan")
+	var got []string
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("not JSON: %v (%s)", err, body)
+	}
+	if len(got) < 2 {
+		t.Fatalf("suggestions = %v", got)
+	}
+	// Empty query gives an empty array, not null.
+	_, body = b.get("/suggest?q=")
+	if body != "[]\n" {
+		t.Fatalf("empty query body = %q", body)
+	}
+}

@@ -1,0 +1,155 @@
+package web
+
+import "html/template"
+
+// The page templates reproduce the structure of Figures 17-23: a shared
+// shell with navigation, then per-page bodies. CSS3/jQuery niceties of the
+// original reduce to a stylesheet block; the information architecture —
+// search box front and centre, register/login/upload/player/admin pages —
+// is the paper's.
+var pageTpl = template.Must(template.New("shell").Parse(`
+{{define "shell"}}<!DOCTYPE html>
+<html><head><title>{{.Title}} — VideoCloud</title>
+<style>
+body{font-family:sans-serif;margin:2em auto;max-width:52em}
+nav a{margin-right:1em} .error{color:#b00} .hit{margin:.6em 0}
+.player{background:#000;color:#fff;padding:1em;width:640px;height:360px}
+.timebar{background:#444;height:6px;width:640px} .social a{margin-right:.6em}
+</style></head>
+<body>
+<nav>
+<a href="/">Search</a><a href="/upload">Upload</a><a href="/my">My videos</a>
+{{if .User}}<span>signed in as <b>{{.User}}</b></span>
+<form method="post" action="/logout" style="display:inline"><button>Log out</button></form>
+{{else}}<a href="/register">Register</a><a href="/login">Log in</a>{{end}}
+{{if .Admin}}<a href="/admin">Admin</a>{{end}}
+</nav>
+{{if .Error}}<p class="error">{{.Error}}</p>{{end}}
+{{template "body" .}}
+</body></html>{{end}}
+
+{{define "home"}}{{template "shell" .}}{{end}}
+{{define "body"}}
+{{if eq .Page "home"}}
+<h1>VideoCloud</h1>
+<form action="/search" method="get">
+<input name="q" size="50" value="{{.Query}}" placeholder="search videos">
+<button>Search</button></form>
+{{if .Hits}}<h2>Results for “{{.Query}}”</h2>
+{{range .Hits}}<div class="hit"><a href="/watch/{{.ID}}">{{.Title}}</a>
+ — {{.Description}} <small>({{.Views}} views)</small></div>{{end}}
+{{else if .Query}}<p>No videos matched.</p>{{end}}
+{{if .Recent}}<h2>Recent uploads</h2>
+{{range .Recent}}<div class="hit"><a href="/watch/{{.ID}}">{{.Title}}</a></div>{{end}}{{end}}
+
+{{else if eq .Page "register"}}
+<h1>Register</h1>
+<form method="post" action="/register">
+<p><input name="username" placeholder="account"></p>
+<p><input name="password" type="password" placeholder="password"></p>
+<p><input name="email" placeholder="email"></p>
+<button>Create account</button></form>
+<p>A verification link will be sent to your mailbox.</p>
+
+{{else if eq .Page "login"}}
+<h1>Log in</h1>
+<form method="post" action="/login">
+<p><input name="username" placeholder="account"></p>
+<p><input name="password" type="password" placeholder="password"></p>
+<button>Log in</button></form>
+
+{{else if eq .Page "upload"}}
+<h1>Upload a video</h1>
+<form method="post" action="/upload" enctype="multipart/form-data">
+<p><input name="title" size="50" placeholder="title"></p>
+<p><textarea name="description" cols="50" rows="3" placeholder="description"></textarea></p>
+<p><input type="file" name="video"></p>
+<button>Upload</button></form>
+<p>Files are converted to H.264 in parallel across the cloud and stored in HDFS.</p>
+
+{{else if eq .Page "watch"}}
+<h1>{{.Video.Title}}</h1>
+<div class="player" id="flowplayer" data-src="/stream/{{.Video.ID}}">
+  ▶ streaming /stream/{{.Video.ID}} ({{.Video.Duration}}s, 720p H.264)
+  <div class="timebar"></div>
+</div>
+<p>{{.Video.Description}}</p>
+<p><small>uploaded by {{.Video.Uploader}} · {{.Video.Views}} views</small>
+{{if gt (len .Qualities) 1}} · quality:
+{{range .Qualities}}<a href="/stream/{{$.Video.ID}}?quality={{.}}">{{.}}</a> {{end}}{{end}}</p>
+{{if .Related}}<h2>Related videos</h2>
+{{range .Related}}<div class="hit"><a href="/watch/{{.ID}}">{{.Title}}</a></div>{{end}}{{end}}
+<div class="social">
+<a href="https://facebook.com/share?u=/watch/{{.Video.ID}}">Facebook</a>
+<a href="https://plurk.com/share?u=/watch/{{.Video.ID}}">Plurk</a>
+<a href="https://twitter.com/share?u=/watch/{{.Video.ID}}">Twitter</a>
+</div>
+{{if .Owner}}
+<form method="post" action="/watch/{{.Video.ID}}/edit">
+<input name="title" value="{{.Video.Title}}"><input name="description" value="{{.Video.Description}}">
+<button>Save</button></form>
+<form method="post" action="/watch/{{.Video.ID}}/delete"><button>Delete video</button></form>
+{{end}}
+<form method="post" action="/watch/{{.Video.ID}}/report"><button>Report this film</button></form>
+<h2>Comments</h2>
+{{range .Comments}}<p><b>{{.User}}</b>: {{.Text}}</p>{{end}}
+{{if .User}}<form method="post" action="/watch/{{.Video.ID}}/comment">
+<input name="text" size="60" placeholder="leave a message"><button>Post</button></form>{{end}}
+
+{{else if eq .Page "my"}}
+<h1>My videos</h1>
+{{range .Hits}}<div class="hit"><a href="/watch/{{.ID}}">{{.Title}}</a></div>{{else}}<p>No uploads yet.</p>{{end}}
+
+{{else if eq .Page "admin"}}
+<h1>Administration</h1>
+<h2>Users</h2>
+{{range .Users}}<p>{{.Name}} {{if .Blocked}}(blocked){{end}}
+<form method="post" action="/admin/block" style="display:inline">
+<input type="hidden" name="user" value="{{.Name}}">
+<input type="hidden" name="blocked" value="{{if .Blocked}}false{{else}}true{{end}}">
+<button>{{if .Blocked}}Unblock{{else}}Block{{end}}</button></form></p>{{end}}
+<h2>Reported videos</h2>
+{{range .Hits}}<p><a href="/watch/{{.ID}}">{{.Title}}</a> — {{.Reports}} reports
+<form method="post" action="/watch/{{.ID}}/delete" style="display:inline"><button>Remove</button></form></p>
+{{else}}<p>No reports.</p>{{end}}
+{{end}}
+{{end}}
+`))
+
+// view is the template context for every page.
+type view struct {
+	Page      string
+	Title     string
+	User      string
+	Admin     bool
+	Error     string
+	Query     string
+	Hits      []videoView
+	Recent    []videoView
+	Video     videoView
+	Owner     bool
+	Qualities []string
+	Related   []videoView
+	Comments  []commentView
+	Users     []userView
+}
+
+type videoView struct {
+	ID          int64
+	Title       string
+	Description string
+	Uploader    string
+	Duration    int64
+	Views       int64
+	Reports     int64
+}
+
+type commentView struct {
+	User string
+	Text string
+}
+
+type userView struct {
+	Name    string
+	Blocked bool
+}

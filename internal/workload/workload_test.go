@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestZipfShape(t *testing.T) {
+	z := NewZipf(100, 1.0)
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, 100)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[z.Pick(rng)]++
+	}
+	// Top item ≈ 1/H(100) ≈ 19% of draws; top-10 well over half.
+	if frac := float64(counts[0]) / draws; frac < 0.15 || frac > 0.25 {
+		t.Fatalf("rank-0 frequency %.3f, want ~0.19", frac)
+	}
+	top10 := 0
+	for _, c := range counts[:10] {
+		top10 += c
+	}
+	if frac := float64(top10) / draws; frac < 0.5 {
+		t.Fatalf("top-10 share %.3f, Zipf should be top-heavy", frac)
+	}
+	// Roughly monotone decreasing over decades.
+	if counts[0] < counts[10] || counts[10] < counts[90] {
+		t.Fatalf("not decreasing: %d, %d, %d", counts[0], counts[10], counts[90])
+	}
+	if z.N() != 100 {
+		t.Fatalf("N = %d", z.N())
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewZipf(0, 1) },
+		func() { NewZipf(10, 0) },
+		func() { NewZipf(10, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestInterarrivalMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const rate = 5.0 // per second
+	var sum time.Duration
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += Interarrival(rng, rate)
+	}
+	mean := sum.Seconds() / n
+	if math.Abs(mean-1/rate) > 0.01 {
+		t.Fatalf("mean interarrival %.4fs, want %.4fs", mean, 1/rate)
+	}
+}
+
+func TestDiurnalWave(t *testing.T) {
+	d := Diurnal{Base: 2, PeakFactor: 8, PeakHour: 21}
+	peak := d.Rate(21 * time.Hour)
+	trough := d.Rate(9 * time.Hour) // 12h from the peak
+	if math.Abs(peak-16) > 0.01 {
+		t.Fatalf("peak rate %.2f, want 16", peak)
+	}
+	if math.Abs(trough-2) > 0.01 {
+		t.Fatalf("trough rate %.2f, want 2", trough)
+	}
+	// Wraps daily.
+	if math.Abs(d.Rate(21*time.Hour)-d.Rate(45*time.Hour)) > 1e-9 {
+		t.Fatal("no 24h periodicity")
+	}
+	// Always within [Base, Base*PeakFactor].
+	for h := 0; h < 24; h++ {
+		r := d.Rate(time.Duration(h) * time.Hour)
+		if r < 2-1e-9 || r > 16+1e-9 {
+			t.Fatalf("rate at %dh = %.2f out of bounds", h, r)
+		}
+	}
+}
+
+func TestGenerateSessions(t *testing.T) {
+	z := NewZipf(50, 0.9)
+	d := Diurnal{Base: 1, PeakFactor: 6, PeakHour: 20}
+	evening := Generate(z, d, 19*time.Hour, 21*time.Hour, 7)
+	morning := Generate(z, d, 3*time.Hour, 5*time.Hour, 7)
+	if len(evening) == 0 || len(morning) == 0 {
+		t.Fatal("no sessions generated")
+	}
+	// The evening window sees several times the morning's arrivals.
+	if float64(len(evening)) < 2*float64(len(morning)) {
+		t.Fatalf("evening %d vs morning %d sessions", len(evening), len(morning))
+	}
+	// Sessions are time-ordered, within the window, and well-formed.
+	prev := 19 * time.Hour
+	for _, s := range evening {
+		if s.Start < prev || s.Start >= 21*time.Hour {
+			t.Fatalf("session at %v out of order/window", s.Start)
+		}
+		prev = s.Start
+		if s.Video < 0 || s.Video >= 50 || s.WatchSeconds < 5 {
+			t.Fatalf("bad session %+v", s)
+		}
+		for _, f := range s.SeekFracs {
+			if f < 0 || f >= 1 {
+				t.Fatalf("seek %v out of range", f)
+			}
+		}
+	}
+	// Deterministic per seed.
+	again := Generate(z, d, 19*time.Hour, 21*time.Hour, 7)
+	if len(again) != len(evening) || again[0].Start != evening[0].Start {
+		t.Fatal("generation not deterministic")
+	}
+}
+
+// Property: Zipf Pick always returns a valid rank and lower ranks are (in
+// aggregate over many draws) at least as popular as much higher ranks.
+func TestPropertyZipfBounds(t *testing.T) {
+	f := func(nRaw uint8, seed int64) bool {
+		n := int(nRaw%200) + 2
+		z := NewZipf(n, 0.9)
+		rng := rand.New(rand.NewSource(seed))
+		q := n / 4
+		if q < 1 {
+			q = 1
+		}
+		lowHits, highHits := 0, 0
+		for i := 0; i < 2000; i++ {
+			k := z.Pick(rng)
+			if k < 0 || k >= n {
+				return false
+			}
+			if k < q {
+				lowHits++
+			}
+			if k >= n-q {
+				highHits++
+			}
+		}
+		return lowHits > highHits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+package videocloud
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// The facade test exercises the public API exactly as README's quickstart
+// does: boot, serve, and touch each exported helper.
+func TestFacadeQuickstart(t *testing.T) {
+	vc, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := vc.Status()
+	if st.Hosts != 4 || len(st.VMs) != 5 {
+		t.Fatalf("default deployment: %d hosts, %d VMs", st.Hosts, len(st.VMs))
+	}
+	srv := httptest.NewServer(vc.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("home page status %d", resp.StatusCode)
+	}
+}
+
+func TestFacadeMediaHelpers(t *testing.T) {
+	spec := MediaSpec{Codec: "mpeg4", Res: R480p, FPS: 30, GOPSeconds: 2, BitrateBps: 200_000}
+	data, err := GenerateVideo(spec, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty media")
+	}
+	farm := TranscodeFarm{Nodes: []string{"a", "b"}}
+	res, err := farm.Convert(data, MediaSpec{Codec: "h264", Res: R720p, FPS: 30, GOPSeconds: 2, BitrateBps: 400_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup() <= 1 {
+		t.Fatalf("speedup = %v", res.Speedup())
+	}
+}
+
+func TestFacadeIaaS(t *testing.T) {
+	cloud := NewIaaS(IaaSOptions{Policy: PackingPolicy{}})
+	if _, err := cloud.AddHost("node1", 8, 1e9, 16<<30, 500<<30); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cloud.Catalog().Register("base", 1<<30, 1); err != nil {
+		t.Fatal(err)
+	}
+	id, err := cloud.Submit(Template{
+		Name: "vm", VCPUs: 1, MemoryBytes: 1 << 30, DiskBytes: 1 << 30, Image: "base",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloud.WaitIdle()
+	rec, err := cloud.VM(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rec.Name(), "vm") || rec.IP == "" {
+		t.Fatalf("record = %+v", rec)
+	}
+}
