@@ -1,0 +1,24 @@
+# Tier-1 verification gate: every PR must keep this green. The race
+# detector is part of the gate so concurrency regressions in the serving
+# path (web.Site, caches, metrics) are caught before merge.
+
+GO ?= go
+
+.PHONY: tier1 vet build test race bench
+
+tier1: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...

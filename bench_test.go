@@ -175,7 +175,8 @@ func BenchmarkE9EndToEnd(b *testing.B) {
 // BenchmarkE9bConcurrentLoad — site throughput under concurrent viewers.
 func BenchmarkE9bConcurrentLoad(b *testing.B) {
 	tbl := runE(b, experiments.E9bConcurrentLoad)
-	b.ReportMetric(cell(tbl, -1, "req_per_s"), "rps/32-users")
+	// Row 4 is the 32-user sweep level; per-route rows follow it.
+	b.ReportMetric(cell(tbl, 4, "req_per_s"), "rps/32-users")
 }
 
 // BenchmarkE10FullStack — Figures 6/13/14 + 8-10: the whole stack with a

@@ -28,6 +28,7 @@ func main() {
 	hosts := flag.Int("hosts", 4, "simulated physical hosts")
 	dataVMs := flag.Int("datavms", 3, "DataNode/TaskTracker VMs")
 	reindex := flag.Duration("reindex", 5*time.Minute, "MapReduce re-index period (0 disables)")
+	stats := flag.Duration("stats", time.Minute, "per-route serving dashboard log period (0 disables)")
 	seed := flag.Int("seed", 3, "demo videos to pre-populate")
 	admin := flag.String("admin", "admin", "admin account name")
 	adminPass := flag.String("admin-pass", "admin", "admin account password")
@@ -60,8 +61,29 @@ func main() {
 			}
 		}()
 	}
+	if *stats > 0 {
+		go func() {
+			for range time.Tick(*stats) {
+				logRouteDashboard(vc)
+			}
+		}()
+	}
 	log.Printf("videocloud: site on %s (admin account %q)", *listen, *admin)
 	log.Fatal(http.ListenAndServe(*listen, vc.Handler()))
+}
+
+// logRouteDashboard prints one line per route that has seen traffic: the
+// serving tier's request counts, status classes, in-flight depth, and
+// latency quantiles.
+func logRouteDashboard(vc *core.VideoCloud) {
+	for _, rs := range vc.Status().Routes {
+		if rs.Requests == 0 {
+			continue
+		}
+		log.Printf("route %-8s n=%-6d inflight=%d 2xx=%d 4xx=%d 5xx=%d p50=%.2fms p99=%.2fms",
+			rs.Route, rs.Requests, rs.InFlight, rs.Status2xx, rs.Status4xx, rs.Status5xx,
+			rs.Latency.P50*1000, rs.Latency.P99*1000)
+	}
 }
 
 // seedCatalog uploads n demo videos as the admin.

@@ -351,6 +351,9 @@ type Status struct {
 	Users      int
 	IndexDocs  int
 	VirtualNow time.Duration
+	// Routes carries the serving tier's per-route request counts, status
+	// classes, in-flight gauges, and latency quantiles.
+	Routes []web.RouteStats
 }
 
 // Status returns a point-in-time summary.
@@ -365,5 +368,6 @@ func (vc *VideoCloud) Status() Status {
 		Users:      users,
 		IndexDocs:  vc.site.Index().Docs(),
 		VirtualNow: vc.cloud.Now(),
+		Routes:     vc.site.RouteStats(),
 	}
 }

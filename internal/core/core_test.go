@@ -151,6 +151,23 @@ func TestEndToEndUploadSearchStream(t *testing.T) {
 			t.Fatalf("block on %q", loc)
 		}
 	}
+	// The serving-path instrumentation surfaces through Status: the search
+	// and stream traffic just driven is visible per route.
+	routes := map[string]bool{}
+	for _, rs := range vc.Status().Routes {
+		routes[rs.Route] = true
+		switch rs.Route {
+		case "search", "stream":
+			if rs.Requests == 0 || rs.Latency.Count == 0 {
+				t.Fatalf("route %s not instrumented: %+v", rs.Route, rs)
+			}
+		}
+	}
+	for _, want := range []string{"home", "search", "upload", "stream"} {
+		if !routes[want] {
+			t.Fatalf("Status.Routes missing %q", want)
+		}
+	}
 }
 
 func TestReindexMR(t *testing.T) {

@@ -122,6 +122,15 @@ func E9EndToEnd() *metrics.Table {
 		return fmt.Sprintf("fetched %dKB of %dKB", fetched>>10, size>>10)
 	})
 	check(fetched < size/2, "E9: seeking still fetched %d of %d bytes", fetched, size)
+	// The serving tier's own per-route instrumentation for the journey just
+	// driven (register, verify, login, search, stream).
+	for _, rs := range site.RouteStats() {
+		if rs.Requests == 0 {
+			continue
+		}
+		t.AddRow("· route "+rs.Route,
+			fmt.Sprintf("n=%d p50=%.2fms p99=%.2fms", rs.Requests, rs.Latency.P50*1000, rs.Latency.P99*1000))
+	}
 	return t
 }
 

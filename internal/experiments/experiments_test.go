@@ -113,15 +113,18 @@ func TestE8MapReduceScaling(t *testing.T) {
 
 func TestE9EndToEnd(t *testing.T) {
 	tbl := runExp(t, "E9", E9EndToEnd)
-	if tbl.Rows() != 5 {
-		t.Fatalf("rows = %d", tbl.Rows())
+	// 5 journey steps + per-route latency rows (home via the login
+	// redirect, register, verify, login, search, stream).
+	if tbl.Rows() != 11 {
+		t.Fatalf("rows = %d\n%s", tbl.Rows(), tbl)
 	}
 }
 
 func TestE9bConcurrentLoad(t *testing.T) {
 	tbl := runExp(t, "E9b", E9bConcurrentLoad)
-	if tbl.Rows() != 5 {
-		t.Fatalf("rows = %d", tbl.Rows())
+	// 5 concurrency levels + per-route rows (home, search, watch, stream).
+	if tbl.Rows() != 9 {
+		t.Fatalf("rows = %d\n%s", tbl.Rows(), tbl)
 	}
 }
 

@@ -21,7 +21,10 @@ import (
 // any io.ReadSeeker — which the HDFS reader satisfies, so playback bytes
 // come straight out of replicated blocks.
 func Serve(w http.ResponseWriter, r *http.Request, name string, content io.ReadSeeker) {
-	w.Header().Set("Content-Type", "video/x-vcf")
+	// The paper streams H.264 in an MP4 container to Flowplayer, so the
+	// response carries the real media type (not the internal .vcf
+	// container extension).
+	w.Header().Set("Content-Type", "video/mp4")
 	http.ServeContent(w, r, name, time.Time{}, content)
 }
 
@@ -67,8 +70,16 @@ func (p *Player) Probe(url string) (size int64, err error) {
 	}
 	defer resp.Body.Close()
 	io.Copy(io.Discard, resp.Body)
-	if resp.StatusCode != http.StatusPartialContent {
-		return 0, fmt.Errorf("%w: %d", ErrNoRangeSupport, resp.StatusCode)
+	switch resp.StatusCode {
+	case http.StatusPartialContent:
+		// Range honoured — fall through to Content-Range parsing.
+	case http.StatusOK:
+		// The server answered with the full body: it works, it just
+		// ignores Range — the only reply that genuinely means "no range
+		// support". Anything else (404, 500, 503…) is a request failure.
+		return 0, fmt.Errorf("%w: got 200 with full content", ErrNoRangeSupport)
+	default:
+		return 0, fmt.Errorf("%w: %d", ErrBadStatus, resp.StatusCode)
 	}
 	// Content-Range: bytes 0-0/12345
 	cr := resp.Header.Get("Content-Range")

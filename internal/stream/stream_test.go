@@ -108,6 +108,38 @@ func TestPlayValidation(t *testing.T) {
 	}
 }
 
+// TestServeContentType is the MIME regression test: the paper streams H.264
+// to Flowplayer, which wants a real video media type, not the internal .vcf
+// container extension.
+func TestServeContentType(t *testing.T) {
+	srv, _ := server(t, payload(1000))
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "video/mp4" {
+		t.Fatalf("Content-Type = %q, want video/mp4", ct)
+	}
+}
+
+// TestProbeBadStatus checks Probe distinguishes a request failure from a
+// working server that merely lacks range support.
+func TestProbeBadStatus(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.NotFound(w, r)
+	}))
+	defer srv.Close()
+	p := &Player{}
+	_, err := p.Probe(srv.URL)
+	if !errors.Is(err, ErrBadStatus) {
+		t.Fatalf("err = %v, want ErrBadStatus", err)
+	}
+	if errors.Is(err, ErrNoRangeSupport) {
+		t.Fatal("404 misreported as missing range support")
+	}
+}
+
 func TestNoRangeSupportDetected(t *testing.T) {
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("plain body, no ranges"))

@@ -199,6 +199,29 @@ func (db *DB) Insert(tableName string, row Row) (int64, error) {
 	return id, nil
 }
 
+// RawPut stores a row verbatim, bypassing column and type validation, and
+// returns the assigned id. It reproduces the real deployment's failure mode —
+// a MySQL row written by an older binary or a drifted schema — so serving-
+// path code can be tested against malformed rows that Insert would reject.
+// Values destined for indexed columns must be comparable.
+func (db *DB) RawPut(tableName string, row Row) (int64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.table(tableName)
+	if err != nil {
+		return 0, err
+	}
+	full := copyRow(row)
+	t.nextID++
+	id := t.nextID
+	full["id"] = id
+	t.rows[id] = full
+	for col, idx := range t.indexes {
+		idx[full[col]] = append(idx[full[col]], id)
+	}
+	return id, nil
+}
+
 // Get returns a copy of the row with the given id.
 func (db *DB) Get(tableName string, id int64) (Row, error) {
 	db.mu.RLock()

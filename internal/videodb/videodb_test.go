@@ -267,3 +267,36 @@ func TestPropertyIndexMatchesScan(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRawPutBypassesValidation covers the fault-injection hook: a drifted
+// row is stored verbatim, visible to readers, and cleanly deletable.
+func TestRawPutBypassesValidation(t *testing.T) {
+	db := New()
+	if err := db.CreateTable("v",
+		Column{Name: "title", Type: TString},
+		Column{Name: "owner", Type: TInt, Indexed: true},
+	); err != nil {
+		t.Fatal(err)
+	}
+	id, err := db.RawPut("v", Row{"title": 42, "owner": "bogus"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := db.Get("v", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row["title"] != 42 || row["owner"] != "bogus" {
+		t.Fatalf("row altered: %v", row)
+	}
+	// The drifted value is reachable through its index and removable.
+	if rows, _ := db.Scan("v", func(r Row) bool { return true }); len(rows) != 1 {
+		t.Fatalf("scan rows = %d", len(rows))
+	}
+	if err := db.Delete("v", id); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := db.Count("v"); n != 0 {
+		t.Fatalf("count after delete = %d", n)
+	}
+}

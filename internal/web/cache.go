@@ -1,0 +1,101 @@
+package web
+
+import (
+	"sync"
+
+	"videocloud/internal/videodb"
+)
+
+// homeRecent is how many recent uploads the home page lists.
+const homeRecent = 10
+
+// hotCache is the serving tier's read-through cache. It holds exactly two
+// things the hot path used to recompute per request: the home page's
+// recent-uploads list (previously a full videodb scan per GET /) and the
+// uploader-id → username map (previously an N+1 users lookup per rendered
+// video). Invalidation rules (see README "Serving-path metrics & caching"):
+// the recent list is dropped on upload, edit, delete, and block; a username
+// entry is dropped when the admin blocks that user. View-count drift in the
+// cached list is acceptable because the home page renders titles only.
+type hotCache struct {
+	mu        sync.RWMutex
+	recent    []videoView
+	recentOK  bool
+	usernames map[int64]string
+}
+
+// recentVideos returns the home page's recent-uploads list, rebuilding it
+// from a table scan only after an invalidation. Callers must not mutate the
+// returned slice.
+func (s *Site) recentVideos() []videoView {
+	s.cache.mu.RLock()
+	if s.cache.recentOK {
+		out := s.cache.recent
+		s.cache.mu.RUnlock()
+		s.reg.Counter("cache_recent_hits").Inc()
+		return out
+	}
+	s.cache.mu.RUnlock()
+	s.reg.Counter("cache_recent_misses").Inc()
+	out := s.scanRecent()
+	s.cache.mu.Lock()
+	s.cache.recent, s.cache.recentOK = out, true
+	s.cache.mu.Unlock()
+	return out
+}
+
+// scanRecent is the uncached path — the full table scan every GET / paid
+// before the cache existed. It remains the correctness reference and the
+// benchmark baseline.
+func (s *Site) scanRecent() []videoView {
+	rows, _ := s.db.Scan("videos", func(videodb.Row) bool { return true })
+	out := make([]videoView, 0, homeRecent)
+	for i := len(rows) - 1; i >= 0 && len(out) < homeRecent; i-- {
+		out = append(out, s.videoView(rows[i]))
+	}
+	return out
+}
+
+// invalidateRecent drops the cached recent list; the next home request
+// rebuilds it.
+func (s *Site) invalidateRecent() {
+	s.cache.mu.Lock()
+	s.cache.recent, s.cache.recentOK = nil, false
+	s.cache.mu.Unlock()
+	s.reg.Counter("cache_recent_invalidations").Inc()
+}
+
+// userName resolves a user id to its username through the cache. Lookup
+// failures (deleted user, malformed row) return fallback and are not cached.
+func (s *Site) userName(id int64, fallback string) string {
+	s.cache.mu.RLock()
+	name, ok := s.cache.usernames[id]
+	s.cache.mu.RUnlock()
+	if ok {
+		s.reg.Counter("cache_username_hits").Inc()
+		return name
+	}
+	s.reg.Counter("cache_username_misses").Inc()
+	u, err := s.db.Get("users", id)
+	if err != nil {
+		return fallback
+	}
+	name = rowString(u, "username")
+	if name == "" {
+		return fallback
+	}
+	s.cache.mu.Lock()
+	if s.cache.usernames == nil {
+		s.cache.usernames = make(map[int64]string)
+	}
+	s.cache.usernames[id] = name
+	s.cache.mu.Unlock()
+	return name
+}
+
+// invalidateUser drops one username cache entry (admin block path).
+func (s *Site) invalidateUser(id int64) {
+	s.cache.mu.Lock()
+	delete(s.cache.usernames, id)
+	s.cache.mu.Unlock()
+}

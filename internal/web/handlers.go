@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
@@ -20,33 +21,70 @@ const maxUploadBytes = 512 << 20
 
 func (s *Site) routes() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /{$}", s.handleHome)
-	mux.HandleFunc("GET /search", s.handleSearch)
-	mux.HandleFunc("GET /suggest", s.handleSuggest)
-	mux.HandleFunc("GET /register", s.handleRegisterPage)
-	mux.HandleFunc("POST /register", s.handleRegister)
-	mux.HandleFunc("GET /verify", s.handleVerify)
-	mux.HandleFunc("GET /login", s.handleLoginPage)
-	mux.HandleFunc("POST /login", s.handleLogin)
-	mux.HandleFunc("POST /logout", s.handleLogout)
-	mux.HandleFunc("GET /upload", s.handleUploadPage)
-	mux.HandleFunc("POST /upload", s.handleUpload)
-	mux.HandleFunc("GET /watch/{id}", s.handleWatch)
-	mux.HandleFunc("GET /stream/{id}", s.handleStream)
-	mux.HandleFunc("POST /watch/{id}/comment", s.handleComment)
-	mux.HandleFunc("POST /watch/{id}/report", s.handleReport)
-	mux.HandleFunc("POST /watch/{id}/delete", s.handleDelete)
-	mux.HandleFunc("POST /watch/{id}/edit", s.handleEdit)
-	mux.HandleFunc("GET /my", s.handleMy)
-	mux.HandleFunc("GET /admin", s.handleAdmin)
-	mux.HandleFunc("POST /admin/block", s.handleBlock)
+	mux.HandleFunc("GET /{$}", s.instrument("home", s.handleHome))
+	mux.HandleFunc("GET /search", s.instrument("search", s.handleSearch))
+	mux.HandleFunc("GET /suggest", s.instrument("suggest", s.handleSuggest))
+	mux.HandleFunc("GET /register", s.instrument("register", s.handleRegisterPage))
+	mux.HandleFunc("POST /register", s.instrument("register", s.handleRegister))
+	mux.HandleFunc("GET /verify", s.instrument("verify", s.handleVerify))
+	mux.HandleFunc("GET /login", s.instrument("login", s.handleLoginPage))
+	mux.HandleFunc("POST /login", s.instrument("login", s.handleLogin))
+	mux.HandleFunc("POST /logout", s.instrument("logout", s.handleLogout))
+	mux.HandleFunc("GET /upload", s.instrument("upload", s.handleUploadPage))
+	mux.HandleFunc("POST /upload", s.instrument("upload", s.handleUpload))
+	mux.HandleFunc("GET /watch/{id}", s.instrument("watch", s.handleWatch))
+	mux.HandleFunc("GET /stream/{id}", s.instrument("stream", s.handleStream))
+	mux.HandleFunc("POST /watch/{id}/comment", s.instrument("comment", s.handleComment))
+	mux.HandleFunc("POST /watch/{id}/report", s.instrument("report", s.handleReport))
+	mux.HandleFunc("POST /watch/{id}/delete", s.instrument("delete", s.handleDelete))
+	mux.HandleFunc("POST /watch/{id}/edit", s.instrument("edit", s.handleEdit))
+	mux.HandleFunc("GET /my", s.instrument("my", s.handleMy))
+	mux.HandleFunc("GET /admin", s.instrument("admin", s.handleAdmin))
+	mux.HandleFunc("POST /admin/block", s.instrument("block", s.handleBlock))
 	return mux
+}
+
+// ---- safe row accessors ----
+//
+// videodb validates types on Insert/Update, but a row written by an older
+// binary or a drifted schema (the real MySQL deployment's failure mode,
+// reproducible via videodb.RawPut) can still carry the wrong type. An
+// unchecked assertion would panic the handler goroutine; these log once per
+// access and fall back to the zero value so the page renders a placeholder
+// or a clean 500 instead.
+
+func logMalformed(row videodb.Row, col, want string) {
+	log.Printf("web: malformed row id=%v: column %q holds %T, want %s", row["id"], col, row[col], want)
+}
+
+func rowString(row videodb.Row, col string) string {
+	v, ok := row[col].(string)
+	if !ok {
+		logMalformed(row, col, "string")
+	}
+	return v
+}
+
+func rowInt(row videodb.Row, col string) int64 {
+	v, ok := row[col].(int64)
+	if !ok {
+		logMalformed(row, col, "int64")
+	}
+	return v
+}
+
+func rowBool(row videodb.Row, col string) bool {
+	v, ok := row[col].(bool)
+	if !ok {
+		logMalformed(row, col, "bool")
+	}
+	return v
 }
 
 func (s *Site) render(w http.ResponseWriter, r *http.Request, v view) {
 	if u := s.currentUser(r); u != nil {
-		v.User = u["username"].(string)
-		v.Admin = u["admin"].(bool)
+		v.User = rowString(u, "username")
+		v.Admin = rowBool(u, "admin")
 	}
 	if v.Title == "" {
 		v.Title = v.Page
@@ -58,30 +96,28 @@ func (s *Site) render(w http.ResponseWriter, r *http.Request, v view) {
 }
 
 func (s *Site) videoView(row videodb.Row) videoView {
-	uploader := "unknown"
-	if u, err := s.db.Get("users", row["uploader_id"].(int64)); err == nil {
-		uploader = u["username"].(string)
+	title := rowString(row, "title")
+	if title == "" {
+		title = "(untitled)"
 	}
 	return videoView{
-		ID:          row["id"].(int64),
-		Title:       row["title"].(string),
-		Description: row["description"].(string),
-		Uploader:    uploader,
-		Duration:    row["duration_seconds"].(int64),
-		Views:       row["views"].(int64),
-		Reports:     row["reports"].(int64),
+		ID:          rowInt(row, "id"),
+		Title:       title,
+		Description: rowString(row, "description"),
+		Uploader:    s.userName(rowInt(row, "uploader_id"), "unknown"),
+		Duration:    rowInt(row, "duration_seconds"),
+		Views:       rowInt(row, "views"),
+		Reports:     rowInt(row, "reports"),
 	}
 }
 
 // ---- home & search (Figures 17-18) ----
 
 func (s *Site) handleHome(w http.ResponseWriter, r *http.Request) {
-	rows, _ := s.db.Scan("videos", func(videodb.Row) bool { return true })
 	v := view{Page: "home", Title: "Search"}
-	// Most recent first, capped at 10.
-	for i := len(rows) - 1; i >= 0 && len(v.Recent) < 10; i-- {
-		v.Recent = append(v.Recent, s.videoView(rows[i]))
-	}
+	// Most recent first, capped at 10, served from the hot-path cache
+	// instead of a per-request table scan.
+	v.Recent = s.recentVideos()
 	s.render(w, r, v)
 }
 
@@ -125,8 +161,11 @@ func (s *Site) searchByIndex(q string) []videoView {
 func (s *Site) searchByScan(q string) []videoView {
 	lower := strings.ToLower(q)
 	rows, _ := s.db.Scan("videos", func(r videodb.Row) bool {
-		return strings.Contains(strings.ToLower(r["title"].(string)), lower) ||
-			strings.Contains(strings.ToLower(r["description"].(string)), lower)
+		// Tolerate drifted rows without per-row log noise.
+		title, _ := r["title"].(string)
+		desc, _ := r["description"].(string)
+		return strings.Contains(strings.ToLower(title), lower) ||
+			strings.Contains(strings.ToLower(desc), lower)
 	})
 	var out []videoView
 	for _, row := range rows {
@@ -238,7 +277,7 @@ func (s *Site) handleUpload(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "title required", http.StatusBadRequest)
 		return
 	}
-	id, err := s.ProcessUpload(user["id"].(int64), title, r.FormValue("description"), data)
+	id, err := s.ProcessUpload(rowInt(user, "id"), title, r.FormValue("description"), data)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -292,6 +331,7 @@ func (s *Site) ProcessUpload(uploaderID int64, title, description string, data [
 		return 0, err
 	}
 	s.Index().Add(search.Document{ID: id, Title: title, Body: description})
+	s.invalidateRecent()
 	s.reg.Counter("uploads").Inc()
 	s.reg.Counter("upload_bytes").Add(int64(len(data)))
 	s.reg.Histogram("conversion_seconds").Observe(res.Duration.Seconds())
@@ -315,13 +355,14 @@ func (s *Site) handleWatch(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	id := row["id"].(int64)
-	s.db.Update("videos", id, videodb.Row{"views": row["views"].(int64) + 1})
-	row["views"] = row["views"].(int64) + 1
-	v := view{Page: "watch", Title: row["title"].(string), Video: s.videoView(row)}
-	v.Qualities = strings.Split(row["renditions"].(string), ",")
+	id := rowInt(row, "id")
+	views := rowInt(row, "views")
+	s.db.Update("videos", id, videodb.Row{"views": views + 1})
+	row["views"] = views + 1
+	v := view{Page: "watch", Title: rowString(row, "title"), Video: s.videoView(row)}
+	v.Qualities = strings.Split(rowString(row, "renditions"), ",")
 	if u := s.currentUser(r); u != nil {
-		v.Owner = u["id"] == row["uploader_id"] || u["admin"].(bool)
+		v.Owner = u["id"] == row["uploader_id"] || rowBool(u, "admin")
 	}
 	// Related videos (§IV-A "related ranking methods").
 	for _, hit := range s.Index().MoreLikeThis(id, 5) {
@@ -331,11 +372,10 @@ func (s *Site) handleWatch(w http.ResponseWriter, r *http.Request) {
 	}
 	comments, _ := s.db.Select("comments", "video_id", id)
 	for _, c := range comments {
-		name := "anonymous"
-		if u, err := s.db.Get("users", c["user_id"].(int64)); err == nil {
-			name = u["username"].(string)
-		}
-		v.Comments = append(v.Comments, commentView{User: name, Text: c["text"].(string)})
+		v.Comments = append(v.Comments, commentView{
+			User: s.userName(rowInt(c, "user_id"), "anonymous"),
+			Text: rowString(c, "text"),
+		})
 	}
 	s.render(w, r, v)
 }
@@ -346,10 +386,16 @@ func (s *Site) handleStream(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	path := row["path"].(string)
+	path := rowString(row, "path")
+	if path == "" {
+		// Conversion still in flight, or a malformed row: either way there
+		// is nothing to stream yet.
+		http.Error(w, "video file not available", http.StatusInternalServerError)
+		return
+	}
 	// quality=<label> selects a rendition; the default is the target.
 	if q := r.FormValue("quality"); q != "" && q != QualityLabel(s.target) {
-		available := strings.Split(row["renditions"].(string), ",")
+		available := strings.Split(rowString(row, "renditions"), ",")
 		found := false
 		for _, label := range available {
 			if label == q {
@@ -362,7 +408,7 @@ func (s *Site) handleStream(w http.ResponseWriter, r *http.Request) {
 				http.StatusNotFound)
 			return
 		}
-		path = fmt.Sprintf("videos/%d-%s.vcf", row["id"].(int64), q)
+		path = fmt.Sprintf("videos/%d-%s.vcf", rowInt(row, "id"), q)
 	}
 	rd, err := s.store.OpenSeeker(path)
 	if err != nil {
@@ -392,10 +438,10 @@ func (s *Site) handleComment(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.db.Insert("comments", videodb.Row{
-		"video_id": row["id"].(int64), "user_id": user["id"].(int64), "text": text,
+		"video_id": rowInt(row, "id"), "user_id": rowInt(user, "id"), "text": text,
 	})
 	s.reg.Counter("comments").Inc()
-	http.Redirect(w, r, fmt.Sprintf("/watch/%d", row["id"].(int64)), http.StatusSeeOther)
+	http.Redirect(w, r, fmt.Sprintf("/watch/%d", rowInt(row, "id")), http.StatusSeeOther)
 }
 
 func (s *Site) handleReport(w http.ResponseWriter, r *http.Request) {
@@ -404,9 +450,9 @@ func (s *Site) handleReport(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	s.db.Update("videos", row["id"].(int64), videodb.Row{"reports": row["reports"].(int64) + 1})
+	s.db.Update("videos", rowInt(row, "id"), videodb.Row{"reports": rowInt(row, "reports") + 1})
 	s.reg.Counter("reports").Inc()
-	http.Redirect(w, r, fmt.Sprintf("/watch/%d", row["id"].(int64)), http.StatusSeeOther)
+	http.Redirect(w, r, fmt.Sprintf("/watch/%d", rowInt(row, "id")), http.StatusSeeOther)
 }
 
 func (s *Site) authorizeOwner(r *http.Request) (videodb.Row, error) {
@@ -418,7 +464,7 @@ func (s *Site) authorizeOwner(r *http.Request) (videodb.Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	if user["id"] != row["uploader_id"] && !user["admin"].(bool) {
+	if user["id"] != row["uploader_id"] && !rowBool(user, "admin") {
 		return nil, errors.New("web: not the uploader")
 	}
 	return row, nil
@@ -430,16 +476,17 @@ func (s *Site) handleDelete(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusForbidden)
 		return
 	}
-	id := row["id"].(int64)
-	if path := row["path"].(string); path != "" {
+	id := rowInt(row, "id")
+	if path := rowString(row, "path"); path != "" {
 		s.store.Remove(path)
 	}
 	s.db.Delete("videos", id)
 	s.Index().Remove(id)
 	comments, _ := s.db.Select("comments", "video_id", id)
 	for _, c := range comments {
-		s.db.Delete("comments", c["id"].(int64))
+		s.db.Delete("comments", rowInt(c, "id"))
 	}
+	s.invalidateRecent()
 	s.reg.Counter("videos_deleted").Inc()
 	http.Redirect(w, r, "/", http.StatusSeeOther)
 }
@@ -450,7 +497,7 @@ func (s *Site) handleEdit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusForbidden)
 		return
 	}
-	id := row["id"].(int64)
+	id := rowInt(row, "id")
 	title := strings.TrimSpace(r.FormValue("title"))
 	if title == "" {
 		http.Error(w, "title required", http.StatusBadRequest)
@@ -459,6 +506,7 @@ func (s *Site) handleEdit(w http.ResponseWriter, r *http.Request) {
 	desc := r.FormValue("description")
 	s.db.Update("videos", id, videodb.Row{"title": title, "description": desc})
 	s.Index().Add(search.Document{ID: id, Title: title, Body: desc})
+	s.invalidateRecent()
 	http.Redirect(w, r, fmt.Sprintf("/watch/%d", id), http.StatusSeeOther)
 }
 
@@ -470,7 +518,7 @@ func (s *Site) handleMy(w http.ResponseWriter, r *http.Request) {
 		http.Redirect(w, r, "/login", http.StatusSeeOther)
 		return
 	}
-	rows, _ := s.db.Select("videos", "uploader_id", user["id"].(int64))
+	rows, _ := s.db.Select("videos", "uploader_id", rowInt(user, "id"))
 	v := view{Page: "my", Title: "My videos"}
 	for _, row := range rows {
 		v.Hits = append(v.Hits, s.videoView(row))
@@ -480,16 +528,19 @@ func (s *Site) handleMy(w http.ResponseWriter, r *http.Request) {
 
 func (s *Site) handleAdmin(w http.ResponseWriter, r *http.Request) {
 	user := s.currentUser(r)
-	if user == nil || !user["admin"].(bool) {
+	if user == nil || !rowBool(user, "admin") {
 		http.Error(w, "administrators only", http.StatusForbidden)
 		return
 	}
 	v := view{Page: "admin", Title: "Admin"}
 	users, _ := s.db.Scan("users", func(videodb.Row) bool { return true })
 	for _, u := range users {
-		v.Users = append(v.Users, userView{Name: u["username"].(string), Blocked: u["blocked"].(bool)})
+		v.Users = append(v.Users, userView{Name: rowString(u, "username"), Blocked: rowBool(u, "blocked")})
 	}
-	reported, _ := s.db.Scan("videos", func(row videodb.Row) bool { return row["reports"].(int64) > 0 })
+	reported, _ := s.db.Scan("videos", func(row videodb.Row) bool {
+		reports, _ := row["reports"].(int64)
+		return reports > 0
+	})
 	for _, row := range reported {
 		v.Hits = append(v.Hits, s.videoView(row))
 	}
@@ -498,7 +549,7 @@ func (s *Site) handleAdmin(w http.ResponseWriter, r *http.Request) {
 
 func (s *Site) handleBlock(w http.ResponseWriter, r *http.Request) {
 	user := s.currentUser(r)
-	if user == nil || !user["admin"].(bool) {
+	if user == nil || !rowBool(user, "admin") {
 		http.Error(w, "administrators only", http.StatusForbidden)
 		return
 	}
@@ -510,13 +561,18 @@ func (s *Site) handleBlock(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
+	targetID := rowInt(target, "id")
 	blocked := r.FormValue("blocked") != "false"
-	s.db.Update("users", target["id"].(int64), videodb.Row{"blocked": blocked})
+	s.db.Update("users", targetID, videodb.Row{"blocked": blocked})
+	// Moderation must be visible immediately: drop the target's cached
+	// username and the recent list it may appear in.
+	s.invalidateUser(targetID)
+	s.invalidateRecent()
 	if blocked {
 		// Kill the blocked user's sessions.
 		s.mu.Lock()
 		for tok, uid := range s.sessions {
-			if uid == target["id"].(int64) {
+			if uid == targetID {
 				delete(s.sessions, tok)
 			}
 		}

@@ -1,0 +1,155 @@
+package web
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"videocloud/internal/metrics"
+)
+
+// defaultMaxInFlight is the admission limit when Config.MaxInFlight is zero:
+// requests beyond it are shed with 503 instead of queueing unboundedly — the
+// serving tier degrades predictably when the paper's "heavy traffic" arrives
+// faster than the hardware can drain it.
+const defaultMaxInFlight = 256
+
+// routeMetrics holds the pre-resolved instruments for one route so the hot
+// path never takes the registry's name-lookup lock.
+type routeMetrics struct {
+	route    string
+	requests *metrics.Counter
+	latency  *metrics.Histogram
+	inflight *metrics.Gauge
+	panics   *metrics.Counter
+	status   [6]*metrics.Counter // status[c] counts HTTP c00-c99 responses
+}
+
+// RouteStats is a point-in-time summary of one route's traffic, surfaced
+// through core.Status and the experiment tables.
+type RouteStats struct {
+	Route    string
+	Requests int64
+	InFlight int64
+	Panics   int64
+	// StatusNxx count responses by status class.
+	Status2xx, Status3xx, Status4xx, Status5xx int64
+	// Latency summarises per-request wall time in seconds.
+	Latency metrics.Snapshot
+}
+
+// RouteStats returns per-route traffic summaries in registration order.
+func (s *Site) RouteStats() []RouteStats {
+	out := make([]RouteStats, 0, len(s.routeMetrics))
+	for _, rm := range s.routeMetrics {
+		out = append(out, RouteStats{
+			Route:     rm.route,
+			Requests:  rm.requests.Value(),
+			InFlight:  rm.inflight.Value(),
+			Panics:    rm.panics.Value(),
+			Status2xx: rm.status[2].Value(),
+			Status3xx: rm.status[3].Value(),
+			Status4xx: rm.status[4].Value(),
+			Status5xx: rm.status[5].Value(),
+			Latency:   rm.latency.Snapshot(),
+		})
+	}
+	return out
+}
+
+// metricsFor returns the route's instruments, creating them on first use.
+// GET/POST pairs of the same page share one set. Only called from routes()
+// and tests, before traffic arrives, so no lock is needed.
+func (s *Site) metricsFor(route string) *routeMetrics {
+	for _, rm := range s.routeMetrics {
+		if rm.route == route {
+			return rm
+		}
+	}
+	rm := &routeMetrics{
+		route:    route,
+		requests: s.reg.Counter("http_" + route + "_requests"),
+		latency:  s.reg.Histogram("http_" + route + "_latency_seconds"),
+		inflight: s.reg.Gauge("http_" + route + "_inflight"),
+		panics:   s.reg.Counter("http_" + route + "_panics"),
+	}
+	for c := 2; c <= 5; c++ {
+		rm.status[c] = s.reg.Counter(fmt.Sprintf("http_%s_status_%dxx", route, c))
+	}
+	s.routeMetrics = append(s.routeMetrics, rm)
+	return rm
+}
+
+// statusRecorder captures the response status for the status-class counters
+// while passing writes straight through (including Flush for streaming).
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusRecorder) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusRecorder) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps a handler with the serving-path middleware: admission
+// control (shed with 503 over the in-flight limit), per-route request/
+// status/latency/in-flight instruments, and panic recovery so one malformed
+// request can never take down the handler goroutine silently.
+func (s *Site) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	rm := s.metricsFor(route)
+	shed := s.reg.Counter("http_shed")
+	globalInflight := s.reg.Gauge("http_inflight")
+	return func(w http.ResponseWriter, r *http.Request) {
+		n := s.inflightNow.Add(1)
+		if n > s.maxInFlight {
+			s.inflightNow.Add(-1)
+			shed.Inc()
+			http.Error(w, "server busy — try again shortly", http.StatusServiceUnavailable)
+			return
+		}
+		globalInflight.Set(n)
+		rm.inflight.Add(1)
+		rm.requests.Inc()
+		sw := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				rm.panics.Inc()
+				s.reg.Counter("http_panics").Inc()
+				log.Printf("web: panic in %s handler: %v", route, p)
+				if sw.status == 0 {
+					http.Error(sw.ResponseWriter, "internal error", http.StatusInternalServerError)
+					sw.status = http.StatusInternalServerError
+				}
+			}
+			rm.latency.ObserveDuration(time.Since(start))
+			class := sw.status / 100
+			if sw.status == 0 {
+				class = 2 // nothing written: net/http sends 200 on close
+			}
+			if class >= 2 && class <= 5 {
+				rm.status[class].Inc()
+			}
+			rm.inflight.Add(-1)
+			globalInflight.Set(s.inflightNow.Add(-1))
+		}()
+		h(sw, r)
+	}
+}

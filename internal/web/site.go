@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 
 	"videocloud/internal/fusebridge"
 	"videocloud/internal/metrics"
@@ -39,6 +40,9 @@ type Config struct {
 	Renditions []video.Spec
 	// AdminUser is created at startup with AdminPassword.
 	AdminUser, AdminPassword string
+	// MaxInFlight bounds concurrently admitted requests; excess load is
+	// shed with 503. Zero selects a default of 256.
+	MaxInFlight int
 }
 
 // QualityLabel names a rendition by its vertical resolution ("720p").
@@ -54,6 +58,12 @@ type Site struct {
 	renditions []video.Spec
 	reg        *metrics.Registry
 	mux        *http.ServeMux
+
+	// Serving-path state (middleware.go, cache.go).
+	routeMetrics []*routeMetrics
+	inflightNow  atomic.Int64
+	maxInFlight  int64
+	cache        hotCache
 
 	mu           sync.Mutex
 	sessions     map[string]int64 // token -> user id
@@ -91,6 +101,10 @@ func New(cfg Config) (*Site, error) {
 		renditions: cfg.Renditions,
 		reg:        metrics.NewRegistry(),
 		sessions:   make(map[string]int64),
+	}
+	s.maxInFlight = int64(cfg.MaxInFlight)
+	if s.maxInFlight == 0 {
+		s.maxInFlight = defaultMaxInFlight
 	}
 	if err := s.createSchema(); err != nil {
 		return nil, err
@@ -165,11 +179,13 @@ func (s *Site) Documents() []search.Document {
 	rows, _ := s.db.Scan("videos", func(videodb.Row) bool { return true })
 	docs := make([]search.Document, 0, len(rows))
 	for _, row := range rows {
-		docs = append(docs, search.Document{
-			ID:    row["id"].(int64),
-			Title: row["title"].(string),
-			Body:  row["description"].(string),
-		})
+		id, ok := row["id"].(int64)
+		if !ok {
+			continue // drifted row: nothing indexable
+		}
+		title, _ := row["title"].(string)
+		body, _ := row["description"].(string)
+		docs = append(docs, search.Document{ID: id, Title: title, Body: body})
 	}
 	return docs
 }
@@ -229,18 +245,19 @@ func (s *Site) login(username, password string) (string, error) {
 	if err != nil {
 		return "", errors.New("web: unknown user or wrong password")
 	}
-	if hashPassword(password, row["salt"].(string)) != row["password_hash"].(string) {
+	hash := rowString(row, "password_hash")
+	if hash == "" || hashPassword(password, rowString(row, "salt")) != hash {
 		return "", errors.New("web: unknown user or wrong password")
 	}
-	if !row["verified"].(bool) {
+	if !rowBool(row, "verified") {
 		return "", errors.New("web: account not verified — follow the email link first")
 	}
-	if row["blocked"].(bool) {
+	if rowBool(row, "blocked") {
 		return "", errors.New("web: account blocked by the administrator")
 	}
 	token := randomToken()
 	s.mu.Lock()
-	s.sessions[token] = row["id"].(int64)
+	s.sessions[token] = rowInt(row, "id")
 	s.mu.Unlock()
 	s.reg.Counter("logins").Inc()
 	return token, nil

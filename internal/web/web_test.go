@@ -25,7 +25,7 @@ type browser struct {
 	srv *httptest.Server
 }
 
-func newSite(t *testing.T) (*Site, *hdfs.Cluster) {
+func newSite(t testing.TB) (*Site, *hdfs.Cluster) {
 	t.Helper()
 	cluster := hdfs.NewCluster(4, 256*1024)
 	mount, err := fusebridge.New(cluster.Client(""), "/site", 2)
