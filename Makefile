@@ -1,12 +1,14 @@
 # Tier-1 verification gate: every PR must keep this green. The race
 # detector is part of the gate so concurrency regressions in the serving
-# path (web.Site, caches, metrics) are caught before merge.
+# path (web.Site, caches, metrics) are caught before merge; the allocation
+# regression check guards the conversion hot path (alloc tests skip under
+# -race, so they get a dedicated non-race run).
 
 GO ?= go
 
-.PHONY: tier1 vet build test race bench
+.PHONY: tier1 vet build test race alloccheck bench benchall
 
-tier1: vet build race
+tier1: vet build race alloccheck
 
 vet:
 	$(GO) vet ./...
@@ -20,5 +22,16 @@ test:
 race:
 	$(GO) test -race ./...
 
+alloccheck:
+	$(GO) test -run 'TestAlloc' ./internal/video/
+
+# Conversion-path benchmarks: -cpu 1,4 shows how the worker pool scales
+# with real cores; results land in BENCH_convert.json for regression
+# comparison across PRs.
 bench:
+	$(GO) test -json -run '^$$' -bench 'BenchmarkTranscoderConvert|BenchmarkFarm|BenchmarkSplit|BenchmarkMerge' \
+		-benchmem -cpu 1,4 ./internal/video/ > BENCH_convert.json
+	@echo "wrote BENCH_convert.json ($$(grep -c ns/op BENCH_convert.json) benchmark results)"
+
+benchall:
 	$(GO) test -bench . -benchtime 1x ./...

@@ -32,11 +32,14 @@ func main() {
 	seed := flag.Int("seed", 3, "demo videos to pre-populate")
 	admin := flag.String("admin", "admin", "admin account name")
 	adminPass := flag.String("admin-pass", "admin", "admin account password")
+	transcodeWorkers := flag.Int("transcode-workers", 0,
+		"async conversion pool size (0 = convert uploads inline)")
 	flag.Parse()
 
 	vc, err := core.New(core.Config{
 		PhysicalHosts: *hosts, DataVMs: *dataVMs,
 		AdminUser: *admin, AdminPassword: *adminPass,
+		TranscodeWorkers: *transcodeWorkers,
 	})
 	if err != nil {
 		log.Fatalf("boot: %v", err)

@@ -55,6 +55,11 @@ type Config struct {
 	Target video.Spec
 	// AdminUser/AdminPassword seed the site's administrator account.
 	AdminUser, AdminPassword string
+	// TranscodeWorkers sizes the site's asynchronous conversion pool; zero
+	// keeps uploads synchronous (see web.Config.TranscodeWorkers).
+	TranscodeWorkers int
+	// TranscodeQueueCap bounds the async transcode intake queue.
+	TranscodeQueueCap int
 }
 
 func (c Config) withDefaults() Config {
@@ -184,11 +189,13 @@ func New(cfg Config) (*VideoCloud, error) {
 
 	// ---- SaaS: the website, converting uploads on the data VMs ----
 	vc.site, err = web.New(web.Config{
-		Store:         vc.mount,
-		Farm:          video.Farm{Nodes: trackers},
-		Target:        cfg.Target,
-		AdminUser:     cfg.AdminUser,
-		AdminPassword: cfg.AdminPassword,
+		Store:             vc.mount,
+		Farm:              video.Farm{Nodes: trackers},
+		Target:            cfg.Target,
+		AdminUser:         cfg.AdminUser,
+		AdminPassword:     cfg.AdminPassword,
+		TranscodeWorkers:  cfg.TranscodeWorkers,
+		TranscodeQueueCap: cfg.TranscodeQueueCap,
 	})
 	if err != nil {
 		return nil, err
@@ -354,6 +361,9 @@ type Status struct {
 	// Routes carries the serving tier's per-route request counts, status
 	// classes, in-flight gauges, and latency quantiles.
 	Routes []web.RouteStats
+	// Transcode reports the async conversion pool: workers, queue depth,
+	// job counts, queue wait, and measured wall-clock conversion time.
+	Transcode web.TranscodeStats
 }
 
 // Status returns a point-in-time summary.
@@ -369,5 +379,13 @@ func (vc *VideoCloud) Status() Status {
 		IndexDocs:  vc.site.Index().Docs(),
 		VirtualNow: vc.cloud.Now(),
 		Routes:     vc.site.RouteStats(),
+		Transcode:  vc.site.TranscodeStats(),
 	}
 }
+
+// DrainTranscodes waits for every queued upload conversion to finish
+// (no-op for a synchronous site).
+func (vc *VideoCloud) DrainTranscodes() { vc.site.DrainTranscodes() }
+
+// Close shuts down the site's transcode pool after draining queued jobs.
+func (vc *VideoCloud) Close() { vc.site.Close() }

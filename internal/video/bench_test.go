@@ -1,0 +1,115 @@
+package video
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Conversion-path benchmarks (make bench records these with -benchmem -cpu
+// 1,4 into BENCH_convert.json). BenchmarkFarmConvert/workers=N is the
+// headline: real wall-clock scaling of the worker pool; run with -cpu 1,4 it
+// also shows how much a single core caps the pool.
+
+func benchSrc(b *testing.B, seconds int) []byte {
+	b.Helper()
+	src := Spec{Codec: MPEG4, Res: R480p, FPS: 30, GOPSeconds: 2, BitrateBps: 1_500_000}
+	data, err := Generate(src, seconds, 2012)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return data
+}
+
+func benchDst() Spec {
+	return Spec{Codec: H264, Res: R720p, FPS: 30, GOPSeconds: 2, BitrateBps: 2_000_000}
+}
+
+func BenchmarkTranscoderConvert(b *testing.B) {
+	data := benchSrc(b, 120)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (Transcoder{}).Convert(data, benchDst()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFarmConvert(b *testing.B) {
+	data := benchSrc(b, 120)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			nodes := make([]string, workers)
+			for i := range nodes {
+				nodes[i] = fmt.Sprintf("n%d", i)
+			}
+			farm := Farm{Nodes: nodes, SegmentsPerNode: 4}
+			b.SetBytes(int64(len(data)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := farm.Convert(data, benchDst()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFarmConvertMulti(b *testing.B) {
+	data := benchSrc(b, 120)
+	mobile := Spec{Codec: H264, Res: R360p, FPS: 30, GOPSeconds: 2, BitrateBps: 500_000}
+	farm := Farm{Nodes: []string{"n0", "n1", "n2", "n3"}}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := farm.ConvertMulti(data, benchDst(), mobile); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFarmConvertPerRendition is the old ProcessUpload pattern — one
+// full farm pass per rendition — kept as the baseline ConvertMulti beats.
+func BenchmarkFarmConvertPerRendition(b *testing.B) {
+	data := benchSrc(b, 120)
+	mobile := Spec{Codec: H264, Res: R360p, FPS: 30, GOPSeconds: 2, BitrateBps: 500_000}
+	farm := Farm{Nodes: []string{"n0", "n1", "n2", "n3"}}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, target := range []Spec{benchDst(), mobile} {
+			if _, err := farm.Convert(data, target); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkSplit(b *testing.B) {
+	data := benchSrc(b, 120)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Split(data, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	segs, err := Split(benchSrc(b, 120), 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var total int64
+	for _, s := range segs {
+		total += int64(len(s))
+	}
+	b.SetBytes(total)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Merge(segs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,7 +1,12 @@
 package video
 
 import (
+	"context"
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 )
 
@@ -10,10 +15,14 @@ import (
 // same time and later integrate with the previous. It takes even less
 // execution time than transferring files by FFmpeg on a single node."
 //
-// Conversion work is real (every byte is rewritten); the reported duration
-// comes from a list schedule of segment tasks over node slots plus the
-// scatter/gather network cost, so the speedup curve of experiment E2 is
-// deterministic and hardware-independent.
+// Conversion work is real (every byte is rewritten) and really parallel: the
+// file is parsed and partitioned once, and per-node worker goroutines drain a
+// longest-processing-time-ordered task queue, writing each converted GOP
+// directly into a pre-sized output buffer. The *reported* duration still
+// comes from a deterministic list schedule of segment tasks over node slots
+// plus the scatter/gather network cost, so the speedup curve of experiment
+// E2 is hardware-independent; the measured wall clock of the real parallel
+// work is reported separately (FarmResult.WallDuration).
 type Farm struct {
 	// Nodes are the worker names; one conversion slot each (FFmpeg
 	// pegs a core per encode).
@@ -27,7 +36,16 @@ type Farm struct {
 	// len(Nodes)*SegmentsPerNode segments (default 2 — finer grain evens
 	// out the last-segment straggler).
 	SegmentsPerNode int
+	// FaultHook, when non-nil, runs before each segment task; a non-nil
+	// error fails the conversion and cancels in-flight workers. It exists
+	// for fault injection in tests and chaos experiments (the same role
+	// videodb.RawPut plays for drifted rows).
+	FaultHook func(node string, segment int) error
 }
+
+// ErrNoNodes is returned by conversions on a farm with an empty node list,
+// so callers can distinguish misconfiguration from conversion failure.
+var ErrNoNodes = errors.New("video: farm has no conversion nodes")
 
 func (f Farm) nodeSpeed() float64 {
 	if f.NodeSpeed <= 0 {
@@ -62,7 +80,11 @@ type FarmResult struct {
 	// SingleNodeDuration is the modelled time one node would need (the
 	// baseline the paper compares against).
 	SingleNodeDuration time.Duration
-	Segments           []SegmentStat
+	// WallDuration is the measured wall-clock time of the real parallel
+	// conversion work. For ConvertMulti it is the wall clock of the whole
+	// batch (all renditions share one worker pool).
+	WallDuration time.Duration
+	Segments     []SegmentStat
 }
 
 // Speedup returns SingleNodeDuration / Duration.
@@ -73,87 +95,293 @@ func (r *FarmResult) Speedup() float64 {
 	return float64(r.SingleNodeDuration) / float64(r.Duration)
 }
 
-// Convert runs the split → parallel transcode → merge pipeline.
+// segTask is one unit of farm work: convert the GOPs of one segment to one
+// target rendition.
+type segTask struct {
+	target   int
+	seg      int
+	bounds   segBounds
+	inBytes  int64
+	outBytes int64
+	// cost is the modelled compute + scatter/gather time on one node.
+	cost time.Duration
+}
+
+// nodeSlot is a node's modelled timeline in the deterministic list schedule.
+type nodeSlot struct {
+	name string
+	free time.Duration
+}
+
+// convScratch is the per-conversion scheduling state. Conversions run once
+// per upload on the serving hot path, so the slices are pooled instead of
+// reallocated every call.
+type convScratch struct {
+	tasks []segTask
+	order []int
+	slots []nodeSlot
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(convScratch) }}
+
+// Convert runs the split → parallel transcode → merge pipeline for one
+// target rendition.
 func (f Farm) Convert(data []byte, target Spec) (*FarmResult, error) {
-	if len(f.Nodes) == 0 {
-		return nil, fmt.Errorf("video: farm with no nodes")
-	}
-	info, _, err := Parse(data)
+	return f.ConvertContext(context.Background(), data, target)
+}
+
+// ConvertContext is Convert with caller-controlled cancellation.
+func (f Farm) ConvertContext(ctx context.Context, data []byte, target Spec) (*FarmResult, error) {
+	results, err := f.ConvertMultiContext(ctx, data, target)
 	if err != nil {
 		return nil, err
+	}
+	return results[0], nil
+}
+
+// ConvertMulti converts one upload to every target rendition through a
+// single pass: the source is parsed and partitioned once, and all
+// (segment × rendition) tasks drain through one worker pool. Results are
+// returned in target order, each bit-identical to a standalone Convert.
+func (f Farm) ConvertMulti(data []byte, targets ...Spec) ([]*FarmResult, error) {
+	return f.ConvertMultiContext(context.Background(), data, targets...)
+}
+
+// ConvertMultiContext is ConvertMulti with caller-controlled cancellation.
+func (f Farm) ConvertMultiContext(ctx context.Context, data []byte, targets ...Spec) ([]*FarmResult, error) {
+	if len(f.Nodes) == 0 {
+		return nil, ErrNoNodes
+	}
+	if len(targets) == 0 {
+		return nil, errors.New("video: conversion with no targets")
+	}
+	info, gops, err := Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range targets {
+		if err := t.validate(); err != nil {
+			return nil, err
+		}
+		if t.GOPSeconds != info.Spec.GOPSeconds {
+			return nil, fmt.Errorf("video: GOP cadence change %d->%d not supported",
+				info.Spec.GOPSeconds, t.GOPSeconds)
+		}
 	}
 	perNode := f.SegmentsPerNode
 	if perNode <= 0 {
 		perNode = 2
 	}
-	segments, err := Split(data, len(f.Nodes)*perNode)
+	bounds := partition(len(gops), len(f.Nodes)*perNode)
+
+	// Pre-size one output buffer per rendition; workers write converted
+	// GOPs directly at their computed offsets, so assembly needs no merge
+	// pass and no per-GOP allocation.
+	outInfos := make([]Info, len(targets))
+	outs := make([][]byte, len(targets))
+	headerLens := make([]int, len(targets))
+	seeds := make([]uint64, len(targets))
+	for ti, t := range targets {
+		outInfos[ti] = Info{
+			Spec: t, DurationSeconds: info.DurationSeconds,
+			GOPs: info.GOPs, FirstGOP: info.FirstGOP,
+		}
+		buf := appendHeader(make([]byte, 0, outInfos[ti].Size()), outInfos[ti])
+		headerLens[ti] = len(buf)
+		outs[ti] = buf[:outInfos[ti].Size()]
+		seeds[ti] = specSeed(t)
+	}
+
+	scratch := scratchPool.Get().(*convScratch)
+	defer func() {
+		scratch.tasks = scratch.tasks[:0]
+		scratch.order = scratch.order[:0]
+		scratch.slots = scratch.slots[:0]
+		scratchPool.Put(scratch)
+	}()
+	tasks := scratch.tasks[:0]
+	for ti, t := range targets {
+		for si, b := range bounds {
+			segInfo := segmentInfo(info, b)
+			inBytes := headerSize(segInfo)
+			for _, g := range gops[b.start:b.end] {
+				inBytes += gopHeaderLen + g.length
+			}
+			outSegInfo := segInfo
+			outSegInfo.Spec = t
+			cpu := CostSeconds(info.Spec, t, float64(segInfo.DurationSeconds)) / f.nodeSpeed()
+			xfer := (float64(inBytes) + float64(outSegInfo.Size())) / f.netBandwidth()
+			tasks = append(tasks, segTask{
+				target: ti, seg: si, bounds: b,
+				inBytes: inBytes, outBytes: outSegInfo.Size(),
+				cost: time.Duration(cpu*float64(time.Second)) +
+					time.Duration(xfer*float64(time.Second)),
+			})
+		}
+	}
+
+	// Longest-processing-time order: workers grab the big segments first so
+	// the stragglers land at the end of the schedule, which is also what
+	// the deterministic model below assumes.
+	order := scratch.order[:0]
+	for i := range tasks {
+		order = append(order, i)
+	}
+	lptLess := func(a, b segTask) bool {
+		if a.cost != b.cost {
+			return a.cost > b.cost
+		}
+		if a.target != b.target {
+			return a.target < b.target
+		}
+		return a.seg < b.seg
+	}
+	sort.Slice(order, func(a, b int) bool { return lptLess(tasks[order[a]], tasks[order[b]]) })
+	scratch.tasks, scratch.order = tasks, order
+
+	wall, err := f.runPool(ctx, data, gops, tasks, order, targets, seeds, outs, headerLens)
 	if err != nil {
 		return nil, err
 	}
-	tr := Transcoder{Speed: f.nodeSpeed()}
 
-	// One slot per node; segments scheduled longest-first onto the
-	// earliest-free node (LPT list scheduling, what a work queue
-	// converges to).
-	type slot struct {
-		name string
-		free time.Duration
-	}
-	slots := make([]*slot, len(f.Nodes))
-	for i, n := range f.Nodes {
-		slots[i] = &slot{name: n}
-	}
-	converted := make([][]byte, len(segments))
-	var stats []SegmentStat
-	var makespan time.Duration
-	for i, seg := range segments {
-		segInfo, segGOPs, perr := Parse(seg)
-		if perr != nil {
-			return nil, perr
+	// Deterministic modelled schedule, one per rendition, identical to what
+	// a standalone Convert of that rendition reports: LPT list scheduling
+	// of the rendition's segments over one slot per node.
+	results := make([]*FarmResult, len(targets))
+	for ti, t := range targets {
+		slots := scratch.slots[:0]
+		for _, n := range f.Nodes {
+			slots = append(slots, nodeSlot{name: n})
 		}
-		res, cerr := tr.Convert(seg, target)
-		if cerr != nil {
-			return nil, cerr
-		}
-		converted[i] = res.Output
-		// Scatter this segment to the node and gather the result.
-		xfer := time.Duration((float64(len(seg)) + float64(len(res.Output))) /
-			f.netBandwidth() * float64(time.Second))
-		cost := res.CPUTime + xfer
-		s := slots[0]
-		for _, cand := range slots[1:] {
-			if cand.free < s.free || (cand.free == s.free && cand.name < s.name) {
-				s = cand
+		stats := make([]SegmentStat, len(bounds))
+		var makespan time.Duration
+		for _, i := range order {
+			tk := tasks[i]
+			if tk.target != ti {
+				continue
+			}
+			s := 0
+			for c := 1; c < len(slots); c++ {
+				if slots[c].free < slots[s].free ||
+					(slots[c].free == slots[s].free && slots[c].name < slots[s].name) {
+					s = c
+				}
+			}
+			start := slots[s].free
+			slots[s].free += tk.cost
+			if slots[s].free > makespan {
+				makespan = slots[s].free
+			}
+			stats[tk.seg] = SegmentStat{
+				Node: slots[s].name, GOPs: tk.bounds.end - tk.bounds.start,
+				InBytes: tk.inBytes, Start: start, End: slots[s].free,
 			}
 		}
-		start := s.free
-		s.free += cost
-		if s.free > makespan {
-			makespan = s.free
+		scratch.slots = slots[:0]
+		// Merge cost: re-writing the output once at disk speed.
+		mergeCost := time.Duration(float64(len(outs[ti])) / 120e6 * float64(time.Second))
+		single := CostSeconds(info.Spec, t, float64(info.DurationSeconds)) / f.nodeSpeed()
+		results[ti] = &FarmResult{
+			Output:             outs[ti],
+			Info:               outInfos[ti],
+			Duration:           makespan + mergeCost,
+			SingleNodeDuration: time.Duration(single * float64(time.Second)),
+			WallDuration:       wall,
+			Segments:           stats,
 		}
-		stats = append(stats, SegmentStat{
-			Node: s.name, GOPs: len(segGOPs), InBytes: int64(len(seg)),
-			Start: start, End: s.free,
-		})
-		_ = segInfo
 	}
-	merged, err := Merge(converted)
-	if err != nil {
-		return nil, err
-	}
-	outInfo, _, err := Parse(merged)
-	if err != nil {
-		return nil, err
-	}
-	// Merge cost: re-writing the output once at disk speed.
-	mergeCost := time.Duration(float64(len(merged)) / 120e6 * float64(time.Second))
+	return results, nil
+}
 
-	single := CostSeconds(info.Spec, target, float64(info.DurationSeconds)) / f.nodeSpeed()
-	return &FarmResult{
-		Output:             merged,
-		Info:               outInfo,
-		Duration:           makespan + mergeCost,
-		SingleNodeDuration: time.Duration(single * float64(time.Second)),
-		Segments:           stats,
-	}, nil
+// runPool executes the task list on min(nodes, tasks) worker goroutines.
+// The first failing task cancels the shared context; workers drain the
+// remaining queue without doing work, and in-flight segment loops abort at
+// their next GOP-batch cancellation check.
+func (f Farm) runPool(ctx context.Context, data []byte, gops []gopRange,
+	tasks []segTask, order []int, targets []Spec, seeds []uint64,
+	outs [][]byte, headerLens []int) (time.Duration, error) {
+
+	if len(tasks) == 0 {
+		return 0, ctx.Err()
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	workers := len(f.Nodes)
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	taskCh := make(chan segTask)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		node := f.Nodes[w]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tk := range taskCh {
+				if cctx.Err() != nil {
+					continue // cancelled: drain without working
+				}
+				if f.FaultHook != nil {
+					if err := f.FaultHook(node, tk.seg); err != nil {
+						fail(err)
+						continue
+					}
+				}
+				if err := runTask(cctx, data, gops, targets[tk.target],
+					seeds[tk.target], outs[tk.target], headerLens[tk.target], tk); err != nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+	for _, i := range order {
+		if cctx.Err() != nil {
+			break
+		}
+		select {
+		case taskCh <- tasks[i]:
+		case <-cctx.Done():
+		}
+	}
+	close(taskCh)
+	wg.Wait()
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return time.Since(start), ctx.Err()
+}
+
+// runTask converts one segment's GOPs for one rendition, writing framing and
+// payload straight into the rendition's pre-sized output buffer. Disjoint
+// tasks touch disjoint byte ranges, so workers never contend.
+func runTask(ctx context.Context, data []byte, gops []gopRange,
+	target Spec, seed uint64, out []byte, headerLen int, tk segTask) error {
+
+	gopLen := int(target.gopBytes())
+	stride := int(gopHeaderLen) + gopLen
+	for j := tk.bounds.start; j < tk.bounds.end; j++ {
+		// Cancellation check per GOP batch: cheap enough to keep aborts
+		// prompt without a per-byte tax.
+		if (j-tk.bounds.start)%64 == 0 && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		g := gops[j]
+		buf := out[headerLen+j*stride : headerLen+(j+1)*stride]
+		copy(buf, gopMagic)
+		binary.BigEndian.PutUint32(buf[4:], g.index)
+		binary.BigEndian.PutUint32(buf[8:], uint32(gopLen))
+		transcodeGOPInto(buf[gopHeaderLen:], data[g.payload:g.payload+g.length], g.index, seed)
+	}
+	return nil
 }

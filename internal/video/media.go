@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // Codec identifies a video codec. Factors are calibrated to 2012-era x86
@@ -126,7 +127,7 @@ func Generate(spec Spec, durationSeconds int, seed uint64) ([]byte, error) {
 	}
 	gops := (durationSeconds + spec.GOPSeconds - 1) / spec.GOPSeconds
 	info := Info{Spec: spec, DurationSeconds: durationSeconds, GOPs: gops}
-	out := appendHeader(nil, info)
+	out := appendHeader(make([]byte, 0, info.Size()), info)
 	payload := make([]byte, spec.gopBytes())
 	for g := 0; g < gops; g++ {
 		fillPayload(payload, seed^uint64(g+1)*0x9e3779b97f4a7c15)
@@ -143,10 +144,17 @@ func appendHeader(dst []byte, info Info) []byte {
 }
 
 func appendGOP(dst []byte, index uint32, payload []byte) []byte {
+	dst = appendGOPHeader(dst, index, len(payload))
+	return append(dst, payload...)
+}
+
+// appendGOPHeader writes just the GOP framing (marker, index, payload
+// length); callers that produce the payload in place follow it with a
+// direct write into the pre-sized buffer.
+func appendGOPHeader(dst []byte, index uint32, payloadLen int) []byte {
 	dst = append(dst, gopMagic...)
 	dst = binary.BigEndian.AppendUint32(dst, index)
-	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
-	return append(dst, payload...)
+	return binary.BigEndian.AppendUint32(dst, uint32(payloadLen))
 }
 
 // fillPayload writes deterministic pseudo-data (splitmix-style seed mix
@@ -170,6 +178,10 @@ func fillPayload(dst []byte, seed uint64) {
 		}
 	}
 }
+
+// parseCalls counts full container parses; tests use it to prove the farm's
+// single-parse contract (ConvertMulti must not re-parse per rendition).
+var parseCalls atomic.Int64
 
 // gopRange locates one GOP's bytes within a container.
 type gopRange struct {
@@ -195,7 +207,18 @@ func Parse(data []byte) (Info, []gopRange, error) {
 	if err := info.Spec.validate(); err != nil {
 		return info, nil, err
 	}
-	var gops []gopRange
+	parseCalls.Add(1)
+	// Pre-size from the header's GOP count (bounded by what could actually
+	// fit in the file) so parsing a long video does one allocation, not a
+	// growth cascade.
+	capGOPs := info.GOPs
+	if max := int(int64(len(data)) / gopHeaderLen); capGOPs > max {
+		capGOPs = max
+	}
+	if capGOPs < 0 {
+		capGOPs = 0
+	}
+	gops := make([]gopRange, 0, capGOPs)
 	off := 8 + metaLen
 	for off < int64(len(data)) {
 		if int64(len(data)) < off+gopHeaderLen {

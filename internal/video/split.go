@@ -2,6 +2,7 @@ package video
 
 import (
 	"fmt"
+	"sort"
 )
 
 // This file implements Figure 16: "how films [are] transferred and divided
@@ -9,6 +10,44 @@ import (
 // at GOP boundaries (each GOP decodes independently, so segments are valid
 // media files), and merging restores a container bit-identical to what
 // whole-file conversion would have produced.
+
+// segBounds is one segment's GOP range [start, end) within a parsed file.
+type segBounds struct {
+	start, end int
+}
+
+// partition divides gopCount GOPs into up to n contiguous ranges, as evenly
+// as possible. It is the single source of segment boundaries shared by Split
+// and the farm (which partitions a file it has already parsed instead of
+// re-parsing per segment).
+func partition(gopCount, n int) []segBounds {
+	if n > gopCount {
+		n = gopCount
+	}
+	bounds := make([]segBounds, 0, n)
+	per := gopCount / n
+	extra := gopCount % n
+	start := 0
+	for s := 0; s < n; s++ {
+		count := per
+		if s < extra {
+			count++
+		}
+		bounds = append(bounds, segBounds{start: start, end: start + count})
+		start += count
+	}
+	return bounds
+}
+
+// segmentInfo is the metadata Split writes for GOPs [start, end).
+func segmentInfo(info Info, b segBounds) Info {
+	return Info{
+		Spec:            info.Spec,
+		DurationSeconds: segmentDuration(info, b.start, b.end),
+		GOPs:            b.end - b.start,
+		FirstGOP:        b.start,
+	}
+}
 
 // Split cuts a media file into up to n segments of whole GOPs, as evenly as
 // possible. Fewer segments are returned when the file has fewer GOPs than n.
@@ -22,31 +61,14 @@ func Split(data []byte, n int) ([][]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if n > len(gops) {
-		n = len(gops)
-	}
-	var segments [][]byte
-	per := len(gops) / n
-	extra := len(gops) % n
-	start := 0
-	for s := 0; s < n; s++ {
-		count := per
-		if s < extra {
-			count++
-		}
-		end := start + count
-		segInfo := Info{
-			Spec:            info.Spec,
-			DurationSeconds: segmentDuration(info, start, end),
-			GOPs:            count,
-			FirstGOP:        start,
-		}
-		out := appendHeader(nil, segInfo)
-		for _, g := range gops[start:end] {
+	segments := make([][]byte, 0, n)
+	for _, b := range partition(len(gops), n) {
+		segInfo := segmentInfo(info, b)
+		out := appendHeader(make([]byte, 0, segInfo.Size()), segInfo)
+		for _, g := range gops[b.start:b.end] {
 			out = appendGOP(out, g.index, data[g.payload:g.payload+g.length])
 		}
 		segments = append(segments, out)
-		start = end
 	}
 	return segments, nil
 }
@@ -82,16 +104,12 @@ func Merge(segments [][]byte) ([]byte, error) {
 		}
 		parsed[i] = seg{info: info, gops: gops, data: s}
 	}
-	// Order by FirstGOP.
-	for i := range parsed {
-		for j := i + 1; j < len(parsed); j++ {
-			if parsed[j].info.FirstGOP < parsed[i].info.FirstGOP {
-				parsed[i], parsed[j] = parsed[j], parsed[i]
-			}
-		}
-	}
+	sort.Slice(parsed, func(i, j int) bool {
+		return parsed[i].info.FirstGOP < parsed[j].info.FirstGOP
+	})
 	spec := parsed[0].info.Spec
 	totalGOPs, totalDur := 0, 0
+	var payloadBytes int64
 	for i, s := range parsed {
 		if s.info.Spec != spec {
 			return nil, fmt.Errorf("video: segment %d spec mismatch", i)
@@ -102,9 +120,12 @@ func Merge(segments [][]byte) ([]byte, error) {
 		}
 		totalGOPs += s.info.GOPs
 		totalDur += s.info.DurationSeconds
+		for _, g := range s.gops {
+			payloadBytes += gopHeaderLen + g.length
+		}
 	}
 	outInfo := Info{Spec: spec, DurationSeconds: totalDur, GOPs: totalGOPs}
-	out := appendHeader(nil, outInfo)
+	out := appendHeader(make([]byte, 0, headerSize(outInfo)+payloadBytes), outInfo)
 	for _, s := range parsed {
 		for _, g := range s.gops {
 			out = appendGOP(out, g.index, s.data[g.payload:g.payload+g.length])

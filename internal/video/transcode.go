@@ -27,10 +27,18 @@ var crcTable = crc64.MakeTable(crc64.ECMA)
 // a pure deterministic function of (input payload, GOP index, target), which
 // is what makes split-convert-merge bit-identical to whole-file conversion.
 func transcodeGOP(payload []byte, index uint32, target Spec) []byte {
-	sig := crc64.Checksum(payload, crcTable)
 	out := make([]byte, target.gopBytes())
-	fillPayload(out, sig^uint64(index+1)*0xbf58476d1ce4e5b9^specSeed(target))
+	transcodeGOPInto(out, payload, index, specSeed(target))
 	return out
+}
+
+// transcodeGOPInto is the allocation-free core of transcodeGOP: it rewrites
+// one GOP payload directly into dst (which must be target.gopBytes() long).
+// seed is the target's specSeed, hoisted out so a conversion hashes the spec
+// once instead of once per GOP.
+func transcodeGOPInto(dst, payload []byte, index uint32, seed uint64) {
+	sig := crc64.Checksum(payload, crcTable)
+	fillPayload(dst, sig^uint64(index+1)*0xbf58476d1ce4e5b9^seed)
 }
 
 func specSeed(s Spec) uint64 {
@@ -77,10 +85,21 @@ func (t Transcoder) Convert(data []byte, target Spec) (*Result, error) {
 		Spec: target, DurationSeconds: info.DurationSeconds,
 		GOPs: info.GOPs, FirstGOP: info.FirstGOP,
 	}
-	out := appendHeader(nil, outInfo)
+	// One pre-sized allocation for the whole output; each GOP is rewritten
+	// in place instead of through a per-GOP temporary.
+	out := appendHeader(make([]byte, 0, outInfo.Size()), outInfo)
+	seed := specSeed(target)
+	gopLen := int(target.gopBytes())
 	for _, g := range gops {
 		payload := data[g.payload : g.payload+g.length]
-		out = appendGOP(out, g.index, transcodeGOP(payload, g.index, target))
+		out = appendGOPHeader(out, g.index, gopLen)
+		n := len(out)
+		if cap(out) >= n+gopLen {
+			out = out[:n+gopLen]
+		} else {
+			out = append(out, make([]byte, gopLen)...)
+		}
+		transcodeGOPInto(out[n:], payload, g.index, seed)
 	}
 	secs := CostSeconds(info.Spec, target, float64(info.DurationSeconds)) / t.speed()
 	return &Result{

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"videocloud/internal/search"
 	"videocloud/internal/stream"
@@ -100,7 +101,11 @@ func (s *Site) videoView(row videodb.Row) videoView {
 	if title == "" {
 		title = "(untitled)"
 	}
+	// Tolerant read: rows from older binaries have no status column and
+	// render as ready.
+	status, _ := row["status"].(string)
 	return videoView{
+		Status:      status,
 		ID:          rowInt(row, "id"),
 		Title:       title,
 		Description: rowString(row, "description"),
@@ -286,56 +291,40 @@ func (s *Site) handleUpload(w http.ResponseWriter, r *http.Request) {
 }
 
 // ProcessUpload runs the paper's upload pipeline (Figures 14 and 16): probe
-// the file, convert it to the playback target in parallel across the farm,
-// store the result through the FUSE mount into HDFS, record film metadata
-// in the database, and index it for search. Exposed so experiments can
-// drive uploads without HTTP multipart overhead.
+// the file, record film metadata in the database, convert it to the playback
+// target plus every rendition in one farm pass, store the results through
+// the FUSE mount into HDFS, and index it for search. Exposed so experiments
+// can drive uploads without HTTP multipart overhead.
+//
+// With TranscodeWorkers configured the conversion happens asynchronously:
+// the call returns the video id as soon as the row (status "processing") is
+// queued, and the pool flips it to "ready" when playable. Without workers
+// the conversion runs inline and a failed upload leaves no row behind.
 func (s *Site) ProcessUpload(uploaderID int64, title, description string, data []byte) (int64, error) {
-	if _, err := video.Probe(data); err != nil {
-		return 0, fmt.Errorf("web: not a playable upload: %w", err)
-	}
-	res, err := s.farm.Convert(data, s.target)
+	info, err := video.Probe(data)
 	if err != nil {
-		return 0, fmt.Errorf("web: conversion failed: %w", err)
+		return 0, fmt.Errorf("web: not a playable upload: %w", err)
 	}
 	id, err := s.db.Insert("videos", videodb.Row{
 		"title": title, "description": description,
 		"uploader_id":      uploaderID,
-		"duration_seconds": int64(res.Info.DurationSeconds),
+		"duration_seconds": int64(info.DurationSeconds),
+		"status":           statusProcessing,
 	})
 	if err != nil {
 		return 0, err
 	}
-	path := fmt.Sprintf("videos/%d.vcf", id)
-	if err := s.store.WriteFile(path, res.Output); err != nil {
+	if s.queue != nil {
+		s.enqueueTranscode(transcodeJob{
+			videoID: id, title: title, description: description,
+			data: data, enqueued: time.Now(),
+		})
+		return id, nil
+	}
+	if err := s.transcodeAndPublish(id, title, description, data); err != nil {
 		s.db.Delete("videos", id)
-		return 0, fmt.Errorf("web: store failed: %w", err)
-	}
-	// Additional renditions (e.g. a mobile 360p), each converted on the
-	// farm and stored beside the main file.
-	labels := []string{QualityLabel(s.target)}
-	for _, spec := range s.renditions {
-		rres, rerr := s.farm.Convert(data, spec)
-		if rerr != nil {
-			return 0, fmt.Errorf("web: %s conversion failed: %w", QualityLabel(spec), rerr)
-		}
-		rpath := fmt.Sprintf("videos/%d-%s.vcf", id, QualityLabel(spec))
-		if werr := s.store.WriteFile(rpath, rres.Output); werr != nil {
-			return 0, fmt.Errorf("web: store %s failed: %w", QualityLabel(spec), werr)
-		}
-		labels = append(labels, QualityLabel(spec))
-	}
-	if err := s.db.Update("videos", id, videodb.Row{
-		"path": path, "renditions": strings.Join(labels, ","),
-	}); err != nil {
 		return 0, err
 	}
-	s.Index().Add(search.Document{ID: id, Title: title, Body: description})
-	s.invalidateRecent()
-	s.reg.Counter("uploads").Inc()
-	s.reg.Counter("upload_bytes").Add(int64(len(data)))
-	s.reg.Histogram("conversion_seconds").Observe(res.Duration.Seconds())
-	s.reg.Histogram("conversion_speedup").Observe(res.Speedup())
 	return id, nil
 }
 
@@ -388,8 +377,13 @@ func (s *Site) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	path := rowString(row, "path")
 	if path == "" {
-		// Conversion still in flight, or a malformed row: either way there
-		// is nothing to stream yet.
+		// Tolerant read: rows from older binaries carry no status column.
+		if status, _ := row["status"].(string); status == statusProcessing {
+			w.Header().Set("Retry-After", "2")
+			http.Error(w, "video is still processing", http.StatusServiceUnavailable)
+			return
+		}
+		// A failed conversion or a malformed row: nothing to stream.
 		http.Error(w, "video file not available", http.StatusInternalServerError)
 		return
 	}

@@ -1,0 +1,206 @@
+package web
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"videocloud/internal/search"
+	"videocloud/internal/video"
+	"videocloud/internal/videodb"
+)
+
+// Video status lifecycle. Uploads are inserted as "processing"; the farm
+// conversion flips them to "ready" (streamable) or "failed". Rows written by
+// older binaries carry no status and are treated as ready.
+const (
+	statusProcessing = "processing"
+	statusReady      = "ready"
+	statusFailed     = "failed"
+)
+
+// defaultTranscodeQueueCap bounds the async intake when the config leaves
+// TranscodeQueueCap zero. A full queue blocks uploaders (backpressure)
+// instead of dropping jobs or growing without bound.
+const defaultTranscodeQueueCap = 64
+
+// transcodeJob is one upload waiting for farm conversion.
+type transcodeJob struct {
+	videoID     int64
+	title       string
+	description string
+	data        []byte
+	enqueued    time.Time
+}
+
+// transcodeQueue is the bounded worker pool that drains async uploads.
+type transcodeQueue struct {
+	jobs     chan transcodeJob
+	nworkers int
+	pending  sync.WaitGroup // jobs accepted but not yet published/failed
+	workers  sync.WaitGroup // worker goroutines
+	stop     sync.Once
+
+	enqueued  atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+}
+
+// startTranscoders launches the async conversion pool. workers == 0 keeps
+// the site in synchronous mode (ProcessUpload converts inline before
+// returning), the behaviour every pre-queue caller relies on.
+func (s *Site) startTranscoders(workers, queueCap int) {
+	if workers == 0 {
+		return
+	}
+	if queueCap <= 0 {
+		queueCap = defaultTranscodeQueueCap
+	}
+	q := &transcodeQueue{jobs: make(chan transcodeJob, queueCap), nworkers: workers}
+	s.queue = q
+	for i := 0; i < workers; i++ {
+		q.workers.Add(1)
+		go func() {
+			defer q.workers.Done()
+			for job := range q.jobs {
+				s.runTranscodeJob(job)
+			}
+		}()
+	}
+}
+
+// enqueueTranscode hands an upload to the pool. When the queue is full the
+// send blocks — upload handlers slow down rather than the queue growing
+// unboundedly — and the stall is counted in transcode_backpressure.
+func (s *Site) enqueueTranscode(job transcodeJob) {
+	q := s.queue
+	q.pending.Add(1)
+	q.enqueued.Add(1)
+	s.reg.Counter("transcode_jobs").Inc()
+	select {
+	case q.jobs <- job:
+	default:
+		s.reg.Counter("transcode_backpressure").Inc()
+		q.jobs <- job
+	}
+	s.reg.Gauge("transcode_queue_depth").Set(int64(len(q.jobs)))
+}
+
+func (s *Site) runTranscodeJob(job transcodeJob) {
+	q := s.queue
+	defer q.pending.Done()
+	s.reg.Gauge("transcode_queue_depth").Set(int64(len(q.jobs)))
+	s.reg.Histogram("transcode_wait_seconds").Observe(time.Since(job.enqueued).Seconds())
+	if err := s.transcodeAndPublish(job.videoID, job.title, job.description, job.data); err != nil {
+		// Asynchronous failure: the uploader already got their id back, so
+		// the row stays, marked failed, and the watch page explains.
+		q.failed.Add(1)
+		s.reg.Counter("transcode_failures").Inc()
+		log.Printf("web: async conversion of video %d failed: %v", job.videoID, err)
+		if uerr := s.db.Update("videos", job.videoID, videodb.Row{"status": statusFailed}); uerr != nil {
+			log.Printf("web: marking video %d failed: %v", job.videoID, uerr)
+		}
+		return
+	}
+	q.completed.Add(1)
+}
+
+// transcodeAndPublish converts an inserted upload to the target plus every
+// rendition in ONE farm pass (single parse/split of the source), stores the
+// outputs through the FUSE mount, and publishes the row: path + renditions +
+// status=ready, search index, recent-list invalidation, metrics.
+func (s *Site) transcodeAndPublish(id int64, title, description string, data []byte) error {
+	specs := append([]video.Spec{s.target}, s.renditions...)
+	results, err := s.farm.ConvertMulti(data, specs...)
+	if err != nil {
+		return fmt.Errorf("web: conversion failed: %w", err)
+	}
+	path := fmt.Sprintf("videos/%d.vcf", id)
+	if werr := s.store.WriteFile(path, results[0].Output); werr != nil {
+		return fmt.Errorf("web: store failed: %w", werr)
+	}
+	labels := []string{QualityLabel(s.target)}
+	for i, spec := range s.renditions {
+		rpath := fmt.Sprintf("videos/%d-%s.vcf", id, QualityLabel(spec))
+		if werr := s.store.WriteFile(rpath, results[i+1].Output); werr != nil {
+			return fmt.Errorf("web: store %s failed: %w", QualityLabel(spec), werr)
+		}
+		labels = append(labels, QualityLabel(spec))
+	}
+	if uerr := s.db.Update("videos", id, videodb.Row{
+		"path": path, "renditions": strings.Join(labels, ","), "status": statusReady,
+	}); uerr != nil {
+		return uerr
+	}
+	s.Index().Add(search.Document{ID: id, Title: title, Body: description})
+	s.invalidateRecent()
+	res := results[0]
+	s.reg.Counter("uploads").Inc()
+	s.reg.Counter("upload_bytes").Add(int64(len(data)))
+	s.reg.Histogram("conversion_seconds").Observe(res.Duration.Seconds())
+	s.reg.Histogram("conversion_speedup").Observe(res.Speedup())
+	s.reg.Histogram("conversion_wall_seconds").Observe(res.WallDuration.Seconds())
+	return nil
+}
+
+// DrainTranscodes blocks until every job accepted so far has been published
+// or marked failed. Experiments and tests call it to observe the steady
+// state; a synchronous site returns immediately.
+func (s *Site) DrainTranscodes() {
+	if s.queue != nil {
+		s.queue.pending.Wait()
+	}
+}
+
+// Close shuts the transcode pool down after draining queued jobs. Call it
+// once the HTTP server has stopped accepting uploads; it is idempotent and a
+// no-op for a synchronous site.
+func (s *Site) Close() {
+	if s.queue == nil {
+		return
+	}
+	s.queue.stop.Do(func() {
+		close(s.queue.jobs)
+		s.queue.workers.Wait()
+	})
+}
+
+// TranscodeStats summarises the async conversion pool for dashboards
+// (core.Status carries it).
+type TranscodeStats struct {
+	// Workers is the pool size; 0 means the site converts synchronously.
+	Workers int
+	// QueueCap is the intake bound; sends past it block the uploader.
+	QueueCap int
+	// QueueDepth is the number of jobs waiting right now.
+	QueueDepth int
+	// Enqueued / Completed / Failed count jobs over the site's lifetime.
+	Enqueued, Completed, Failed int64
+	// WaitSeconds is the distribution of time jobs spent queued.
+	WaitSeconds float64
+	// WallSeconds is the mean measured wall-clock conversion time.
+	WallSeconds float64
+	// ModelledSpeedup is the mean modelled farm speedup of conversions.
+	ModelledSpeedup float64
+}
+
+// TranscodeStats reports the pool's current state.
+func (s *Site) TranscodeStats() TranscodeStats {
+	st := TranscodeStats{
+		WaitSeconds:     s.reg.Histogram("transcode_wait_seconds").Mean(),
+		WallSeconds:     s.reg.Histogram("conversion_wall_seconds").Mean(),
+		ModelledSpeedup: s.reg.Histogram("conversion_speedup").Mean(),
+	}
+	if q := s.queue; q != nil {
+		st.Workers = q.nworkers
+		st.QueueCap = cap(q.jobs)
+		st.QueueDepth = len(q.jobs)
+		st.Enqueued = q.enqueued.Load()
+		st.Completed = q.completed.Load()
+		st.Failed = q.failed.Load()
+	}
+	return st
+}

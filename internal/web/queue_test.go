@@ -1,0 +1,314 @@
+package web
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"videocloud/internal/fusebridge"
+	"videocloud/internal/hdfs"
+	"videocloud/internal/video"
+	"videocloud/internal/videodb"
+)
+
+// asyncSite builds a site with an async transcode pool whose farm workers
+// block on gate (close it to let conversions run) or fail via hook.
+func asyncSite(t testing.TB, workers, queueCap int, hook func(node string, segment int) error) *Site {
+	t.Helper()
+	cluster := hdfs.NewCluster(4, 256*1024)
+	mount, err := fusebridge.New(cluster.Client(""), "/site", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	site, err := New(Config{
+		Store:             mount,
+		Farm:              video.Farm{Nodes: []string{"dn0", "dn1", "dn2", "dn3"}, FaultHook: hook},
+		Target:            video.Spec{Codec: video.H264, Res: video.R720p, FPS: 30, GOPSeconds: 2, BitrateBps: 100_000},
+		Renditions:        []video.Spec{{Codec: video.H264, Res: video.R360p, FPS: 30, GOPSeconds: 2, BitrateBps: 50_000}},
+		AdminUser:         "admin",
+		AdminPassword:     "secret",
+		TranscodeWorkers:  workers,
+		TranscodeQueueCap: queueCap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(site.Close)
+	return site
+}
+
+func testUploadMedia(t testing.TB, seconds int, seed uint64) []byte {
+	t.Helper()
+	src := video.Spec{Codec: video.MPEG4, Res: video.R480p, FPS: 30, GOPSeconds: 2, BitrateBps: 80_000}
+	data, err := video.Generate(src, seconds, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func videoStatus(t testing.TB, s *Site, id int64) string {
+	t.Helper()
+	row, err := s.db.Get("videos", id)
+	if err != nil {
+		t.Fatalf("video %d: %v", id, err)
+	}
+	status, _ := row["status"].(string)
+	return status
+}
+
+// TestAsyncUploadLifecycle is the queue's core contract: ProcessUpload
+// returns immediately with the row in "processing" while the farm workers
+// are still blocked, streaming answers 503, and after the pool drains the
+// video is "ready" and streamable in both renditions.
+func TestAsyncUploadLifecycle(t *testing.T) {
+	gate := make(chan struct{})
+	var openOnce sync.Once
+	open := func() { openOnce.Do(func() { close(gate) }) }
+	defer open() // a failing test must still unpark the workers for Close
+	site := asyncSite(t, 2, 8, func(string, int) error {
+		<-gate // hold every conversion task until the test releases it
+		return nil
+	})
+
+	id, err := site.ProcessUpload(site.adminID, "held", "still converting", testUploadMedia(t, 12, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := videoStatus(t, site, id); got != statusProcessing {
+		t.Fatalf("status right after upload = %q, want %q", got, statusProcessing)
+	}
+
+	b := newBrowser(t, site)
+	resp, body := b.get(fmt.Sprintf("/stream/%d", id))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("stream while processing: status %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(body, "still processing") {
+		t.Fatalf("stream while processing: body %q", body)
+	}
+	if _, body := b.get(fmt.Sprintf("/watch/%d", id)); !strings.Contains(body, "converting on the farm") {
+		t.Fatalf("watch page does not show the processing state: %q", body)
+	}
+
+	open()
+	site.DrainTranscodes()
+
+	if got := videoStatus(t, site, id); got != statusReady {
+		t.Fatalf("status after drain = %q, want %q", got, statusReady)
+	}
+	for _, q := range []string{"", "?quality=360p"} {
+		if resp, _ := b.get(fmt.Sprintf("/stream/%d%s", id, q)); resp.StatusCode != http.StatusOK {
+			t.Fatalf("stream%s after drain: status %d", q, resp.StatusCode)
+		}
+	}
+	st := site.TranscodeStats()
+	if st.Workers != 2 || st.Enqueued != 1 || st.Completed != 1 || st.Failed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if site.Metrics().Histogram("transcode_wait_seconds").Count() != 1 {
+		t.Fatal("queue wait time not recorded")
+	}
+	if site.Metrics().Histogram("conversion_wall_seconds").Count() != 1 {
+		t.Fatal("wall-clock conversion time not recorded")
+	}
+}
+
+// TestAsyncUploadFailureMarksRow injects a farm fault: the uploader already
+// has their id, so the row must flip to "failed" (not vanish) and streaming
+// must report the file unavailable.
+func TestAsyncUploadFailureMarksRow(t *testing.T) {
+	boom := errors.New("node lost mid-conversion")
+	site := asyncSite(t, 1, 4, func(string, int) error { return boom })
+
+	id, err := site.ProcessUpload(site.adminID, "doomed", "", testUploadMedia(t, 10, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	site.DrainTranscodes()
+	if got := videoStatus(t, site, id); got != statusFailed {
+		t.Fatalf("status after failed conversion = %q, want %q", got, statusFailed)
+	}
+	b := newBrowser(t, site)
+	if resp, _ := b.get(fmt.Sprintf("/stream/%d", id)); resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("stream of failed video: status %d, want 500", resp.StatusCode)
+	}
+	if _, body := b.get(fmt.Sprintf("/watch/%d", id)); !strings.Contains(body, "conversion failed") {
+		t.Fatalf("watch page does not show the failed state: %q", body)
+	}
+	st := site.TranscodeStats()
+	if st.Failed != 1 || st.Completed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if site.Metrics().Counter("transcode_failures").Value() != 1 {
+		t.Fatal("transcode_failures not counted")
+	}
+}
+
+// TestConcurrentUploadsThroughSharedPool drives many simultaneous uploads
+// through one worker pool; run under -race (make tier1) it gates the
+// queue's synchronization. Every upload must come out ready.
+func TestConcurrentUploadsThroughSharedPool(t *testing.T) {
+	site := asyncSite(t, 3, 4, nil)
+	const uploads = 8
+	ids := make([]int64, uploads)
+	var wg sync.WaitGroup
+	for i := 0; i < uploads; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id, err := site.ProcessUpload(site.adminID,
+				fmt.Sprintf("clip %d", i), "concurrent", testUploadMedia(t, 8+2*i, uint64(i+1)))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ids[i] = id
+		}(i)
+	}
+	wg.Wait()
+	site.DrainTranscodes()
+	for i, id := range ids {
+		if id == 0 {
+			continue // upload already reported its error
+		}
+		if got := videoStatus(t, site, id); got != statusReady {
+			t.Fatalf("upload %d: status %q, want ready", i, got)
+		}
+	}
+	if st := site.TranscodeStats(); st.Enqueued != uploads || st.Completed != uploads {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestQueueBackpressure fills a cap-1 queue behind a blocked worker and
+// checks the overflowing upload blocks (and is counted) instead of being
+// dropped: all three uploads still convert.
+func TestQueueBackpressure(t *testing.T) {
+	gate := make(chan struct{})
+	var openOnce sync.Once
+	open := func() { openOnce.Do(func() { close(gate) }) }
+	defer open()
+	var hold sync.Once
+	site := asyncSite(t, 1, 1, func(string, int) error {
+		hold.Do(func() { <-gate }) // first task parks the only worker
+		return nil
+	})
+
+	first, err := site.ProcessUpload(site.adminID, "first", "", testUploadMedia(t, 8, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := site.ProcessUpload(site.adminID, "second", "", testUploadMedia(t, 8, 22)); err != nil {
+		t.Fatal(err) // fills the single queue slot
+	}
+	done := make(chan int64)
+	go func() {
+		id, uerr := site.ProcessUpload(site.adminID, "third", "", testUploadMedia(t, 8, 23))
+		if uerr != nil {
+			t.Error(uerr)
+		}
+		done <- id
+	}()
+	select {
+	case <-done:
+		t.Fatal("third upload returned although the queue was full")
+	default:
+	}
+	open()
+	third := <-done
+	site.DrainTranscodes()
+	for _, id := range []int64{first, third} {
+		if got := videoStatus(t, site, id); got != statusReady {
+			t.Fatalf("video %d: status %q after drain", id, got)
+		}
+	}
+	if site.Metrics().Counter("transcode_backpressure").Value() == 0 {
+		t.Fatal("backpressure stall not counted")
+	}
+}
+
+// TestTranscodeConfigValidation covers the new web.New guards.
+func TestTranscodeConfigValidation(t *testing.T) {
+	cluster := hdfs.NewCluster(2, 256*1024)
+	mount, err := fusebridge.New(cluster.Client(""), "/site", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{
+		Store: mount,
+		Farm:  video.Farm{Nodes: []string{"dn0"}},
+	}
+	bad := base
+	bad.TranscodeWorkers = -1
+	if _, err := New(bad); err == nil {
+		t.Fatal("TranscodeWorkers -1 accepted")
+	}
+	bad = base
+	bad.TranscodeQueueCap = -5
+	if _, err := New(bad); err == nil {
+		t.Fatal("TranscodeQueueCap -5 accepted")
+	}
+	if _, err := New(base); err != nil {
+		t.Fatalf("zero transcode config rejected: %v", err)
+	}
+}
+
+// TestSyncModeUnchanged pins the compatibility contract: without
+// TranscodeWorkers, ProcessUpload converts inline, the row comes out ready,
+// and a failed conversion leaves no row behind.
+func TestSyncModeUnchanged(t *testing.T) {
+	site, _ := newSite(t)
+	id, err := site.ProcessUpload(site.adminID, "inline", "", testUploadMedia(t, 10, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := videoStatus(t, site, id); got != statusReady {
+		t.Fatalf("sync upload status = %q, want ready immediately", got)
+	}
+	if st := site.TranscodeStats(); st.Workers != 0 || st.Enqueued != 0 {
+		t.Fatalf("sync site reports pool activity: %+v", st)
+	}
+	site.Close()           // no-op without a pool
+	site.DrainTranscodes() // likewise
+
+	// A conversion failure must not leave a phantom row.
+	mismatched, err := video.Generate(video.Spec{
+		Codec: video.MPEG4, Res: video.R480p, FPS: 30, GOPSeconds: 3, BitrateBps: 80_000,
+	}, 9, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := site.db.Count("videos")
+	if _, err := site.ProcessUpload(site.adminID, "bad cadence", "", mismatched); err == nil {
+		t.Fatal("mismatched GOP cadence converted")
+	}
+	if after, _ := site.db.Count("videos"); after != before {
+		t.Fatalf("failed sync upload left a row: %d -> %d", before, after)
+	}
+}
+
+// TestStatusColumnInSchema guards the lifecycle column against schema
+// regressions (old rows without it must still render, see handleStream).
+func TestStatusColumnInSchema(t *testing.T) {
+	site, _ := newSite(t)
+	id, err := site.db.Insert("videos", videodb.Row{"title": "legacy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := site.db.Get("videos", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status, ok := row["status"].(string); !ok || status != "" {
+		t.Fatalf("legacy insert status = %#v, want empty string", row["status"])
+	}
+	// Empty status + empty path is the pre-queue "not available" case.
+	b := newBrowser(t, site)
+	if resp, _ := b.get(fmt.Sprintf("/stream/%d", id)); resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("legacy pathless row: status %d, want 500", resp.StatusCode)
+	}
+}

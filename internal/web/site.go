@@ -43,6 +43,15 @@ type Config struct {
 	// MaxInFlight bounds concurrently admitted requests; excess load is
 	// shed with 503. Zero selects a default of 256.
 	MaxInFlight int
+	// TranscodeWorkers sizes the asynchronous conversion pool. Zero keeps
+	// uploads synchronous (ProcessUpload converts before returning);
+	// positive values make uploads return immediately with status
+	// "processing" while the pool converts in the background. Negative is
+	// rejected.
+	TranscodeWorkers int
+	// TranscodeQueueCap bounds the async intake queue (default 64). A full
+	// queue blocks uploaders — backpressure, not unbounded buffering.
+	TranscodeQueueCap int
 }
 
 // QualityLabel names a rendition by its vertical resolution ("720p").
@@ -64,6 +73,10 @@ type Site struct {
 	inflightNow  atomic.Int64
 	maxInFlight  int64
 	cache        hotCache
+
+	// queue is the async transcode pool (queue.go); nil in synchronous
+	// mode.
+	queue *transcodeQueue
 
 	mu           sync.Mutex
 	sessions     map[string]int64 // token -> user id
@@ -92,6 +105,12 @@ func New(cfg Config) (*Site, error) {
 			return nil, fmt.Errorf("web: rendition %s GOP cadence differs from target", QualityLabel(r))
 		}
 	}
+	if cfg.TranscodeWorkers < 0 {
+		return nil, fmt.Errorf("web: TranscodeWorkers must be >= 0, got %d", cfg.TranscodeWorkers)
+	}
+	if cfg.TranscodeQueueCap < 0 {
+		return nil, fmt.Errorf("web: TranscodeQueueCap must be >= 0, got %d", cfg.TranscodeQueueCap)
+	}
 	s := &Site{
 		db:         videodb.New(),
 		store:      cfg.Store,
@@ -115,6 +134,7 @@ func New(cfg Config) (*Site, error) {
 	}
 	s.adminID = adminID
 	s.mux = s.routes()
+	s.startTranscoders(cfg.TranscodeWorkers, cfg.TranscodeQueueCap)
 	return s, nil
 }
 
@@ -139,6 +159,7 @@ func (s *Site) createSchema() error {
 		videodb.Column{Name: "views", Type: videodb.TInt},
 		videodb.Column{Name: "reports", Type: videodb.TInt},
 		videodb.Column{Name: "renditions", Type: videodb.TString},
+		videodb.Column{Name: "status", Type: videodb.TString},
 	); err != nil {
 		return err
 	}

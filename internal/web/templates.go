@@ -69,10 +69,20 @@ nav a{margin-right:1em} .error{color:#b00} .hit{margin:.6em 0}
 
 {{else if eq .Page "watch"}}
 <h1>{{.Video.Title}}</h1>
+{{if eq .Video.Status "processing"}}
+<div class="player processing" id="flowplayer">
+  ⏳ converting on the farm — refresh once the video is ready
+</div>
+{{else if eq .Video.Status "failed"}}
+<div class="player failed" id="flowplayer">
+  ✖ conversion failed — this upload cannot be played
+</div>
+{{else}}
 <div class="player" id="flowplayer" data-src="/stream/{{.Video.ID}}">
   ▶ streaming /stream/{{.Video.ID}} ({{.Video.Duration}}s, 720p H.264)
   <div class="timebar"></div>
 </div>
+{{end}}
 <p>{{.Video.Description}}</p>
 <p><small>uploaded by {{.Video.Uploader}} · {{.Video.Views}} views</small>
 {{if gt (len .Qualities) 1}} · quality:
@@ -142,6 +152,10 @@ type videoView struct {
 	Duration    int64
 	Views       int64
 	Reports     int64
+	// Status is the conversion lifecycle state ("processing", "ready",
+	// "failed"); empty for rows predating the status column, which render
+	// as ready.
+	Status string
 }
 
 type commentView struct {
