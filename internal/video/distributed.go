@@ -125,7 +125,10 @@ type convScratch struct {
 var scratchPool = sync.Pool{New: func() any { return new(convScratch) }}
 
 // Convert runs the split → parallel transcode → merge pipeline for one
-// target rendition.
+// target rendition. The target must keep the source's GOP cadence
+// (Spec.GOPSeconds): the single-split pipeline relies on input and output
+// sharing GOP boundaries, so cadence-changing targets are rejected — a
+// behavior change from the pre-pool farm, which re-split per rendition.
 func (f Farm) Convert(data []byte, target Spec) (*FarmResult, error) {
 	return f.ConvertContext(context.Background(), data, target)
 }
@@ -143,6 +146,8 @@ func (f Farm) ConvertContext(ctx context.Context, data []byte, target Spec) (*Fa
 // single pass: the source is parsed and partitioned once, and all
 // (segment × rendition) tasks drain through one worker pool. Results are
 // returned in target order, each bit-identical to a standalone Convert.
+// Like Convert, every target must keep the source's GOP cadence
+// (Spec.GOPSeconds); cadence-changing targets are rejected.
 func (f Farm) ConvertMulti(data []byte, targets ...Spec) ([]*FarmResult, error) {
 	return f.ConvertMultiContext(context.Background(), data, targets...)
 }

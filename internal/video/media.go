@@ -207,6 +207,12 @@ func Parse(data []byte) (Info, []gopRange, error) {
 	if err := info.Spec.validate(); err != nil {
 		return info, nil, err
 	}
+	// A container with no GOPs carries no playable content; rejecting it here
+	// keeps zero-GOP files out of every consumer (Probe admits uploads, and
+	// the farm partitions on the GOP count).
+	if info.GOPs <= 0 {
+		return info, nil, fmt.Errorf("video: header claims %d GOPs", info.GOPs)
+	}
 	parseCalls.Add(1)
 	// Pre-size from the header's GOP count (bounded by what could actually
 	// fit in the file) so parsing a long video does one allocation, not a
@@ -214,9 +220,6 @@ func Parse(data []byte) (Info, []gopRange, error) {
 	capGOPs := info.GOPs
 	if max := int(int64(len(data)) / gopHeaderLen); capGOPs > max {
 		capGOPs = max
-	}
-	if capGOPs < 0 {
-		capGOPs = 0
 	}
 	gops := make([]gopRange, 0, capGOPs)
 	off := 8 + metaLen

@@ -21,6 +21,9 @@ type segBounds struct {
 // and the farm (which partitions a file it has already parsed instead of
 // re-parsing per segment).
 func partition(gopCount, n int) []segBounds {
+	if gopCount <= 0 || n <= 0 {
+		return nil
+	}
 	if n > gopCount {
 		n = gopCount
 	}

@@ -327,3 +327,31 @@ func TestProbe(t *testing.T) {
 		t.Fatalf("probe = %+v", info)
 	}
 }
+
+// TestZeroGOPContainerRejected guards the farm against the crafted-upload
+// DoS: a container whose header claims zero GOPs (with an otherwise valid
+// spec) used to pass Parse and Probe, then panic partition() with a divide
+// by zero inside a queue worker. It must now be rejected everywhere, and
+// partition itself must tolerate degenerate inputs.
+func TestZeroGOPContainerRejected(t *testing.T) {
+	data := appendHeader(nil, Info{Spec: srcSpec(), DurationSeconds: 0, GOPs: 0})
+	if _, _, err := Parse(data); err == nil {
+		t.Fatal("Parse accepted a zero-GOP container")
+	}
+	if _, err := Probe(data); err == nil {
+		t.Fatal("Probe accepted a zero-GOP container")
+	}
+	farm := Farm{Nodes: []string{"dn0", "dn1"}}
+	if _, err := farm.ConvertMulti(data, dstSpec()); err == nil {
+		t.Fatal("ConvertMulti accepted a zero-GOP container")
+	}
+	if _, err := Split(data, 4); err == nil {
+		t.Fatal("Split accepted a zero-GOP container")
+	}
+	if got := partition(0, 4); got != nil {
+		t.Fatalf("partition(0, 4) = %v, want nil", got)
+	}
+	if got := partition(5, 0); got != nil {
+		t.Fatalf("partition(5, 0) = %v, want nil", got)
+	}
+}

@@ -315,10 +315,15 @@ func (s *Site) ProcessUpload(uploaderID int64, title, description string, data [
 		return 0, err
 	}
 	if s.queue != nil {
-		s.enqueueTranscode(transcodeJob{
+		if qerr := s.enqueueTranscode(transcodeJob{
 			videoID: id, title: title, description: description,
 			data: data, enqueued: time.Now(),
-		})
+		}); qerr != nil {
+			// The pool is shut down (upload raced Close): no one will ever
+			// convert the row, so remove it as the sync path does on failure.
+			s.db.Delete("videos", id)
+			return 0, qerr
+		}
 		return id, nil
 	}
 	if err := s.transcodeAndPublish(id, title, description, data); err != nil {

@@ -1,6 +1,7 @@
 package web
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"strings"
@@ -40,6 +41,8 @@ type transcodeJob struct {
 type transcodeQueue struct {
 	jobs     chan transcodeJob
 	nworkers int
+	mu       sync.Mutex // guards closed and admission into pending
+	closed   bool       // set by Close; enqueueTranscode fails fast after
 	pending  sync.WaitGroup // jobs accepted but not yet published/failed
 	workers  sync.WaitGroup // worker goroutines
 	stop     sync.Once
@@ -72,12 +75,24 @@ func (s *Site) startTranscoders(workers, queueCap int) {
 	}
 }
 
+// errSiteClosed rejects uploads that race Site.Close.
+var errSiteClosed = errors.New("web: site is shut down, not accepting uploads")
+
 // enqueueTranscode hands an upload to the pool. When the queue is full the
 // send blocks — upload handlers slow down rather than the queue growing
-// unboundedly — and the stall is counted in transcode_backpressure.
-func (s *Site) enqueueTranscode(job transcodeJob) {
+// unboundedly — and the stall is counted in transcode_backpressure. After
+// Close it returns errSiteClosed instead of sending: admission into the
+// pending group happens under the queue mutex, so Close can wait out every
+// accepted sender before it closes the channel.
+func (s *Site) enqueueTranscode(job transcodeJob) error {
 	q := s.queue
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return errSiteClosed
+	}
 	q.pending.Add(1)
+	q.mu.Unlock()
 	q.enqueued.Add(1)
 	s.reg.Counter("transcode_jobs").Inc()
 	select {
@@ -87,6 +102,7 @@ func (s *Site) enqueueTranscode(job transcodeJob) {
 		q.jobs <- job
 	}
 	s.reg.Gauge("transcode_queue_depth").Set(int64(len(q.jobs)))
+	return nil
 }
 
 func (s *Site) runTranscodeJob(job transcodeJob) {
@@ -118,21 +134,36 @@ func (s *Site) transcodeAndPublish(id int64, title, description string, data []b
 	if err != nil {
 		return fmt.Errorf("web: conversion failed: %w", err)
 	}
+	// written tracks files stored so far, so a partial failure (a later
+	// rendition write or the row update) cleans them up instead of leaving
+	// orphaned videos/<id>*.vcf files in HDFS.
+	written := make([]string, 0, 1+len(s.renditions))
+	unstore := func() {
+		for _, p := range written {
+			if rerr := s.store.Remove(p); rerr != nil {
+				log.Printf("web: removing partial upload %s: %v", p, rerr)
+			}
+		}
+	}
 	path := fmt.Sprintf("videos/%d.vcf", id)
 	if werr := s.store.WriteFile(path, results[0].Output); werr != nil {
 		return fmt.Errorf("web: store failed: %w", werr)
 	}
+	written = append(written, path)
 	labels := []string{QualityLabel(s.target)}
 	for i, spec := range s.renditions {
 		rpath := fmt.Sprintf("videos/%d-%s.vcf", id, QualityLabel(spec))
 		if werr := s.store.WriteFile(rpath, results[i+1].Output); werr != nil {
+			unstore()
 			return fmt.Errorf("web: store %s failed: %w", QualityLabel(spec), werr)
 		}
+		written = append(written, rpath)
 		labels = append(labels, QualityLabel(spec))
 	}
 	if uerr := s.db.Update("videos", id, videodb.Row{
 		"path": path, "renditions": strings.Join(labels, ","), "status": statusReady,
 	}); uerr != nil {
+		unstore()
 		return uerr
 	}
 	s.Index().Add(search.Document{ID: id, Title: title, Body: description})
@@ -155,16 +186,24 @@ func (s *Site) DrainTranscodes() {
 	}
 }
 
-// Close shuts the transcode pool down after draining queued jobs. Call it
-// once the HTTP server has stopped accepting uploads; it is idempotent and a
-// no-op for a synchronous site.
+// Close shuts the transcode pool down after draining queued jobs. Uploads
+// that race Close fail fast with an error instead of panicking on a closed
+// channel: Close marks the queue closed first, waits for every already
+// accepted job (including senders still blocked on a full queue — workers
+// keep draining until the channel closes), and only then closes the channel.
+// It is idempotent and a no-op for a synchronous site.
 func (s *Site) Close() {
-	if s.queue == nil {
+	q := s.queue
+	if q == nil {
 		return
 	}
-	s.queue.stop.Do(func() {
-		close(s.queue.jobs)
-		s.queue.workers.Wait()
+	q.stop.Do(func() {
+		q.mu.Lock()
+		q.closed = true
+		q.mu.Unlock()
+		q.pending.Wait()
+		close(q.jobs)
+		q.workers.Wait()
 	})
 }
 

@@ -1,6 +1,7 @@
 package web
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net/http"
@@ -310,5 +311,84 @@ func TestStatusColumnInSchema(t *testing.T) {
 	b := newBrowser(t, site)
 	if resp, _ := b.get(fmt.Sprintf("/stream/%d", id)); resp.StatusCode != http.StatusInternalServerError {
 		t.Fatalf("legacy pathless row: status %d, want 500", resp.StatusCode)
+	}
+}
+
+// TestUploadAfterCloseFailsCleanly pins the shutdown contract: ProcessUpload
+// racing (or following) Site.Close must fail with an error — never panic
+// with a send on a closed channel — and must not leave a phantom
+// "processing" row no worker will ever convert.
+func TestUploadAfterCloseFailsCleanly(t *testing.T) {
+	site := asyncSite(t, 2, 4, nil)
+	site.Close()
+	before, _ := site.db.Count("videos")
+	if _, err := site.ProcessUpload(site.adminID, "late", "", testUploadMedia(t, 8, 41)); err == nil {
+		t.Fatal("upload after Close succeeded")
+	}
+	if after, _ := site.db.Count("videos"); after != before {
+		t.Fatalf("rejected upload left a row: %d -> %d", before, after)
+	}
+	site.Close() // still idempotent
+}
+
+// TestZeroGOPUploadRejected crafts the container that used to crash the
+// server: a valid spec with a header claiming zero GOPs. Probe must reject
+// it before a row or job exists, and the pool must stay alive for the next
+// legitimate upload.
+func TestZeroGOPUploadRejected(t *testing.T) {
+	site := asyncSite(t, 1, 4, nil)
+	meta := []byte(`{"spec":{"codec":"mpeg4","res":{"W":854,"H":480},"fps":30,"gop_seconds":2,"bitrate_bps":80000},"duration_seconds":0,"gops":0}`)
+	crafted := append(binary.BigEndian.AppendUint32([]byte("VCF1"), uint32(len(meta))), meta...)
+	before, _ := site.db.Count("videos")
+	if _, err := site.ProcessUpload(site.adminID, "crafted", "", crafted); err == nil {
+		t.Fatal("zero-GOP upload accepted")
+	}
+	if after, _ := site.db.Count("videos"); after != before {
+		t.Fatalf("rejected upload left a row: %d -> %d", before, after)
+	}
+	id, err := site.ProcessUpload(site.adminID, "normal", "", testUploadMedia(t, 8, 51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	site.DrainTranscodes()
+	if got := videoStatus(t, site, id); got != statusReady {
+		t.Fatalf("upload after rejected craft: status %q, want ready", got)
+	}
+}
+
+// TestPartialStoreFailureCleansUp blocks the rendition path with a directory
+// so the second store write fails after the main file landed: the publish
+// must best-effort remove what it already wrote instead of orphaning
+// videos/<id>*.vcf in HDFS.
+func TestPartialStoreFailureCleansUp(t *testing.T) {
+	cluster := hdfs.NewCluster(4, 256*1024)
+	mount, err := fusebridge.New(cluster.Client(""), "/site", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	site, err := New(Config{
+		Store:         mount,
+		Farm:          video.Farm{Nodes: []string{"dn0", "dn1"}},
+		Target:        video.Spec{Codec: video.H264, Res: video.R720p, FPS: 30, GOPSeconds: 2, BitrateBps: 100_000},
+		Renditions:    []video.Spec{{Codec: video.H264, Res: video.R360p, FPS: 30, GOPSeconds: 2, BitrateBps: 50_000}},
+		AdminUser:     "admin",
+		AdminPassword: "secret",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first video row gets id 1; a directory at its 360p rendition path
+	// makes that WriteFile fail after videos/1.vcf has been stored.
+	if err := mount.Mkdir("videos/1-360p.vcf"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := site.ProcessUpload(site.adminID, "partial", "", testUploadMedia(t, 8, 61)); err == nil {
+		t.Fatal("upload with a blocked rendition path succeeded")
+	}
+	if mount.Exists("videos/1.vcf") {
+		t.Fatal("main file orphaned in HDFS after partial store failure")
+	}
+	if n, _ := site.db.Count("videos"); n != 0 {
+		t.Fatalf("failed sync upload left %d rows", n)
 	}
 }
