@@ -1,8 +1,8 @@
 # Tier-1 verification gate: every PR must keep this green. The race
 # detector is part of the gate so concurrency regressions in the serving
 # path (web.Site, caches, metrics) are caught before merge; the allocation
-# regression check guards the conversion hot path (alloc tests skip under
-# -race, so they get a dedicated non-race run).
+# regression checks guard the conversion and HDFS range-read hot paths
+# (alloc tests skip under -race, so they get a dedicated non-race run).
 
 GO ?= go
 
@@ -23,15 +23,19 @@ race:
 	$(GO) test -race ./...
 
 alloccheck:
-	$(GO) test -run 'TestAlloc' ./internal/video/
+	$(GO) test -run 'TestAlloc' ./internal/video/ ./internal/hdfs/
 
-# Conversion-path benchmarks: -cpu 1,4 shows how the worker pool scales
-# with real cores; results land in BENCH_convert.json for regression
-# comparison across PRs.
+# Hot-path benchmarks: -cpu 1,4 shows how the conversion worker pool and
+# the HDFS block fan-out scale with real cores; results land in
+# BENCH_convert.json / BENCH_hdfs.json for regression comparison across
+# PRs (BenchmarkReadRange's B/op is the chunked-checksum gate).
 bench:
 	$(GO) test -json -run '^$$' -bench 'BenchmarkTranscoderConvert|BenchmarkFarm|BenchmarkSplit|BenchmarkMerge' \
 		-benchmem -cpu 1,4 ./internal/video/ > BENCH_convert.json
 	@echo "wrote BENCH_convert.json ($$(grep -c ns/op BENCH_convert.json) benchmark results)"
+	$(GO) test -json -run '^$$' -bench 'BenchmarkReadRange|BenchmarkReadFile|BenchmarkWriteFile|BenchmarkStreamSeek' \
+		-benchmem -cpu 1,4 ./internal/hdfs/ > BENCH_hdfs.json
+	@echo "wrote BENCH_hdfs.json ($$(grep -c ns/op BENCH_hdfs.json) benchmark results)"
 
 benchall:
 	$(GO) test -bench . -benchtime 1x ./...

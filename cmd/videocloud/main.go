@@ -75,17 +75,27 @@ func main() {
 	log.Fatal(http.ListenAndServe(*listen, vc.Handler()))
 }
 
-// logRouteDashboard prints one line per route that has seen traffic: the
+// logRouteDashboard prints one line per route that has seen traffic — the
 // serving tier's request counts, status classes, in-flight depth, and
-// latency quantiles.
+// latency quantiles — plus one line for the HDFS data path underneath it.
 func logRouteDashboard(vc *core.VideoCloud) {
-	for _, rs := range vc.Status().Routes {
+	st := vc.Status()
+	for _, rs := range st.Routes {
 		if rs.Requests == 0 {
 			continue
 		}
 		log.Printf("route %-8s n=%-6d inflight=%d 2xx=%d 4xx=%d 5xx=%d p50=%.2fms p99=%.2fms",
 			rs.Route, rs.Requests, rs.InFlight, rs.Status2xx, rs.Status4xx, rs.Status5xx,
 			rs.Latency.P50*1000, rs.Latency.P99*1000)
+	}
+	h := st.HDFS
+	if h.BytesRead > 0 || h.BytesWritten > 0 {
+		log.Printf("hdfs read=%dMB write=%dMB ra hit/miss/pre=%d/%d/%d "+
+			"pick local/load/first=%d/%d/%d failover=%d rd_p99=%.2fms wr_p99=%.2fms",
+			h.BytesRead>>20, h.BytesWritten>>20,
+			h.ReadaheadHits, h.ReadaheadMisses, h.ReadaheadPrefetches,
+			h.ReplicaLocal, h.ReplicaLeastLoaded, h.ReplicaFirst, h.ReplicaFailovers,
+			h.ReadLatency.P99*1000, h.WriteLatency.P99*1000)
 	}
 }
 

@@ -364,6 +364,10 @@ type Status struct {
 	// Transcode reports the async conversion pool: workers, queue depth,
 	// job counts, queue wait, and measured wall-clock conversion time.
 	Transcode web.TranscodeStats
+	// HDFS reports the data-path counters: bytes moved, readahead
+	// hit/miss/prefetch counts, replica-selection policy decisions,
+	// failovers, and read/write latency quantiles.
+	HDFS hdfs.Stats
 }
 
 // Status returns a point-in-time summary.
@@ -380,6 +384,7 @@ func (vc *VideoCloud) Status() Status {
 		VirtualNow: vc.cloud.Now(),
 		Routes:     vc.site.RouteStats(),
 		Transcode:  vc.site.TranscodeStats(),
+		HDFS:       vc.hdfs.Stats(),
 	}
 }
 

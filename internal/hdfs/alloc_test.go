@@ -1,0 +1,55 @@
+package hdfs
+
+import (
+	"runtime"
+	"testing"
+)
+
+// Allocation regression gate for the range-read hot path (make tier1 runs
+// this via the alloccheck target). The invariant: a K-byte window read out
+// of an N-byte block allocates O(K), never O(N) — the seed implementation
+// copied and re-checksummed the whole block per window, which made every
+// 256 KiB player seek cost a block-sized allocation.
+
+func TestAllocReadRangeBounded(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocation counts")
+	}
+	const block = 8 << 20
+	const window = 64 << 10
+	c := NewCluster(2, block)
+	cl := c.Client("")
+	data := payload(block, 42) // exactly one 8 MiB block
+	if err := cl.WriteFile("/big", data, 2); err != nil {
+		t.Fatal(err)
+	}
+	r, err := cl.Open("/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, window)
+	readAt := func(i int) {
+		off := (int64(i) * 3 * window) % (block - window)
+		if _, err := r.ReadAt(buf, off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ { // warm up histogram sample slices etc.
+		readAt(i)
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	const iters = 64
+	for i := 0; i < iters; i++ {
+		readAt(i)
+	}
+	runtime.ReadMemStats(&after)
+	perOp := int64(after.TotalAlloc-before.TotalAlloc) / iters
+	// Generous ceiling: the window plus small per-fetch bookkeeping. The
+	// seed whole-block path allocated ~8 MiB per window here.
+	if perOp > window*8 {
+		t.Fatalf("ReadAt allocates %d B/op for a %d B window of a %d B block; want O(window)",
+			perOp, window, block)
+	}
+}

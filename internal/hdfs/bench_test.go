@@ -1,0 +1,115 @@
+package hdfs
+
+import (
+	"fmt"
+	"io"
+	"testing"
+)
+
+// Data-path benchmarks (make bench writes them to BENCH_hdfs.json with
+// -benchmem -cpu 1,4). BenchmarkReadRange tracks bytes allocated per
+// window — the chunked-checksum gate; BenchmarkReadFile's -cpu scaling
+// shows the parallel block fan-out.
+
+// BenchmarkReadRange measures a player-seek window: 64 KiB out of one
+// 8 MiB block. Only the checksum chunks overlapping the window are
+// verified and only the window is copied, so B/op tracks the window, not
+// the block.
+func BenchmarkReadRange(b *testing.B) {
+	const block = 8 << 20
+	const window = 64 << 10
+	c := NewCluster(3, block)
+	cl := c.Client("")
+	if err := cl.WriteFile("/big", payload(block, 1), 2); err != nil {
+		b.Fatal(err)
+	}
+	r, err := cl.Open("/big")
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, window)
+	b.SetBytes(window)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := (int64(i) * 1234567) % (block - window)
+		if _, err := r.ReadAt(buf, off); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadFile reads an 8-block file whose block fetches fan out over
+// up to GOMAXPROCS workers — compare -cpu 1 vs -cpu 4 for the parallel
+// speedup.
+func BenchmarkReadFile(b *testing.B) {
+	const blockSize = 4 << 20
+	const blocks = 8
+	c := NewCluster(4, blockSize)
+	cl := c.Client("")
+	data := payload(blocks*blockSize, 2)
+	if err := cl.WriteFile("/f", data, 2); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.ReadFile("/f"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWriteFile measures the concurrent replication pipeline: a
+// 4-block file stored at RF 3, all targets per block written at once.
+func BenchmarkWriteFile(b *testing.B) {
+	const blockSize = 1 << 20
+	c := NewCluster(4, blockSize)
+	cl := c.Client("")
+	data := payload(4*blockSize, 3)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		path := fmt.Sprintf("/f%d", i)
+		if err := cl.WriteFile(path, data, 3); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Delete(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamSeek replays a Flowplayer session over a multi-block
+// file: drag the time bar to a pseudo-random offset, stream one 256 KiB
+// window (Seek + sequential Read, the http.ServeContent access pattern).
+func BenchmarkStreamSeek(b *testing.B) {
+	const blockSize = 4 << 20
+	const blocks = 8
+	const window = 256 << 10
+	c := NewCluster(4, blockSize)
+	cl := c.Client("")
+	data := payload(blocks*blockSize, 4)
+	if err := cl.WriteFile("/v.mp4", data, 2); err != nil {
+		b.Fatal(err)
+	}
+	r, err := cl.Open("/v.mp4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, window)
+	b.SetBytes(window)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := (int64(i) * 7654321) % (int64(len(data)) - window)
+		if _, err := r.Seek(off, io.SeekStart); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.ReadFull(r, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -3,7 +3,10 @@ package hdfs
 import (
 	"errors"
 	"fmt"
-	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Client implements the HDFS user-facing protocol described in §III-B: "Name
@@ -11,6 +14,11 @@ import (
 // users ... so that users can directly deliver information to Data node."
 // Writes go through a replication pipeline; reads fail over between replicas
 // and report corrupt ones.
+//
+// Block reads rank candidate replicas with a load-aware policy: the
+// client's own node first (locality), then ascending per-DataNode in-flight
+// read count, ties keeping the NameNode's order. ReadFile fans block
+// fetches out with bounded concurrency; both knobs live on Cluster.
 type Client struct {
 	cluster   *Cluster
 	localNode string
@@ -19,13 +27,20 @@ type Client struct {
 // ErrAllReplicasFailed is returned when no replica of a block is readable.
 var ErrAllReplicasFailed = errors.New("hdfs: all replicas failed")
 
-// Writer streams a file into HDFS, cutting it into blocks.
+// Writer streams a file into HDFS, cutting it into blocks. Its internal
+// buffer is a single block-sized allocation reused for the writer's
+// lifetime, so steady-state multi-block writes cause no buffer churn.
 type Writer struct {
-	client *Client
-	path   string
-	buf    []byte
-	closed bool
-	err    error
+	client  *Client
+	path    string
+	buf     []byte // len = bytes buffered, cap grows once to block size
+	flushed int
+	closed  bool
+	err     error
+	// flushHook, when set (tests only), runs before each block flush with
+	// the zero-based block index; an error fails that flush before it
+	// touches the cluster.
+	flushHook func(blockIndex int) error
 }
 
 // Create opens a new file for writing with the given replication factor.
@@ -36,7 +51,10 @@ func (c *Client) Create(path string, replication int) (*Writer, error) {
 	return &Writer{client: c, path: path}, nil
 }
 
-// Write implements io.Writer, flushing whole blocks as they fill.
+// Write implements io.Writer, flushing whole blocks as they fill. The
+// returned count is exactly the bytes of p accepted — committed to the
+// cluster or still buffered; bytes lost in a failed pipeline flush are not
+// reported as written.
 func (w *Writer) Write(p []byte) (int, error) {
 	if w.err != nil {
 		return 0, w.err
@@ -44,39 +62,92 @@ func (w *Writer) Write(p []byte) (int, error) {
 	if w.closed {
 		return 0, fmt.Errorf("hdfs: write after close on %q", w.path)
 	}
-	w.buf = append(w.buf, p...)
 	bs := int(w.client.cluster.nn.BlockSize())
-	for len(w.buf) >= bs {
-		if err := w.flushBlock(w.buf[:bs]); err != nil {
-			w.err = err
-			return 0, err
+	written := 0
+	for len(p) > 0 {
+		if cap(w.buf) < bs {
+			// Grow geometrically but never past one block: the buffer
+			// reaches block size once and is then reused forever.
+			need := len(w.buf) + len(p)
+			if need > bs {
+				need = bs
+			}
+			if cap(w.buf) < need {
+				newCap := 2 * cap(w.buf)
+				if newCap < need {
+					newCap = need
+				}
+				if newCap > bs {
+					newCap = bs
+				}
+				grown := make([]byte, len(w.buf), newCap)
+				copy(grown, w.buf)
+				w.buf = grown
+			}
 		}
-		w.buf = w.buf[bs:]
+		n := copy(w.buf[len(w.buf):cap(w.buf)], p)
+		w.buf = w.buf[:len(w.buf)+n]
+		p = p[n:]
+		if len(w.buf) == bs {
+			if err := w.flushBlock(w.buf); err != nil {
+				w.err = err
+				return written, err
+			}
+			w.buf = w.buf[:0]
+		}
+		written += n
 	}
-	return len(p), nil
+	return written, nil
 }
 
 // flushBlock runs the write pipeline for one block: allocate at the
-// NameNode, then store on each target in order (first target forwards to
-// the next, as the real pipeline does; in-process that is a sequential
-// chain). Targets that fail mid-pipeline are dropped; the block commits
-// with the replicas that succeeded, and the NameNode repairs the rest.
+// NameNode, then store on the targets — concurrently by default, since each
+// in-process "forward" hop is independent, or chained sequentially when the
+// cluster's write concurrency is 1. Targets that fail are dropped; the
+// block commits with the replicas that succeeded, in pipeline order, and
+// the NameNode repairs the rest.
 func (w *Writer) flushBlock(data []byte) error {
 	c := w.client
+	idx := w.flushed
+	w.flushed++
+	if w.flushHook != nil {
+		if err := w.flushHook(idx); err != nil {
+			return err
+		}
+	}
+	start := time.Now()
 	info, err := c.cluster.nn.AddBlock(w.path, c.localNode)
 	if err != nil {
 		return err
 	}
-	var stored []string
-	for _, target := range info.Locations {
+	ok := make([]bool, len(info.Locations))
+	store := func(i int, target string) {
 		dn := c.cluster.DataNode(target)
-		if dn == nil {
-			continue
+		ok[i] = dn != nil && dn.Store(info.ID, data) == nil
+	}
+	if workers := c.cluster.writeWorkers(len(info.Locations)); workers <= 1 {
+		for i, target := range info.Locations {
+			store(i, target)
 		}
-		if err := dn.Store(info.ID, data); err != nil {
-			continue
+	} else {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for i, target := range info.Locations {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, target string) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				store(i, target)
+			}(i, target)
 		}
-		stored = append(stored, target)
+		wg.Wait()
+	}
+	stored := make([]string, 0, len(info.Locations))
+	for i, target := range info.Locations {
+		if ok[i] {
+			stored = append(stored, target)
+		}
 	}
 	if len(stored) == 0 {
 		return fmt.Errorf("hdfs: pipeline for block %d failed on all %d targets",
@@ -87,6 +158,7 @@ func (w *Writer) flushBlock(data []byte) error {
 	}
 	c.cluster.reg.Counter("bytes_written").Add(int64(len(data)) * int64(len(stored)))
 	c.cluster.reg.Counter("blocks_written").Inc()
+	c.cluster.reg.Histogram("hdfs_write_seconds").ObserveDuration(time.Since(start))
 	return nil
 }
 
@@ -121,18 +193,78 @@ func (c *Client) WriteFile(path string, data []byte, replication int) error {
 	return w.Close()
 }
 
-// readBlock fetches one block, failing over across replicas. Corrupt
-// replicas are reported to the NameNode (which queues repair).
-func (c *Client) readBlock(info BlockInfo) ([]byte, error) {
+// orderReplicas ranks a block's candidate replicas by the selection
+// policy: the client's own node first (zero-hop locality), then ascending
+// in-flight read count per datanode, ties keeping the NameNode's order.
+// The decision taken for the top pick is counted in the cluster registry
+// (replica_select_local / _least_loaded / _first).
+func (c *Client) orderReplicas(locs []string) []string {
+	if len(locs) == 0 {
+		return locs
+	}
+	if len(locs) == 1 {
+		c.cluster.reg.Counter(c.pickCounter(locs[0], locs, nil)).Inc()
+		return locs
+	}
+	// Snapshot load counts so the sort comparator stays consistent even
+	// while other readers change them.
+	load := make(map[string]int64, len(locs))
+	rank := make(map[string]int, len(locs))
+	for i, l := range locs {
+		load[l] = c.cluster.InflightReads(l)
+		rank[l] = i
+	}
+	out := make([]string, len(locs))
+	copy(out, locs)
+	sort.Slice(out, func(i, j int) bool {
+		li, lj := out[i] == c.localNode, out[j] == c.localNode
+		if c.localNode != "" && li != lj {
+			return li
+		}
+		if load[out[i]] != load[out[j]] {
+			return load[out[i]] < load[out[j]]
+		}
+		return rank[out[i]] < rank[out[j]]
+	})
+	c.cluster.reg.Counter(c.pickCounter(out[0], locs, load)).Inc()
+	return out
+}
+
+// pickCounter names the policy metric matching the chosen first replica.
+func (c *Client) pickCounter(pick string, locs []string, load map[string]int64) string {
+	switch {
+	case c.localNode != "" && pick == c.localNode:
+		return "replica_select_local"
+	case pick != locs[0] && load != nil && load[pick] < load[locs[0]]:
+		return "replica_select_least_loaded"
+	default:
+		return "replica_select_first"
+	}
+}
+
+// fetchWithFailover is the one replica-iteration path shared by whole-block
+// and range reads: rank replicas by the selection policy, track per-node
+// in-flight counts, fail over on any error, report corrupt replicas to the
+// NameNode (which queues repair), and record read latency. read runs
+// against a single replica.
+func (c *Client) fetchWithFailover(info BlockInfo, read func(dn *DataNode) ([]byte, error)) ([]byte, error) {
+	start := time.Now()
 	var lastErr error = fmt.Errorf("%w: block %d has no live replicas", ErrAllReplicasFailed, info.ID)
-	for _, loc := range info.Locations {
+	for i, loc := range c.orderReplicas(info.Locations) {
 		dn := c.cluster.DataNode(loc)
 		if dn == nil {
 			continue
 		}
-		data, err := dn.Read(info.ID)
+		ctr := c.cluster.inflightFor(loc)
+		ctr.Add(1)
+		data, err := read(dn)
+		ctr.Add(-1)
 		if err == nil {
+			if i > 0 {
+				c.cluster.reg.Counter("replica_failovers").Inc()
+			}
 			c.cluster.reg.Counter("bytes_read").Add(int64(len(data)))
+			c.cluster.reg.Histogram("hdfs_read_seconds").ObserveDuration(time.Since(start))
 			return data, nil
 		}
 		if errors.Is(err, ErrChecksum) {
@@ -144,21 +276,89 @@ func (c *Client) readBlock(info BlockInfo) ([]byte, error) {
 	return nil, fmt.Errorf("%w: block %d: %v", ErrAllReplicasFailed, info.ID, lastErr)
 }
 
-// ReadFile returns the whole content of path.
+// readBlock fetches one whole block, failing over across replicas.
+func (c *Client) readBlock(info BlockInfo) ([]byte, error) {
+	return c.fetchWithFailover(info, func(dn *DataNode) ([]byte, error) {
+		return dn.Read(info.ID)
+	})
+}
+
+// ReadFile returns the whole content of path, fetching blocks in parallel
+// with bounded concurrency (Cluster.SetReadConcurrency). The result is
+// byte-identical to a sequential read: every block lands at its own offset
+// in one pre-sized buffer.
 func (c *Client) ReadFile(path string) ([]byte, error) {
 	blocks, err := c.cluster.nn.GetBlockLocations(path)
 	if err != nil {
 		return nil, err
 	}
-	var out []byte
-	for _, b := range blocks {
+	if len(blocks) == 0 {
+		return nil, nil
+	}
+	offsets := make([]int64, len(blocks))
+	var total int64
+	for i, b := range blocks {
+		offsets[i] = total
+		total += b.Length
+	}
+	out := make([]byte, total)
+	if workers := c.cluster.readWorkers(len(blocks)); workers > 1 && len(blocks) > 1 {
+		if err := c.readBlocksParallel(blocks, offsets, out, workers); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	for i, b := range blocks {
 		data, err := c.readBlock(b)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, data...)
+		copy(out[offsets[i]:], data)
 	}
 	return out, nil
+}
+
+// readBlocksParallel fans block fetches out over a bounded worker pool;
+// the first error wins and stops further fetches from launching.
+func (c *Client) readBlocksParallel(blocks []BlockInfo, offsets []int64, out []byte, workers int) error {
+	var (
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, workers)
+		failed   atomic.Bool
+		mu       sync.Mutex
+		firstErr error
+	)
+	for i := range blocks {
+		if failed.Load() {
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if failed.Load() {
+				return
+			}
+			data, err := c.readBlock(blocks[i])
+			if err != nil {
+				if failed.CompareAndSwap(false, true) {
+					mu.Lock()
+					firstErr = err
+					mu.Unlock()
+				}
+				return
+			}
+			copy(out[offsets[i]:], data)
+		}(i)
+	}
+	wg.Wait()
+	if failed.Load() {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr
+	}
+	return nil
 }
 
 // Open returns a random-access reader for path.
@@ -167,108 +367,19 @@ func (c *Client) Open(path string) (*Reader, error) {
 	if err != nil {
 		return nil, err
 	}
+	starts := make([]int64, len(blocks))
 	var size int64
-	for _, b := range blocks {
+	for i, b := range blocks {
+		starts[i] = size
 		size += b.Length
 	}
-	return &Reader{client: c, blocks: blocks, size: size}, nil
-}
-
-// Reader reads an HDFS file with io.Reader/io.Seeker/io.ReaderAt semantics;
-// it backs both sequential consumption (MapReduce splits) and the
-// seekable-playback path of the video site (HTTP Range requests).
-type Reader struct {
-	client *Client
-	blocks []BlockInfo
-	size   int64
-	pos    int64
-}
-
-// Size returns the file length.
-func (r *Reader) Size() int64 { return r.size }
-
-// Read implements io.Reader.
-func (r *Reader) Read(p []byte) (int, error) {
-	n, err := r.ReadAt(p, r.pos)
-	r.pos += int64(n)
-	return n, err
-}
-
-// Seek implements io.Seeker.
-func (r *Reader) Seek(offset int64, whence int) (int64, error) {
-	var abs int64
-	switch whence {
-	case io.SeekStart:
-		abs = offset
-	case io.SeekCurrent:
-		abs = r.pos + offset
-	case io.SeekEnd:
-		abs = r.size + offset
-	default:
-		return 0, fmt.Errorf("hdfs: bad whence %d", whence)
-	}
-	if abs < 0 {
-		return 0, fmt.Errorf("hdfs: negative seek position %d", abs)
-	}
-	r.pos = abs
-	return abs, nil
-}
-
-// ReadAt implements io.ReaderAt, fetching only the block ranges covering
-// [off, off+len(p)).
-func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
-	if off >= r.size {
-		return 0, io.EOF
-	}
-	n := 0
-	var blockStart int64
-	for _, b := range r.blocks {
-		blockEnd := blockStart + b.Length
-		if off+int64(len(p)) <= blockStart || off >= blockEnd {
-			blockStart = blockEnd
-			continue
-		}
-		// Overlap of [off, off+len(p)) with this block.
-		lo := off + int64(n)
-		if lo < blockStart {
-			lo = blockStart
-		}
-		want := int64(len(p) - n)
-		chunk, err := r.fetchRange(b, lo-blockStart, want)
-		if err != nil {
-			return n, err
-		}
-		n += copy(p[n:], chunk)
-		blockStart = blockEnd
-		if n == len(p) {
-			return n, nil
-		}
-	}
-	if n < len(p) {
-		return n, io.EOF
-	}
-	return n, nil
-}
-
-func (r *Reader) fetchRange(info BlockInfo, off, length int64) ([]byte, error) {
-	var lastErr error = fmt.Errorf("%w: block %d has no live replicas", ErrAllReplicasFailed, info.ID)
-	for _, loc := range info.Locations {
-		dn := r.client.cluster.DataNode(loc)
-		if dn == nil {
-			continue
-		}
-		data, err := dn.ReadRange(info.ID, off, length)
-		if err == nil {
-			r.client.cluster.reg.Counter("bytes_read").Add(int64(len(data)))
-			return data, nil
-		}
-		if errors.Is(err, ErrChecksum) {
-			r.client.cluster.nn.ReportCorrupt(loc, info.ID)
-			r.client.cluster.reg.Counter("corrupt_replicas_reported").Inc()
-		}
-		lastErr = err
-	}
-	return nil, fmt.Errorf("%w: block %d: %v", ErrAllReplicasFailed, info.ID, lastErr)
+	return &Reader{
+		client: c,
+		blocks: blocks,
+		starts: starts,
+		size:   size,
+		cache:  make(map[int]*raEntry),
+	}, nil
 }
 
 // BlockLocations exposes a file's block layout — what the MapReduce

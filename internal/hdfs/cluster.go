@@ -2,7 +2,9 @@ package hdfs
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"videocloud/internal/metrics"
 )
@@ -12,22 +14,33 @@ import (
 // and block reclamation. In the paper's deployment each DataNode runs inside
 // a KVM virtual machine; here the nodes are in-process objects, so the data
 // path is real and the placement decisions are identical.
+//
+// The cluster also owns the data-path tuning knobs (checksum chunk size,
+// read/write fan-out) and the per-DataNode in-flight read counts that feed
+// the client's load-aware replica selection.
 type Cluster struct {
 	nn  *NameNode
 	reg *metrics.Registry
 
-	mu    sync.RWMutex
-	nodes map[string]*DataNode
+	chunkSize atomic.Int64
+	readConc  atomic.Int64 // 0 = auto (GOMAXPROCS capped at 8)
+	writeConc atomic.Int64 // 0 = auto (all pipeline targets at once)
+
+	mu       sync.RWMutex
+	nodes    map[string]*DataNode
+	inflight map[string]*atomic.Int64
 }
 
 // NewCluster creates a cluster with n datanodes named "dn0".."dn<n-1>".
 // blockSize 0 selects the 64 MiB default.
 func NewCluster(n int, blockSize int64) *Cluster {
 	c := &Cluster{
-		nn:    NewNameNode(blockSize),
-		reg:   metrics.NewRegistry(),
-		nodes: make(map[string]*DataNode),
+		nn:       NewNameNode(blockSize),
+		reg:      metrics.NewRegistry(),
+		nodes:    make(map[string]*DataNode),
+		inflight: make(map[string]*atomic.Int64),
 	}
+	c.chunkSize.Store(DefaultChunkSize)
 	for i := 0; i < n; i++ {
 		c.AddDataNode(fmt.Sprintf("dn%d", i))
 	}
@@ -37,8 +50,99 @@ func NewCluster(n int, blockSize int64) *Cluster {
 // NameNode returns the master.
 func (c *Cluster) NameNode() *NameNode { return c.nn }
 
-// Metrics returns cluster counters (bytes written/read, repairs).
+// Metrics returns cluster counters (bytes written/read, repairs, readahead
+// and replica-selection activity) and latency histograms.
 func (c *Cluster) Metrics() *metrics.Registry { return c.reg }
+
+// SetChunkSize sets the checksum chunk granularity used for blocks stored
+// from now on (already-stored replicas keep their layout). sz <= 0
+// restores DefaultChunkSize.
+func (c *Cluster) SetChunkSize(sz int64) {
+	if sz <= 0 {
+		sz = DefaultChunkSize
+	}
+	c.chunkSize.Store(sz)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, dn := range c.nodes {
+		dn.SetChunkSize(sz)
+	}
+}
+
+// ChunkSize returns the checksum chunk granularity for new blocks.
+func (c *Cluster) ChunkSize() int64 { return c.chunkSize.Load() }
+
+// SetReadConcurrency bounds how many blocks Client.ReadFile fetches at
+// once. n <= 0 restores the default (GOMAXPROCS, capped at 8); n == 1
+// forces the strictly sequential path.
+func (c *Cluster) SetReadConcurrency(n int) { c.readConc.Store(int64(n)) }
+
+// SetWriteConcurrency bounds how many pipeline targets a block write
+// stores to at once. n <= 0 restores the default (all targets); n == 1
+// forces the sequential target chain.
+func (c *Cluster) SetWriteConcurrency(n int) { c.writeConc.Store(int64(n)) }
+
+// readWorkers resolves the effective read fan-out for a file of `blocks`
+// blocks.
+func (c *Cluster) readWorkers(blocks int) int {
+	n := int(c.readConc.Load())
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+		if n > 8 {
+			n = 8
+		}
+	}
+	if n > blocks {
+		n = blocks
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// writeWorkers resolves the effective write fan-out for `targets` pipeline
+// targets.
+func (c *Cluster) writeWorkers(targets int) int {
+	n := int(c.writeConc.Load())
+	if n <= 0 || n > targets {
+		n = targets
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// inflightFor returns the in-flight read counter for a datanode, creating
+// it on first use (revived or externally registered nodes included).
+func (c *Cluster) inflightFor(name string) *atomic.Int64 {
+	c.mu.RLock()
+	ctr := c.inflight[name]
+	c.mu.RUnlock()
+	if ctr != nil {
+		return ctr
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ctr = c.inflight[name]; ctr == nil {
+		ctr = new(atomic.Int64)
+		c.inflight[name] = ctr
+	}
+	return ctr
+}
+
+// InflightReads reports how many block fetches are currently outstanding
+// against a datanode — the load signal replica selection orders by.
+func (c *Cluster) InflightReads(name string) int64 {
+	c.mu.RLock()
+	ctr := c.inflight[name]
+	c.mu.RUnlock()
+	if ctr == nil {
+		return 0
+	}
+	return ctr.Load()
+}
 
 // AddDataNode creates and registers a new datanode on the default rack.
 func (c *Cluster) AddDataNode(name string) *DataNode {
@@ -48,8 +152,12 @@ func (c *Cluster) AddDataNode(name string) *DataNode {
 // AddDataNodeRack creates and registers a datanode with rack topology.
 func (c *Cluster) AddDataNodeRack(name, rack string) *DataNode {
 	dn := NewDataNode(name)
+	dn.SetChunkSize(c.ChunkSize())
 	c.mu.Lock()
 	c.nodes[name] = dn
+	if c.inflight[name] == nil {
+		c.inflight[name] = new(atomic.Int64)
+	}
 	c.mu.Unlock()
 	c.nn.RegisterDataNodeRack(name, 1<<40, rack)
 	return dn
@@ -174,7 +282,56 @@ func (c *Cluster) Delete(path string) error {
 }
 
 // Client returns a client whose writes prefer localNode for the first
-// replica ("" for a remote client with no locality).
+// replica and whose reads prefer a localNode replica when one exists
+// ("" for a remote client with no locality).
 func (c *Cluster) Client(localNode string) *Client {
 	return &Client{cluster: c, localNode: localNode}
+}
+
+// Stats is a point-in-time summary of the storage data path, surfaced
+// through core.Status for dashboards and the CLI.
+type Stats struct {
+	BytesRead        int64
+	BytesWritten     int64
+	BlocksWritten    int64
+	BlocksReplicated int64
+	CorruptReported  int64
+
+	// Readahead effectiveness: block windows served from a reader's
+	// prefetch cache vs fetched from a replica, and prefetches launched.
+	ReadaheadHits       int64
+	ReadaheadMisses     int64
+	ReadaheadPrefetches int64
+
+	// Replica-selection policy outcomes: reads that went to the client's
+	// own node, reads steered to a less-loaded replica, reads that kept
+	// the NameNode's default order, and mid-read failovers.
+	ReplicaLocal       int64
+	ReplicaLeastLoaded int64
+	ReplicaFirst       int64
+	ReplicaFailovers   int64
+
+	// Per-block-operation latency distributions, in seconds.
+	ReadLatency  metrics.Snapshot
+	WriteLatency metrics.Snapshot
+}
+
+// Stats snapshots the data-path metrics.
+func (c *Cluster) Stats() Stats {
+	return Stats{
+		BytesRead:           c.reg.Counter("bytes_read").Value(),
+		BytesWritten:        c.reg.Counter("bytes_written").Value(),
+		BlocksWritten:       c.reg.Counter("blocks_written").Value(),
+		BlocksReplicated:    c.reg.Counter("blocks_replicated").Value(),
+		CorruptReported:     c.reg.Counter("corrupt_replicas_reported").Value(),
+		ReadaheadHits:       c.reg.Counter("readahead_hits").Value(),
+		ReadaheadMisses:     c.reg.Counter("readahead_misses").Value(),
+		ReadaheadPrefetches: c.reg.Counter("readahead_prefetches").Value(),
+		ReplicaLocal:        c.reg.Counter("replica_select_local").Value(),
+		ReplicaLeastLoaded:  c.reg.Counter("replica_select_least_loaded").Value(),
+		ReplicaFirst:        c.reg.Counter("replica_select_first").Value(),
+		ReplicaFailovers:    c.reg.Counter("replica_failovers").Value(),
+		ReadLatency:         c.reg.Histogram("hdfs_read_seconds").Snapshot(),
+		WriteLatency:        c.reg.Histogram("hdfs_write_seconds").Snapshot(),
+	}
 }

@@ -15,30 +15,64 @@ var (
 	ErrDown     = errors.New("hdfs: datanode is down")
 )
 
+// DefaultChunkSize is the checksum granularity for stored blocks: each
+// 64 KiB chunk carries its own CRC32, so a range read verifies only the
+// chunks it overlaps instead of re-checksumming the whole block. 64 KiB
+// mirrors Hadoop's io.bytes.per.checksum scaled to the serving window a
+// Flowplayer seek actually asks for.
+const DefaultChunkSize = 64 << 10
+
+// blockData is one stored replica: the bytes plus a checksum ladder — a
+// whole-block CRC32 backing the full-read fast path, and per-chunk CRC32s
+// backing O(range) verification for random-access windows. The chunk size
+// is recorded per block so a cluster-wide chunk-size change never
+// invalidates already-stored replicas.
+type blockData struct {
+	data  []byte
+	whole uint32
+	sums  []uint32
+	chunk int64
+}
+
 // DataNode stores block replicas with CRC32 checksums — the slave side of
 // Figure 11. It is safe for concurrent use.
 type DataNode struct {
 	name string
 
 	mu     sync.RWMutex
-	blocks map[BlockID][]byte
-	sums   map[BlockID]uint32
+	blocks map[BlockID]*blockData
+	chunk  int64
 	down   bool
 }
 
-// NewDataNode returns an empty datanode.
+// NewDataNode returns an empty datanode with the default checksum chunk
+// size.
 func NewDataNode(name string) *DataNode {
 	return &DataNode{
 		name:   name,
-		blocks: make(map[BlockID][]byte),
-		sums:   make(map[BlockID]uint32),
+		blocks: make(map[BlockID]*blockData),
+		chunk:  DefaultChunkSize,
 	}
 }
 
 // Name returns the node's cluster-unique name.
 func (dn *DataNode) Name() string { return dn.name }
 
-// Store writes a block replica. The data is copied.
+// SetChunkSize sets the checksum granularity for subsequently stored
+// blocks; existing replicas keep the layout they were written with.
+// sz <= 0 restores the default.
+func (dn *DataNode) SetChunkSize(sz int64) {
+	if sz <= 0 {
+		sz = DefaultChunkSize
+	}
+	dn.mu.Lock()
+	dn.chunk = sz
+	dn.mu.Unlock()
+}
+
+// Store writes a block replica. The data is copied, and both the
+// whole-block and per-chunk checksums are computed up front so every later
+// read — full or ranged — verifies against write-time state.
 func (dn *DataNode) Store(id BlockID, data []byte) error {
 	dn.mu.Lock()
 	defer dn.mu.Unlock()
@@ -47,47 +81,89 @@ func (dn *DataNode) Store(id BlockID, data []byte) error {
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
-	dn.blocks[id] = cp
-	dn.sums[id] = crc32.ChecksumIEEE(cp)
+	bd := &blockData{data: cp, whole: crc32.ChecksumIEEE(cp), chunk: dn.chunk}
+	n := (int64(len(cp)) + bd.chunk - 1) / bd.chunk
+	bd.sums = make([]uint32, n)
+	for i := int64(0); i < n; i++ {
+		lo := i * bd.chunk
+		hi := lo + bd.chunk
+		if hi > int64(len(cp)) {
+			hi = int64(len(cp))
+		}
+		bd.sums[i] = crc32.ChecksumIEEE(cp[lo:hi])
+	}
+	dn.blocks[id] = bd
 	return nil
 }
 
-// Read returns a copy of the block after verifying its checksum. A
+// Read returns a copy of the block after verifying the whole-block
+// checksum in a single pass (the fast path for full-block transfers). A
 // checksum failure returns ErrChecksum — the trigger for the client's
 // replica failover and corruption report.
 func (dn *DataNode) Read(id BlockID) ([]byte, error) {
 	dn.mu.RLock()
 	defer dn.mu.RUnlock()
-	if dn.down {
-		return nil, fmt.Errorf("%w: %s", ErrDown, dn.name)
-	}
-	data, ok := dn.blocks[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: %d on %s", ErrNoBlock, id, dn.name)
-	}
-	if crc32.ChecksumIEEE(data) != dn.sums[id] {
-		return nil, fmt.Errorf("%w: %d on %s", ErrChecksum, id, dn.name)
-	}
-	out := make([]byte, len(data))
-	copy(out, data)
-	return out, nil
-}
-
-// ReadRange returns length bytes of the block starting at off, checksum
-// verified. It backs random-access reads (streaming seeks).
-func (dn *DataNode) ReadRange(id BlockID, off, length int64) ([]byte, error) {
-	data, err := dn.Read(id)
+	bd, err := dn.locked(id)
 	if err != nil {
 		return nil, err
 	}
-	if off < 0 || off > int64(len(data)) {
-		return nil, fmt.Errorf("hdfs: offset %d out of block bounds %d", off, len(data))
+	if crc32.ChecksumIEEE(bd.data) != bd.whole {
+		return nil, fmt.Errorf("%w: %d on %s", ErrChecksum, id, dn.name)
+	}
+	out := make([]byte, len(bd.data))
+	copy(out, bd.data)
+	return out, nil
+}
+
+// ReadRange returns up to length bytes of the block starting at off,
+// verifying only the checksum chunks overlapping [off, off+length) and
+// copying only that window — O(range) work regardless of block size. It
+// backs random-access reads (streaming seeks). Corruption outside the
+// requested chunks is not detected here, exactly as in HDFS's per-chunk
+// verification; full-block reads and the next overlapping window catch it.
+func (dn *DataNode) ReadRange(id BlockID, off, length int64) ([]byte, error) {
+	if length < 0 {
+		return nil, fmt.Errorf("hdfs: negative range length %d", length)
+	}
+	dn.mu.RLock()
+	defer dn.mu.RUnlock()
+	bd, err := dn.locked(id)
+	if err != nil {
+		return nil, err
+	}
+	size := int64(len(bd.data))
+	if off < 0 || off > size {
+		return nil, fmt.Errorf("hdfs: offset %d out of block bounds %d", off, size)
 	}
 	end := off + length
-	if end > int64(len(data)) {
-		end = int64(len(data))
+	if end > size {
+		end = size
 	}
-	return data[off:end], nil
+	for ci := off / bd.chunk; ci*bd.chunk < end; ci++ {
+		lo := ci * bd.chunk
+		hi := lo + bd.chunk
+		if hi > size {
+			hi = size
+		}
+		if crc32.ChecksumIEEE(bd.data[lo:hi]) != bd.sums[ci] {
+			return nil, fmt.Errorf("%w: %d chunk %d on %s", ErrChecksum, id, ci, dn.name)
+		}
+	}
+	out := make([]byte, end-off)
+	copy(out, bd.data[off:end])
+	return out, nil
+}
+
+// locked fetches a block record; callers hold dn.mu.
+func (dn *DataNode) locked(id BlockID) (*blockData, error) {
+	if dn.down {
+		return nil, fmt.Errorf("%w: %s", ErrDown, dn.name)
+	}
+	bd, ok := dn.blocks[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d on %s", ErrNoBlock, id, dn.name)
+	}
+	return bd, nil
 }
 
 // Delete removes a block replica; absent blocks are a no-op.
@@ -95,7 +171,6 @@ func (dn *DataNode) Delete(id BlockID) {
 	dn.mu.Lock()
 	defer dn.mu.Unlock()
 	delete(dn.blocks, id)
-	delete(dn.sums, id)
 }
 
 // Has reports whether the node stores the block.
@@ -123,8 +198,8 @@ func (dn *DataNode) Used() int64 {
 	dn.mu.RLock()
 	defer dn.mu.RUnlock()
 	var n int64
-	for _, b := range dn.blocks {
-		n += int64(len(b))
+	for _, bd := range dn.blocks {
+		n += int64(len(bd.data))
 	}
 	return n
 }
@@ -145,18 +220,31 @@ func (dn *DataNode) Down() bool {
 	return dn.down
 }
 
-// Corrupt flips a byte of a stored replica without updating the checksum —
-// a test hook standing in for disk bit rot.
+// Corrupt flips a byte in the middle of a stored replica without updating
+// any checksum — a test hook standing in for disk bit rot.
 func (dn *DataNode) Corrupt(id BlockID) error {
+	return dn.CorruptAt(id, -1)
+}
+
+// CorruptAt flips the byte at off (negative means the block's midpoint)
+// without updating checksums, so tests can target a specific checksum
+// chunk.
+func (dn *DataNode) CorruptAt(id BlockID, off int64) error {
 	dn.mu.Lock()
 	defer dn.mu.Unlock()
-	data, ok := dn.blocks[id]
+	bd, ok := dn.blocks[id]
 	if !ok {
 		return fmt.Errorf("%w: %d on %s", ErrNoBlock, id, dn.name)
 	}
-	if len(data) == 0 {
+	if len(bd.data) == 0 {
 		return fmt.Errorf("hdfs: cannot corrupt empty block %d", id)
 	}
-	data[len(data)/2] ^= 0xFF
+	if off < 0 {
+		off = int64(len(bd.data)) / 2
+	}
+	if off >= int64(len(bd.data)) {
+		return fmt.Errorf("hdfs: corrupt offset %d out of block bounds %d", off, len(bd.data))
+	}
+	bd.data[off] ^= 0xFF
 	return nil
 }

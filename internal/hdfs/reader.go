@@ -1,0 +1,200 @@
+package hdfs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Reader reads an HDFS file with io.Reader/io.Seeker/io.ReaderAt semantics;
+// it backs both sequential consumption (MapReduce splits, the FUSE bridge)
+// and the seekable-playback path of the video site (HTTP Range requests).
+//
+// Sequential Reads get readahead: once a read touches the tail of a block,
+// the next block is prefetched in the background into a small per-reader
+// cache, so block N+1 transfers while block N is being consumed. Random
+// ReadAt windows bypass the readahead trigger and fetch — and
+// checksum-verify — only the chunks they overlap, keeping a K-byte read of
+// an N-byte block at O(K) cost for any N.
+//
+// ReadAt is safe for concurrent use; Read and Seek share the position and
+// are not.
+type Reader struct {
+	client *Client
+	blocks []BlockInfo
+	starts []int64 // starts[i] = file offset of blocks[i]
+	size   int64
+	pos    int64
+
+	mu    sync.Mutex
+	cache map[int]*raEntry // block index -> readahead slot (≤2 entries)
+}
+
+// raEntry is one readahead slot; ready closes once data/err are set.
+type raEntry struct {
+	ready chan struct{}
+	data  []byte
+	err   error
+}
+
+// readaheadTriggerDenom arms prefetch of the next block when a sequential
+// read touches the last 1/readaheadTriggerDenom of the current one: a
+// consumer that deep is very likely to continue, while a random player
+// window usually isn't, so seeks don't waste whole-block fetches.
+const readaheadTriggerDenom = 4
+
+// Size returns the file length.
+func (r *Reader) Size() int64 { return r.size }
+
+// Read implements io.Reader. The prefetch is armed before the current
+// window is fetched so the next block transfers while this one is served.
+func (r *Reader) Read(p []byte) (int, error) {
+	r.maybePrefetch(r.pos, int64(len(p)))
+	n, err := r.ReadAt(p, r.pos)
+	r.pos += int64(n)
+	return n, err
+}
+
+// Seek implements io.Seeker.
+func (r *Reader) Seek(offset int64, whence int) (int64, error) {
+	var abs int64
+	switch whence {
+	case io.SeekStart:
+		abs = offset
+	case io.SeekCurrent:
+		abs = r.pos + offset
+	case io.SeekEnd:
+		abs = r.size + offset
+	default:
+		return 0, fmt.Errorf("hdfs: bad whence %d", whence)
+	}
+	if abs < 0 {
+		return 0, fmt.Errorf("hdfs: negative seek position %d", abs)
+	}
+	r.pos = abs
+	return abs, nil
+}
+
+// blockIndex returns the index of the block containing file offset off
+// (len(r.blocks) when off is at or past EOF).
+func (r *Reader) blockIndex(off int64) int {
+	return sort.Search(len(r.blocks), func(i int) bool {
+		return r.starts[i]+r.blocks[i].Length > off
+	})
+}
+
+// ReadAt implements io.ReaderAt, fetching only the block ranges covering
+// [off, off+len(p)).
+func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("hdfs: negative read offset %d", off)
+	}
+	if off >= r.size {
+		return 0, io.EOF
+	}
+	n := 0
+	for bi := r.blockIndex(off); n < len(p) && bi < len(r.blocks); bi++ {
+		bo := off + int64(n) - r.starts[bi]
+		want := int64(len(p) - n)
+		if rem := r.blocks[bi].Length - bo; want > rem {
+			want = rem
+		}
+		chunk, err := r.rangeFromBlock(bi, bo, want)
+		n += copy(p[n:], chunk)
+		if err != nil {
+			return n, err
+		}
+	}
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// rangeFromBlock serves [bo, bo+want) of block bi: from the readahead
+// cache when a prefetched copy exists or is in flight (counted as a hit),
+// otherwise straight from a replica, verifying only the checksum chunks
+// the window overlaps (counted as a miss).
+func (r *Reader) rangeFromBlock(bi int, bo, want int64) ([]byte, error) {
+	r.mu.Lock()
+	e := r.cache[bi]
+	r.mu.Unlock()
+	if e != nil {
+		<-e.ready
+		if e.err == nil {
+			r.client.cluster.reg.Counter("readahead_hits").Inc()
+			end := bo + want
+			if end > int64(len(e.data)) {
+				end = int64(len(e.data))
+			}
+			if bo > end {
+				bo = end
+			}
+			return e.data[bo:end], nil
+		}
+		// The prefetch failed (e.g. every replica was down when it ran);
+		// drop the slot and retry synchronously, which re-ranks replicas
+		// as they are now.
+		r.mu.Lock()
+		if r.cache[bi] == e {
+			delete(r.cache, bi)
+		}
+		r.mu.Unlock()
+	}
+	r.client.cluster.reg.Counter("readahead_misses").Inc()
+	return r.client.fetchWithFailover(r.blocks[bi], func(dn *DataNode) ([]byte, error) {
+		return dn.ReadRange(r.blocks[bi].ID, bo, want)
+	})
+}
+
+// maybePrefetch arms readahead for the block after the one a prospective
+// sequential read of [off, off+n) ends in, when that read reaches the
+// block's trigger tail.
+func (r *Reader) maybePrefetch(off, n int64) {
+	if len(r.blocks) < 2 {
+		return
+	}
+	end := off + n
+	if end > r.size {
+		end = r.size
+	}
+	if end <= off {
+		return
+	}
+	j := r.blockIndex(end - 1)
+	if j+1 >= len(r.blocks) {
+		return
+	}
+	b := r.blocks[j]
+	tail := r.starts[j] + b.Length - b.Length/readaheadTriggerDenom
+	if end-1 < tail {
+		return
+	}
+	r.prefetch(j + 1)
+}
+
+// prefetch starts a background whole-block fetch of block bi into the
+// reader's cache unless one is already there; blocks the consumer has
+// passed are evicted so the cache never outgrows current+next.
+func (r *Reader) prefetch(bi int) {
+	r.mu.Lock()
+	if _, ok := r.cache[bi]; ok {
+		r.mu.Unlock()
+		return
+	}
+	for k := range r.cache {
+		if k < bi-1 {
+			delete(r.cache, k)
+		}
+	}
+	e := &raEntry{ready: make(chan struct{})}
+	r.cache[bi] = e
+	r.mu.Unlock()
+	r.client.cluster.reg.Counter("readahead_prefetches").Inc()
+	info := r.blocks[bi]
+	go func() {
+		e.data, e.err = r.client.readBlock(info)
+		close(e.ready)
+	}()
+}
