@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test race alloccheck bench benchall
+.PHONY: tier1 vet build test race alloccheck chaosshort chaos bench benchall
 
-tier1: vet build race alloccheck
+tier1: vet build race alloccheck chaosshort
 
 vet:
 	$(GO) vet ./...
@@ -24,6 +24,20 @@ race:
 
 alloccheck:
 	$(GO) test -run 'TestAlloc' ./internal/video/ ./internal/hdfs/
+
+# Short-mode chaos soak: the seeded fault-injection run (host crash,
+# DataNode crash, block corruption, tracker death mid-job) at reduced
+# workload scale, under the race detector — part of the tier-1 gate.
+chaosshort:
+	$(GO) test -race -short -count=1 -run 'TestChaosSoak' ./internal/core/
+
+# Full chaos soak with the recovery report: per-fault-class detection
+# latency and MTTR land in BENCH_recovery.json for comparison across PRs.
+# CHAOS_SEED=N reproduces a specific run.
+chaos:
+	CHAOS_BENCH_OUT=$(CURDIR)/BENCH_recovery.json \
+		$(GO) test -race -count=1 -run 'TestChaosSoak' ./internal/core/
+	@echo "wrote BENCH_recovery.json (seed $$(grep -m1 '"seed"' BENCH_recovery.json | tr -dc 0-9))"
 
 # Hot-path benchmarks: -cpu 1,4 shows how the conversion worker pool and
 # the HDFS block fan-out scale with real cores; results land in

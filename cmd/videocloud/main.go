@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"videocloud/internal/core"
+	"videocloud/internal/hdfs"
 	"videocloud/internal/video"
 )
 
@@ -34,6 +35,8 @@ func main() {
 	adminPass := flag.String("admin-pass", "admin", "admin account password")
 	transcodeWorkers := flag.Int("transcode-workers", 0,
 		"async conversion pool size (0 = convert uploads inline)")
+	selfheal := flag.Bool("selfheal", true,
+		"arm failure detection + automatic recovery (host heartbeats, HDFS healer)")
 	flag.Parse()
 
 	vc, err := core.New(core.Config{
@@ -49,6 +52,11 @@ func main() {
 		st.Hosts, len(st.VMs), st.DataNodes)
 	for _, vm := range st.VMs {
 		log.Printf("  vm %-14s state=%-8s host=%-6s ip=%s", vm.Name, vm.State, vm.Host, vm.IP)
+	}
+
+	if *selfheal {
+		vc.StartSelfHealing(hdfs.HealerConfig{})
+		log.Printf("videocloud: self-healing armed (host heartbeats + HDFS healer)")
 	}
 
 	seedCatalog(vc, *seed)
@@ -96,6 +104,28 @@ func logRouteDashboard(vc *core.VideoCloud) {
 			h.ReadaheadHits, h.ReadaheadMisses, h.ReadaheadPrefetches,
 			h.ReplicaLocal, h.ReplicaLeastLoaded, h.ReplicaFirst, h.ReplicaFailovers,
 			h.ReadLatency.P99*1000, h.WriteLatency.P99*1000)
+	}
+	rc := st.Recovery
+	if rc.HostsCrashed > 0 || rc.HostFailuresDetected > 0 || rc.VMsRequeued > 0 {
+		log.Printf("recovery hosts crashed/detected=%d/%d vms requeued/restarted/exhausted=%d/%d/%d "+
+			"mig resched=%d evac stuck/retried=%d/%d detect_p99=%.0fms restart_p99=%.0fms",
+			rc.HostsCrashed, rc.HostFailuresDetected,
+			rc.VMsRequeued, rc.VMsAutoRestarted, rc.VMsRestartExhausted,
+			rc.MigrationsRescheduled, rc.EvacuationsStuck, rc.EvacuationsRetried,
+			rc.DetectLatency.P99*1000, rc.RestartLatency.P99*1000)
+	}
+	hl := st.Heal
+	if hl.DataNodesDetectedDead > 0 || hl.BlocksHealed > 0 || hl.PendingRepairs > 0 {
+		log.Printf("heal dn dead/rejoined=%d/%d blocks healed=%d pending=%d fail=%d abandoned=%d "+
+			"detect_p99=%.0fms heal_p99=%.0fms",
+			hl.DataNodesDetectedDead, hl.DataNodesRejoined, hl.BlocksHealed,
+			hl.PendingRepairs, hl.RepairFailures, hl.RepairsAbandoned,
+			hl.DetectLatency.P99*1000, hl.HealLatency.P99*1000)
+	}
+	br := st.Breaker
+	if br.Opened > 0 || br.Rejected > 0 || br.State != "closed" {
+		log.Printf("breaker state=%s opened=%d reclosed=%d rejected=%d",
+			br.State, br.Opened, br.Reclosed, br.Rejected)
 	}
 }
 

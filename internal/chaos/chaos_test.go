@@ -1,0 +1,182 @@
+package chaos
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"videocloud/internal/hdfs"
+	"videocloud/internal/nebula"
+)
+
+const testBlock = 32 * 1024
+
+// testStack builds one cloud + HDFS cluster with some stored data, identical
+// on every call so seeded picks are comparable across stacks.
+func testStack(t *testing.T) Targets {
+	t.Helper()
+	cloud := nebula.New(nebula.Options{})
+	if _, err := cloud.Catalog().Register("img", 1<<30, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"node1", "node2", "node3"} {
+		if _, err := cloud.AddHost(n, 8, 1e9, 16<<30, 500<<30); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cluster := hdfs.NewCluster(4, testBlock)
+	data := make([]byte, 3*testBlock)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	if err := cluster.Client("").WriteFile("/f", data, 3); err != nil {
+		t.Fatal(err)
+	}
+	return Targets{Cloud: cloud, Cluster: cluster, Network: cloud.Network()}
+}
+
+// Two injectors with the same seed over identical stacks must make identical
+// random picks in identical order.
+func TestSeededReproducibility(t *testing.T) {
+	run := func(seed int64) []string {
+		in := New(seed, testStack(t))
+		var got []string
+		for _, f := range []func() (*Fault, error){
+			in.CrashRandomDataNode, in.CorruptRandomBlock, in.CrashRandomHost, in.CrashRandomDataNode,
+		} {
+			fault, err := f()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, string(fault.Class)+":"+fault.Target)
+		}
+		return got
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pick %d differs: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+// The tracker liveness oracle must flip with KillTracker/ReviveTracker and
+// stamp the fault healed on revival.
+func TestTrackerOracle(t *testing.T) {
+	in := New(1, Targets{})
+	if !in.TrackerAlive("dn1") {
+		t.Fatal("fresh tracker reported dead")
+	}
+	in.KillTracker("dn1")
+	if in.TrackerAlive("dn1") {
+		t.Fatal("killed tracker reported alive")
+	}
+	in.ReviveTracker("dn1")
+	if !in.TrackerAlive("dn1") {
+		t.Fatal("revived tracker reported dead")
+	}
+	faults := in.Faults()
+	if len(faults) != 1 || faults[0].Class != TrackerDeath || !faults[0].Healed {
+		t.Fatalf("faults = %+v, want one healed tracker_death", faults)
+	}
+}
+
+// WorkerCrashHook must honour its probability and total budget, recording
+// one born-detected fault per injected failure.
+func TestWorkerCrashHookLimit(t *testing.T) {
+	in := New(7, Targets{})
+	hook := in.WorkerCrashHook(1.0, 2)
+	fails := 0
+	for i := 0; i < 5; i++ {
+		if hook("w1", i) != nil {
+			fails++
+		}
+	}
+	if fails != 2 {
+		t.Fatalf("hook failed %d tasks, want 2", fails)
+	}
+	for _, f := range in.Faults() {
+		if f.Class != WorkerCrash || !f.Detected {
+			t.Fatalf("fault = %+v, want detected worker_crash", f)
+		}
+	}
+	if n := len(in.Faults()); n != 2 {
+		t.Fatalf("ledger has %d faults, want 2", n)
+	}
+}
+
+// Injection against a missing subsystem must return ErrNoTarget, not panic.
+func TestErrNoTarget(t *testing.T) {
+	in := New(1, Targets{})
+	if _, err := in.CrashHost("node1"); !errors.Is(err, ErrNoTarget) {
+		t.Fatalf("CrashHost err = %v", err)
+	}
+	if _, err := in.CrashRandomDataNode(); !errors.Is(err, ErrNoTarget) {
+		t.Fatalf("CrashRandomDataNode err = %v", err)
+	}
+	if _, err := in.PartitionHost("x"); !errors.Is(err, ErrNoTarget) {
+		t.Fatalf("PartitionHost err = %v", err)
+	}
+}
+
+// The JSON report must aggregate per class and round-trip through a file.
+func TestReportWriter(t *testing.T) {
+	in := New(99, testStack(t))
+	f1, err := in.CrashDataNode("dn0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.CrashDataNode("dn1"); err != nil {
+		t.Fatal(err)
+	}
+	in.MarkDetected(f1)
+	in.MarkHealed(f1)
+	in.DetectedByTarget(DataNodeCrash, "dn1")
+
+	path := filepath.Join(t.TempDir(), "BENCH_recovery.json")
+	if err := in.WriteReport(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Seed != 99 || len(rep.Faults) != 2 || len(rep.Summary) != 1 {
+		t.Fatalf("report = seed %d, %d faults, %d summaries", rep.Seed, len(rep.Faults), len(rep.Summary))
+	}
+	cs := rep.Summary[0]
+	if cs.Class != DataNodeCrash || cs.Injected != 2 || cs.Detected != 2 || cs.Healed != 1 {
+		t.Fatalf("summary = %+v", cs)
+	}
+	if in.MTTR() <= 0 {
+		t.Fatal("MTTR not positive after a healed fault")
+	}
+}
+
+// Partition + heal through the injector must stamp the fault healed.
+func TestPartitionFaultLifecycle(t *testing.T) {
+	tg := testStack(t)
+	in := New(5, tg)
+	f, err := in.PartitionHost("node1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tg.Network.Partitioned("node1") {
+		t.Fatal("host not partitioned")
+	}
+	if err := in.HealPartition("node1"); err != nil {
+		t.Fatal(err)
+	}
+	if tg.Network.Partitioned("node1") {
+		t.Fatal("host still partitioned after heal")
+	}
+	if got := in.Faults()[f.ID-1]; !got.Healed {
+		t.Fatalf("fault = %+v, want healed", got)
+	}
+}

@@ -1,0 +1,110 @@
+package chaos
+
+import (
+	"encoding/json"
+	"os"
+	"sort"
+	"time"
+)
+
+// ClassSummary aggregates detection latency and MTTR for one fault class.
+// Wall seconds cover the real-clock recovery loops (HDFS healer); sim
+// seconds the simulated-clock ones (nebula heartbeats). A class recovered
+// in only one domain reports ~0 in the other.
+type ClassSummary struct {
+	Class    Class `json:"class"`
+	Injected int   `json:"injected"`
+	Detected int   `json:"detected"`
+	Healed   int   `json:"healed"`
+
+	MeanDetectWallSeconds float64 `json:"mean_detect_wall_seconds"`
+	MaxDetectWallSeconds  float64 `json:"max_detect_wall_seconds"`
+	MeanHealWallSeconds   float64 `json:"mean_heal_wall_seconds"`
+	MaxHealWallSeconds    float64 `json:"max_heal_wall_seconds"`
+
+	MeanDetectSimSeconds float64 `json:"mean_detect_sim_seconds"`
+	MeanHealSimSeconds   float64 `json:"mean_heal_sim_seconds"`
+}
+
+// Report is the JSON document WriteReport emits (BENCH_recovery.json).
+type Report struct {
+	Seed    int64          `json:"seed"`
+	Faults  []Fault        `json:"faults"`
+	Summary []ClassSummary `json:"summary"`
+}
+
+// Report builds the aggregate view of the fault ledger.
+func (in *Injector) Report() Report {
+	faults := in.Faults()
+	byClass := make(map[Class]*ClassSummary)
+	var order []Class
+	for i := range faults {
+		f := &faults[i]
+		cs := byClass[f.Class]
+		if cs == nil {
+			cs = &ClassSummary{Class: f.Class}
+			byClass[f.Class] = cs
+			order = append(order, f.Class)
+		}
+		cs.Injected++
+		if f.Detected {
+			cs.Detected++
+			cs.MeanDetectWallSeconds += f.DetectWall.Seconds()
+			cs.MeanDetectSimSeconds += f.DetectSim.Seconds()
+			if s := f.DetectWall.Seconds(); s > cs.MaxDetectWallSeconds {
+				cs.MaxDetectWallSeconds = s
+			}
+		}
+		if f.Healed {
+			cs.Healed++
+			cs.MeanHealWallSeconds += f.HealWall.Seconds()
+			cs.MeanHealSimSeconds += f.HealSim.Seconds()
+			if s := f.HealWall.Seconds(); s > cs.MaxHealWallSeconds {
+				cs.MaxHealWallSeconds = s
+			}
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	summary := make([]ClassSummary, 0, len(order))
+	for _, class := range order {
+		cs := byClass[class]
+		if cs.Detected > 0 {
+			cs.MeanDetectWallSeconds /= float64(cs.Detected)
+			cs.MeanDetectSimSeconds /= float64(cs.Detected)
+		}
+		if cs.Healed > 0 {
+			cs.MeanHealWallSeconds /= float64(cs.Healed)
+			cs.MeanHealSimSeconds /= float64(cs.Healed)
+		}
+		summary = append(summary, *cs)
+	}
+	return Report{Seed: in.seed, Faults: faults, Summary: summary}
+}
+
+// WriteReport writes the JSON report to path (the `make chaos` target points
+// it at BENCH_recovery.json).
+func (in *Injector) WriteReport(path string) error {
+	rep := in.Report()
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// MTTR returns the mean wall-clock heal latency across every healed fault,
+// zero when nothing healed yet.
+func (in *Injector) MTTR() time.Duration {
+	var sum time.Duration
+	n := 0
+	for _, f := range in.Faults() {
+		if f.Healed {
+			sum += f.HealWall
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / time.Duration(n)
+}

@@ -60,6 +60,14 @@ type Config struct {
 	TranscodeWorkers int
 	// TranscodeQueueCap bounds the async transcode intake queue.
 	TranscodeQueueCap int
+	// Recovery tunes host failure detection and VM auto-restart (zero
+	// values select the nebula defaults; arm detection with
+	// StartSelfHealing).
+	Recovery nebula.RecoveryOptions
+	// MapRed tunes the MapReduce engine, including its fault-tolerance
+	// knobs (task retries, tracker liveness) — the chaos soak plugs its
+	// injector in here.
+	MapRed mapred.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -96,6 +104,7 @@ type VideoCloud struct {
 	mount  *fusebridge.Mount
 	site   *web.Site
 	reg    *metrics.Registry
+	healer *hdfs.Healer
 
 	webVMID    int
 	nameVMID   int
@@ -120,7 +129,7 @@ func New(cfg Config) (*VideoCloud, error) {
 	vc := &VideoCloud{cfg: cfg, reg: metrics.NewRegistry()}
 
 	// ---- IaaS: hosts + image + service group ----
-	vc.cloud = nebula.New(nebula.Options{Policy: cfg.Policy})
+	vc.cloud = nebula.New(nebula.Options{Policy: cfg.Policy, Recovery: cfg.Recovery})
 	for i := 1; i <= cfg.PhysicalHosts; i++ {
 		name := fmt.Sprintf("node%d", i)
 		if _, err := vc.cloud.AddHost(name, cfg.HostCores, 1e9, cfg.HostMemoryBytes, 500*gb); err != nil {
@@ -131,14 +140,17 @@ func New(cfg Config) (*VideoCloud, error) {
 		return nil, err
 	}
 
+	// Every service VM is submitted with Requeue: when its physical host
+	// fails, the orchestrator restarts it on a surviving host instead of
+	// declaring it dead — the HA behaviour the self-healing layer needs.
 	templates := []nebula.Template{{
 		Name: "namenode", VCPUs: 2, MemoryBytes: 2 * gb, DiskBytes: 20 * gb,
 		Image: BaseImage, Workload: virt.HotspotWriter{Rate: 8 << 20},
-		Context: map[string]string{"ROLE": "namenode"},
+		Context: map[string]string{"ROLE": "namenode"}, Requeue: true,
 	}, {
 		Name: "webserver", VCPUs: 2, MemoryBytes: 2 * gb, DiskBytes: 20 * gb,
 		Image: BaseImage, Workload: &virt.StreamingServer{StreamRate: 16 << 20},
-		Context: map[string]string{"ROLE": "webserver"},
+		Context: map[string]string{"ROLE": "webserver"}, Requeue: true,
 	}}
 	for i := 0; i < cfg.DataVMs; i++ {
 		templates = append(templates, nebula.Template{
@@ -146,6 +158,7 @@ func New(cfg Config) (*VideoCloud, error) {
 			DiskBytes: 100 * gb, Image: BaseImage,
 			Workload: virt.UniformWriter{Rate: 4 << 20, Util: 0.4},
 			Context:  map[string]string{"ROLE": "datanode"},
+			Requeue:  true,
 			// One physical host must never hold two DataNode VMs:
 			// otherwise a single host failure can destroy several
 			// HDFS replicas at once and defeat Figure 11's point.
@@ -178,7 +191,7 @@ func New(cfg Config) (*VideoCloud, error) {
 		vc.hdfs.AddDataNodeRack(rec.Name(), "/"+rec.HostName)
 		trackers = append(trackers, rec.Name())
 	}
-	vc.engine, err = mapred.NewEngine(vc.hdfs, trackers, mapred.Config{})
+	vc.engine, err = mapred.NewEngine(vc.hdfs, trackers, cfg.MapRed)
 	if err != nil {
 		return nil, err
 	}
@@ -307,6 +320,33 @@ func (vc *VideoCloud) ReindexMR() (*mapred.JobResult, error) {
 	return res, nil
 }
 
+// StartSelfHealing arms both recovery loops: the orchestrator's heartbeat
+// host-failure detector (virtual time; tuned by Config.Recovery) and the
+// storage tier's liveness/re-replication healer (wall clock; tuned by hcfg).
+// While armed, the heartbeat is a periodic simulation event, so drive the
+// cloud with RunFor rather than WaitIdle. Idempotent: re-arming restarts
+// the HDFS healer with the new config.
+func (vc *VideoCloud) StartSelfHealing(hcfg hdfs.HealerConfig) {
+	vc.cloud.Monitor().EnableFailureDetection()
+	if vc.healer != nil {
+		vc.healer.Stop()
+	}
+	vc.healer = vc.hdfs.StartHealer(hcfg)
+	vc.reg.Counter("selfheal_armed").Inc()
+}
+
+// StopSelfHealing disarms both loops (and makes WaitIdle usable again).
+func (vc *VideoCloud) StopSelfHealing() {
+	vc.cloud.Monitor().DisableFailureDetection()
+	if vc.healer != nil {
+		vc.healer.Stop()
+		vc.healer = nil
+	}
+}
+
+// Healer returns the storage tier's healing loop, nil while disarmed.
+func (vc *VideoCloud) Healer() *hdfs.Healer { return vc.healer }
+
 // MaintenanceReport summarises a RollingMaintenance pass.
 type MaintenanceReport struct {
 	// HostsServiced lists hosts that were evacuated and re-enabled.
@@ -368,13 +408,37 @@ type Status struct {
 	// hit/miss/prefetch counts, replica-selection policy decisions,
 	// failovers, and read/write latency quantiles.
 	HDFS hdfs.Stats
+	// Recovery reports the orchestrator's failure-detection and
+	// auto-restart activity.
+	Recovery RecoveryStatus
+	// Heal reports the storage healer's detection/repair activity (zero
+	// while self-healing is disarmed).
+	Heal hdfs.HealStats
+	// Breaker reports the web tier's HDFS circuit breaker.
+	Breaker web.BreakerStats
+}
+
+// RecoveryStatus summarises the IaaS self-healing loop: how many host
+// failures the heartbeat monitor declared, what happened to the VMs on
+// them, and how long detection and recovery took (virtual-time seconds).
+type RecoveryStatus struct {
+	HostsCrashed          int64
+	HostFailuresDetected  int64
+	VMsRequeued           int64
+	VMsAutoRestarted      int64
+	VMsRestartExhausted   int64
+	MigrationsRescheduled int64
+	EvacuationsStuck      int64
+	EvacuationsRetried    int64
+	DetectLatency         metrics.Snapshot
+	RestartLatency        metrics.Snapshot
 }
 
 // Status returns a point-in-time summary.
 func (vc *VideoCloud) Status() Status {
 	videos, _ := vc.site.DB().Count("videos")
 	users, _ := vc.site.DB().Count("users")
-	return Status{
+	st := Status{
 		Hosts:      len(vc.cloud.Hosts()),
 		VMs:        vc.cloud.Snapshot(),
 		DataNodes:  vc.hdfs.NameNode().LiveDataNodes(),
@@ -385,6 +449,29 @@ func (vc *VideoCloud) Status() Status {
 		Routes:     vc.site.RouteStats(),
 		Transcode:  vc.site.TranscodeStats(),
 		HDFS:       vc.hdfs.Stats(),
+		Recovery:   vc.recoveryStatus(),
+		Breaker:    vc.site.BreakerStats(),
+	}
+	if vc.healer != nil {
+		st.Heal = vc.healer.Stats()
+	}
+	return st
+}
+
+// recoveryStatus snapshots the orchestrator's self-healing counters.
+func (vc *VideoCloud) recoveryStatus() RecoveryStatus {
+	reg := vc.cloud.Metrics()
+	return RecoveryStatus{
+		HostsCrashed:          reg.Counter("hosts_crashed").Value(),
+		HostFailuresDetected:  reg.Counter("host_failures_detected").Value(),
+		VMsRequeued:           reg.Counter("vms_requeued").Value(),
+		VMsAutoRestarted:      reg.Counter("vms_auto_restarted").Value(),
+		VMsRestartExhausted:   reg.Counter("vms_restart_exhausted").Value(),
+		MigrationsRescheduled: reg.Counter("migrations_rescheduled").Value(),
+		EvacuationsStuck:      reg.Counter("evacuations_stuck").Value(),
+		EvacuationsRetried:    reg.Counter("evacuations_retried").Value(),
+		DetectLatency:         reg.Histogram("host_detect_seconds").Snapshot(),
+		RestartLatency:        reg.Histogram("vm_recovery_seconds").Snapshot(),
 	}
 }
 
@@ -392,5 +479,9 @@ func (vc *VideoCloud) Status() Status {
 // (no-op for a synchronous site).
 func (vc *VideoCloud) DrainTranscodes() { vc.site.DrainTranscodes() }
 
-// Close shuts down the site's transcode pool after draining queued jobs.
-func (vc *VideoCloud) Close() { vc.site.Close() }
+// Close disarms self-healing and shuts down the site's transcode pool after
+// draining queued jobs.
+func (vc *VideoCloud) Close() {
+	vc.StopSelfHealing()
+	vc.site.Close()
+}

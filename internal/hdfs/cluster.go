@@ -3,6 +3,7 @@ package hdfs
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -181,6 +182,19 @@ func (c *Cluster) KillRack(rack string) int {
 		}
 	}
 	return killed
+}
+
+// DataNodeNames returns every datanode's name, sorted — the enumeration the
+// chaos injector uses for random target picks.
+func (c *Cluster) DataNodeNames() []string {
+	c.mu.RLock()
+	names := make([]string, 0, len(c.nodes))
+	for name := range c.nodes {
+		names = append(names, name)
+	}
+	c.mu.RUnlock()
+	sort.Strings(names)
+	return names
 }
 
 // DataNode returns a datanode by name, or nil.

@@ -648,3 +648,58 @@ func (nn *NameNode) UnderReplicated(want int) []BlockID {
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
+
+// UnderReplicatedAll returns blocks whose live replica count is below their
+// own file's target replication, sorted — the healer's scan source, which
+// (unlike the pendingRepl queue) cannot lose work to a failed copy.
+func (nn *NameNode) UnderReplicatedAll() []BlockID {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	var out []BlockID
+	for id, info := range nn.blocks {
+		if len(nn.liveLocations(info)) < info.Replication {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IsAlive reports whether the named datanode is currently considered live.
+func (nn *NameNode) IsAlive(name string) bool {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	dn := nn.datanodes[name]
+	return dn != nil && dn.alive
+}
+
+// PlanRepair re-resolves one re-replication copy for id at call time:
+// a live source replica and a fresh live target excluding every current
+// location. healthy reports the block already meets its target replication
+// (nothing to do); ok reports whether a task could be planned — false with
+// healthy=false means the block is currently unrepairable (no live source,
+// or nowhere to put a copy).
+func (nn *NameNode) PlanRepair(id BlockID) (task ReplicationTask, healthy, ok bool) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	info := nn.blocks[id]
+	if info == nil {
+		return ReplicationTask{}, true, false // deleted: nothing to heal
+	}
+	live := nn.liveLocations(info)
+	if len(live) >= info.Replication {
+		return ReplicationTask{}, true, false
+	}
+	if len(live) == 0 {
+		return ReplicationTask{}, false, false // lost (until a node rejoins)
+	}
+	exclude := map[string]bool{}
+	for _, l := range info.Locations {
+		exclude[l] = true
+	}
+	targets := nn.chooseTargets(1, "", exclude)
+	if len(targets) == 0 {
+		return ReplicationTask{}, false, false
+	}
+	return ReplicationTask{Block: id, Src: live[0], Dst: targets[0]}, false, true
+}

@@ -80,6 +80,25 @@ type Config struct {
 	// tasks on idle faster slots, Hadoop-style; the earliest attempt
 	// wins and the other is killed.
 	SpeculativeExecution bool
+
+	// --- fault tolerance (Hadoop's JobTracker recovery model) ---
+
+	// MaxTaskAttempts caps attempts per task before the whole job fails
+	// (Hadoop's mapred.map.max.attempts, default 4).
+	MaxTaskAttempts int
+	// TrackerMaxFailures blacklists a tracker once this many of its task
+	// attempts fail; a blacklisted tracker gets no new tasks but its
+	// completed map output stays fetchable (default 3).
+	TrackerMaxFailures int
+	// TrackerAlive, when set, is polled at every scheduling decision; a
+	// tracker reported dead loses its slots AND its completed map output,
+	// so finished maps stranded on it are re-run (in Hadoop, intermediate
+	// output lives on the tracker's local disk and dies with it).
+	TrackerAlive func(tracker string) bool
+	// TaskFaultHook, when set, runs before each task attempt executes;
+	// a non-nil return fails that attempt. phase is "map" or "reduce".
+	// This is the chaos-injection point for task crashes.
+	TaskFaultHook func(phase, tracker string, taskID, attempt int) error
 }
 
 func (c Config) withDefaults() Config {
@@ -97,6 +116,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TaskOverhead == 0 {
 		c.TaskOverhead = 1 * time.Second
+	}
+	if c.MaxTaskAttempts == 0 {
+		c.MaxTaskAttempts = 4
+	}
+	if c.TrackerMaxFailures == 0 {
+		c.TrackerMaxFailures = 3
 	}
 	return c
 }
@@ -123,6 +148,15 @@ type JobResult struct {
 	// SpeculativeTasks counts backup attempts launched (and their wins).
 	SpeculativeTasks int
 	SpeculativeWins  int
+	// FailedAttempts counts task attempts that failed (injected faults).
+	FailedAttempts int
+	// MapTasksRerun counts completed maps re-executed because their
+	// tracker died before the reduce barrier (stranded output).
+	MapTasksRerun int
+	// LostTrackers lists trackers detected dead during the job;
+	// BlacklistedTrackers those excluded for repeated task failures.
+	LostTrackers        []string
+	BlacklistedTrackers []string
 	// Duration is the modelled makespan; WallTime the real elapsed time.
 	Duration time.Duration
 	WallTime time.Duration
@@ -144,6 +178,12 @@ type Engine struct {
 var (
 	ErrNoTrackers = errors.New("mapred: no task trackers")
 	ErrNoInput    = errors.New("mapred: no input splits")
+	// ErrTaskFailed wraps a job failure caused by a task exhausting
+	// MaxTaskAttempts.
+	ErrTaskFailed = errors.New("mapred: task exceeded max attempts")
+	// ErrNoLiveTrackers means every tracker died or was blacklisted
+	// before the job could finish.
+	ErrNoLiveTrackers = errors.New("mapred: no live task trackers")
 )
 
 // NewEngine creates an engine whose trackers are named nodes (normally the
@@ -202,11 +242,64 @@ func (e *Engine) Run(job Job) (*JobResult, error) {
 	for i := range splits {
 		remaining[i] = &splits[i]
 	}
-	var mapEnd time.Duration
-	var taskSplits []*split // parallel to res.MapTasks, for speculation
+	var taskSplits []*split              // parallel to res.MapTasks, for speculation
+	var taskOutputs []map[string][]string // parallel to res.MapTasks; merged at the barrier
 	taskID := 0
-	for len(remaining) > 0 {
-		s := earliestSlot(slots)
+
+	// Fault-tolerance state. dead trackers lost their slots and their map
+	// output; blacklisted ones only stop receiving new work.
+	attempts := make(map[*split]int)
+	failures := make(map[string]int)
+	dead := make(map[string]bool)
+	blacklisted := make(map[string]bool)
+	schedulable := func(tr string) bool { return !dead[tr] && !blacklisted[tr] }
+	recordFailure := func(tr string) {
+		res.FailedAttempts++
+		failures[tr]++
+		if failures[tr] >= e.cfg.TrackerMaxFailures && !blacklisted[tr] {
+			blacklisted[tr] = true
+			res.BlacklistedTrackers = append(res.BlacklistedTrackers, tr)
+		}
+	}
+	// strandSweep detects newly-dead trackers and re-queues every completed
+	// map that ran on one: its intermediate output died with the node.
+	strandSweep := func() {
+		if e.cfg.TrackerAlive == nil {
+			return
+		}
+		for _, tr := range e.trackers {
+			if dead[tr] || e.cfg.TrackerAlive(tr) {
+				continue
+			}
+			dead[tr] = true
+			res.LostTrackers = append(res.LostTrackers, tr)
+			kept := res.MapTasks[:0]
+			keptSplits := taskSplits[:0]
+			keptOut := taskOutputs[:0]
+			for i, ts := range res.MapTasks {
+				if ts.Tracker == tr {
+					remaining = append(remaining, taskSplits[i])
+					res.MapTasksRerun++
+					continue
+				}
+				kept = append(kept, ts)
+				keptSplits = append(keptSplits, taskSplits[i])
+				keptOut = append(keptOut, taskOutputs[i])
+			}
+			res.MapTasks, taskSplits, taskOutputs = kept, keptSplits, keptOut
+		}
+	}
+
+	for {
+		strandSweep()
+		if len(remaining) == 0 {
+			break
+		}
+		live := liveSlots(slots, schedulable)
+		if len(live) == 0 {
+			return nil, fmt.Errorf("mapred: job %q: %w", job.Name, ErrNoLiveTrackers)
+		}
+		s := earliestSlot(live)
 		idx := e.pickSplit(remaining, s.tracker)
 		sp := remaining[idx]
 		remaining = append(remaining[:idx], remaining[idx+1:]...)
@@ -216,44 +309,68 @@ func (e *Engine) Run(job Job) (*JobResult, error) {
 		if rerr != nil {
 			return nil, fmt.Errorf("mapred: read split of %q: %w", sp.path, rerr)
 		}
+		cost := e.mapCost(int64(len(data)), local, s.speed)
+		id := taskID
+		taskID++
+		attempt := attempts[sp]
+		attempts[sp] = attempt + 1
+		if hook := e.cfg.TaskFaultHook; hook != nil {
+			if herr := hook("map", s.tracker, id, attempt); herr != nil {
+				s.free += cost // the failed attempt held its slot
+				recordFailure(s.tracker)
+				if attempts[sp] >= e.cfg.MaxTaskAttempts {
+					return nil, fmt.Errorf("mapred: map task %d of %q failed %d attempts (%v): %w",
+						id, sp.path, attempts[sp], herr, ErrTaskFailed)
+				}
+				remaining = append(remaining, sp)
+				continue
+			}
+		}
 		// Execute the user map function for real.
 		out := make(map[string][]string)
 		emit := func(k, v string) { out[k] = append(out[k], v) }
 		if merr := job.Map(sp.path, data, emit); merr != nil {
-			return nil, fmt.Errorf("mapred: map task %d: %w", taskID, merr)
+			return nil, fmt.Errorf("mapred: map task %d: %w", id, merr)
 		}
 		if job.Combine != nil {
 			combined, cerr := combineOutput(out, job.Combine)
 			if cerr != nil {
-				return nil, fmt.Errorf("mapred: combine task %d: %w", taskID, cerr)
+				return nil, fmt.Errorf("mapred: combine task %d: %w", id, cerr)
 			}
 			out = combined
-		}
-		for k, vs := range out {
-			p := int(keyHash(k) % uint32(len(partitions)))
-			partitions[p][k] = append(partitions[p][k], vs...)
 		}
 
 		// Model the task's time: compute scales with the node's speed,
 		// the network does not.
-		cost := e.mapCost(int64(len(data)), local, s.speed)
 		start := s.free
 		s.free += cost
-		if s.free > mapEnd {
-			mapEnd = s.free
-		}
 		res.MapTasks = append(res.MapTasks, TaskStat{
-			ID: taskID, Tracker: s.tracker, Local: local,
+			ID: id, Tracker: s.tracker, Local: local,
 			Bytes: int64(len(data)), Start: start, End: s.free,
 		})
 		taskSplits = append(taskSplits, sp)
-		if local {
+		taskOutputs = append(taskOutputs, out)
+	}
+	var mapEnd time.Duration
+	for _, ts := range res.MapTasks {
+		if ts.End > mapEnd {
+			mapEnd = ts.End
+		}
+		if ts.Local {
 			res.LocalMaps++
 		}
-		taskID++
 	}
 	if e.cfg.SpeculativeExecution {
-		mapEnd = e.speculate(res, taskSplits, slots, mapEnd)
+		mapEnd = e.speculate(res, taskSplits, liveSlots(slots, schedulable), mapEnd)
+	}
+
+	// Merge map output into reduce partitions only at the barrier, once
+	// every producing tracker is known to have survived the map phase.
+	for _, out := range taskOutputs {
+		for k, vs := range out {
+			p := int(keyHash(k) % uint32(len(partitions)))
+			partitions[p][k] = append(partitions[p][k], vs...)
+		}
 	}
 
 	// ---- shuffle + reduce phase (barrier at mapEnd, as in Hadoop) ----
@@ -266,9 +383,41 @@ func (e *Engine) Run(job Job) (*JobResult, error) {
 		if len(partitions[p]) == 0 {
 			continue
 		}
-		s := earliestSlot(slots)
 		inBytes := partitionBytes(partitions[p])
-		res.ShuffleBytes += inBytes
+
+		// Pick a live slot; retry the attempt on injected faults. A
+		// retried reduce refetches its shuffle input, so ShuffleBytes
+		// counts every attempt.
+		var s *slot
+		for attempt := 0; ; attempt++ {
+			if e.cfg.TrackerAlive != nil {
+				for _, tr := range e.trackers {
+					if !dead[tr] && !e.cfg.TrackerAlive(tr) {
+						dead[tr] = true
+						res.LostTrackers = append(res.LostTrackers, tr)
+					}
+				}
+			}
+			live := liveSlots(slots, schedulable)
+			if len(live) == 0 {
+				return nil, fmt.Errorf("mapred: job %q: %w", job.Name, ErrNoLiveTrackers)
+			}
+			s = earliestSlot(live)
+			res.ShuffleBytes += inBytes
+			if hook := e.cfg.TaskFaultHook; hook != nil {
+				if herr := hook("reduce", s.tracker, p, attempt); herr != nil {
+					s.free += scaleBySpeed(e.cfg.TaskOverhead+bytesTime(inBytes, e.cfg.ReduceThroughput), s.speed) +
+						bytesTime(inBytes, e.cfg.NetBandwidth)
+					recordFailure(s.tracker)
+					if attempt+1 >= e.cfg.MaxTaskAttempts {
+						return nil, fmt.Errorf("mapred: reduce task %d failed %d attempts (%v): %w",
+							p, attempt+1, herr, ErrTaskFailed)
+					}
+					continue
+				}
+			}
+			break
+		}
 
 		keys := make([]string, 0, len(partitions[p]))
 		for k := range partitions[p] {
@@ -427,6 +576,17 @@ func (e *Engine) speculate(res *JobResult, taskSplits []*split, slots []*slot, m
 		return mapEnd
 	}
 	return newEnd
+}
+
+// liveSlots filters slots to trackers the job may still schedule on.
+func liveSlots(slots []*slot, schedulable func(string) bool) []*slot {
+	out := make([]*slot, 0, len(slots))
+	for _, s := range slots {
+		if schedulable(s.tracker) {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // earliestSlot returns the slot that frees first (ties by tracker name for

@@ -64,6 +64,12 @@ var (
 	ErrDestination  = errors.New("migrate: destination cannot take the VM")
 )
 
+// ErrDeadline is carried in Report.Err when a migration exceeds
+// Config.Deadline before switchover — typically a pre-copy that never
+// converges against a destination that stopped responding. The guest keeps
+// running on the source.
+var ErrDeadline = errors.New("migrate: deadline exceeded")
+
 // Config tunes a migration. Zero values select defaults.
 type Config struct {
 	Algorithm Algorithm
@@ -79,6 +85,11 @@ type Config struct {
 	PageHeaderBytes int
 	// DeviceStateBytes is the vCPU+device snapshot size (default 2 MiB).
 	DeviceStateBytes int64
+	// Deadline bounds the whole migration in virtual time (0 = unbounded).
+	// If it expires before switchover the in-flight transfer is cancelled
+	// and the run aborts with Report.Err == ErrDeadline; once the VM has
+	// switched to the destination the deadline no longer applies.
+	Deadline time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -117,6 +128,9 @@ type Report struct {
 	// Reason explains why iterative copying stopped ("converged",
 	// "max-rounds", "not-converging") or why the migration failed.
 	Reason string
+	// Err is the typed failure cause when Success is false and a sentinel
+	// applies (e.g. ErrDeadline); nil otherwise.
+	Err error
 	Rounds []RoundStat
 	// TotalBytes counts all bytes moved, including re-sent dirty pages.
 	TotalBytes int64
@@ -169,6 +183,9 @@ func (m *Migrator) Migrate(vm *virt.VM, dst *virt.Host, cfg Config, done func(Re
 		m: m, vm: vm, src: src, dst: dst, cfg: cfg, done: done,
 		start: m.sim.Now(),
 	}
+	if cfg.Deadline > 0 {
+		run.deadlineEv = m.sim.Schedule(cfg.Deadline, run.deadlineExpired)
+	}
 	switch cfg.Algorithm {
 	case PreCopy:
 		run.startPreCopy()
@@ -196,6 +213,25 @@ type migration struct {
 
 	rounds     []RoundStat
 	totalBytes int64
+
+	flow       *simnet.Flow   // in-flight transfer, for deadline cancellation
+	deadlineEv *simtime.Event // pending deadline, cancelled on finish
+	switched   bool           // residency moved to dst; deadline is moot
+	ended      bool           // finish already ran; ignore late events
+}
+
+// deadlineExpired aborts the run if it is still copying state: the stalled
+// transfer is cancelled and the guest keeps running on the source. After
+// switchover there is nothing to roll back, so the event is a no-op.
+func (r *migration) deadlineExpired() {
+	if r.ended || r.switched {
+		return
+	}
+	if r.flow != nil {
+		r.flow.Cancel()
+		r.flow = nil
+	}
+	r.abortErr(ErrDeadline, "deadline exceeded")
 }
 
 func (r *migration) pageWire(pages int) int64 {
@@ -203,6 +239,14 @@ func (r *migration) pageWire(pages int) int64 {
 }
 
 func (r *migration) finish(rep Report) {
+	if r.ended {
+		return
+	}
+	r.ended = true
+	if r.deadlineEv != nil {
+		r.deadlineEv.Cancel()
+		r.deadlineEv = nil
+	}
 	rep.VM = r.vm.Config.Name
 	rep.Src = r.src.Name
 	rep.Dst = r.dst.Name
@@ -215,11 +259,16 @@ func (r *migration) finish(rep Report) {
 	}
 }
 
-func (r *migration) abort(reason string) {
+func (r *migration) abort(reason string) { r.abortErr(nil, reason) }
+
+func (r *migration) abortErr(err error, reason string) {
+	if r.ended {
+		return
+	}
 	r.dst.CancelReservation(r.vm.Config.Name)
 	// The guest was never paused; it keeps running on the source.
 	r.vm.FinishMigration(true)
-	r.finish(Report{Success: false, Reason: reason})
+	r.finish(Report{Success: false, Reason: reason, Err: err})
 }
 
 // switchover moves residency from src to dst and resumes the guest.
@@ -230,6 +279,7 @@ func (r *migration) switchover() error {
 	if err := r.src.ReleaseVM(r.vm.Config.Name); err != nil {
 		return err
 	}
+	r.switched = true
 	return r.vm.FinishMigration(true)
 }
 
@@ -249,7 +299,11 @@ func (r *migration) preCopyRound(round int) {
 	pages := r.vm.Mem.ClearDirty()
 	bytes := r.pageWire(pages)
 	sendStart := r.m.sim.Now()
-	_, err := r.m.net.Transfer(r.src.Name, r.dst.Name, bytes, func(res simnet.Result) {
+	f, err := r.m.net.Transfer(r.src.Name, r.dst.Name, bytes, func(res simnet.Result) {
+		if r.ended {
+			return
+		}
+		r.flow = nil
 		dur := r.m.sim.Now() - sendStart
 		// The guest ran (and dirtied pages) for the whole round.
 		r.vm.RunFor(dur)
@@ -277,7 +331,9 @@ func (r *migration) preCopyRound(round int) {
 	})
 	if err != nil {
 		r.abort(fmt.Sprintf("transfer: %v", err))
+		return
 	}
+	r.flow = f
 }
 
 // stopAndCopyFinal pauses the guest and moves the residual dirty set plus
@@ -291,7 +347,11 @@ func (r *migration) stopAndCopyFinal(reason string) {
 	bytes := r.pageWire(pages) + r.cfg.DeviceStateBytes
 	pauseStart := r.m.sim.Now()
 	// Guest paused: no RunFor during this transfer.
-	_, err := r.m.net.Transfer(r.src.Name, r.dst.Name, bytes, func(res simnet.Result) {
+	f, err := r.m.net.Transfer(r.src.Name, r.dst.Name, bytes, func(res simnet.Result) {
+		if r.ended {
+			return
+		}
+		r.flow = nil
 		r.totalBytes += bytes
 		r.rounds = append(r.rounds, RoundStat{
 			Round: len(r.rounds) + 1, Pages: pages, Bytes: bytes,
@@ -299,6 +359,9 @@ func (r *migration) stopAndCopyFinal(reason string) {
 		})
 		downtime := r.m.sim.Now() - pauseStart + r.cfg.ResumeOverhead
 		r.m.sim.Schedule(r.cfg.ResumeOverhead, func() {
+			if r.ended {
+				return
+			}
 			if err := r.switchover(); err != nil {
 				r.abort(fmt.Sprintf("switchover: %v", err))
 				return
@@ -308,7 +371,9 @@ func (r *migration) stopAndCopyFinal(reason string) {
 	})
 	if err != nil {
 		r.abort(fmt.Sprintf("transfer: %v", err))
+		return
 	}
+	r.flow = f
 }
 
 // ---- stop-and-copy baseline ----
@@ -323,10 +388,17 @@ func (r *migration) startStopAndCopy() {
 func (r *migration) startPostCopy() {
 	// Phase 1: move device state only; the VM is down just for this.
 	pauseStart := r.m.sim.Now()
-	_, err := r.m.net.Transfer(r.src.Name, r.dst.Name, r.cfg.DeviceStateBytes, func(res simnet.Result) {
+	f, err := r.m.net.Transfer(r.src.Name, r.dst.Name, r.cfg.DeviceStateBytes, func(res simnet.Result) {
+		if r.ended {
+			return
+		}
+		r.flow = nil
 		r.totalBytes += r.cfg.DeviceStateBytes
 		downtime := r.m.sim.Now() - pauseStart + r.cfg.ResumeOverhead
 		r.m.sim.Schedule(r.cfg.ResumeOverhead, func() {
+			if r.ended {
+				return
+			}
 			if err := r.switchover(); err != nil {
 				r.abort(fmt.Sprintf("switchover: %v", err))
 				return
@@ -336,7 +408,9 @@ func (r *migration) startPostCopy() {
 	})
 	if err != nil {
 		r.abort(fmt.Sprintf("transfer: %v", err))
+		return
 	}
+	r.flow = f
 }
 
 // postCopyPush streams all of RAM to the destination while the guest already
@@ -346,6 +420,9 @@ func (r *migration) postCopyPush(downtime time.Duration) {
 	pushStart := r.m.sim.Now()
 	r.vm.Mem.ClearDirty()
 	_, err := r.m.net.Transfer(r.src.Name, r.dst.Name, total, func(res simnet.Result) {
+		if r.ended {
+			return
+		}
 		r.totalBytes += total
 		pushDur := r.m.sim.Now() - pushStart
 		// Pages the guest touched during the push window; on average

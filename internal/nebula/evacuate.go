@@ -37,15 +37,21 @@ func (c *Cloud) Evacuate(hostName string) (int, error) {
 		target := place(c.policy, c.candidateHosts(rec, c.otherHosts(h)), c.vmConfig(rec))
 		if target == nil {
 			stuck = append(stuck, rec.Name())
+			c.stuckEvac[rec.ID] = hostName
+			c.reg.Counter("evacuations_stuck").Inc()
 			continue
 		}
 		if err := c.liveMigrateLocked(rec, target); err != nil {
 			stuck = append(stuck, rec.Name())
+			c.stuckEvac[rec.ID] = hostName
+			c.reg.Counter("evacuations_stuck").Inc()
 			continue
 		}
 		started++
 	}
 	if len(stuck) > 0 {
+		// The scheduler keeps retrying these whenever capacity frees (see
+		// retryStuckEvacuationsLocked); the error reports the initial gap.
 		return started, fmt.Errorf("nebula: evacuation of %q left %v in place (no capacity)",
 			hostName, stuck)
 	}

@@ -1,6 +1,7 @@
 package nebula
 
 import (
+	"fmt"
 	"time"
 
 	"videocloud/internal/metrics"
@@ -25,13 +26,36 @@ type Sample struct {
 // Monitor periodically samples every host. It is created by the Cloud; use
 // Enable to start sampling and Disable before WaitIdle (periodic events keep
 // the simulation queue non-empty).
+//
+// It is also the failure detector: EnableFailureDetection polls a heartbeat
+// from every host each interval, and a host that misses MissThreshold
+// consecutive beats — crashed (CrashHost) or hung (SetUnresponsive) — is
+// declared failed and handed to the recovery engine (selfheal.go).
 type Monitor struct {
 	cloud   *Cloud
 	samples []Sample
 	ticker  *simtime.Event
+
+	hbTicker     *simtime.Event
+	missed       map[string]int           // consecutive missed heartbeats
+	lastSeen     map[string]time.Duration // last successful beat, virtual time
+	unresponsive map[string]bool          // hang-injected: alive but silent
+	handled      map[string]bool          // failure already declared/declared-for-us
+	// OnHostFailure, if set, observes each detection (host name, time since
+	// the last good heartbeat). Called with the cloud mutex held — do not
+	// call back into the Cloud.
+	OnHostFailure func(host string, sinceLastSeen time.Duration)
 }
 
-func newMonitor(c *Cloud) *Monitor { return &Monitor{cloud: c} }
+func newMonitor(c *Cloud) *Monitor {
+	return &Monitor{
+		cloud:        c,
+		missed:       make(map[string]int),
+		lastSeen:     make(map[string]time.Duration),
+		unresponsive: make(map[string]bool),
+		handled:      make(map[string]bool),
+	}
+}
 
 // Enable starts sampling every interval of virtual time. Calling Enable
 // while enabled restarts the ticker with the new interval.
@@ -53,6 +77,86 @@ func (m *Monitor) Disable() {
 	if m.ticker != nil {
 		m.ticker.Cancel()
 		m.ticker = nil
+	}
+}
+
+// EnableFailureDetection starts the heartbeat loop using the cloud's
+// RecoveryOptions (interval, miss threshold). Like Enable, the periodic
+// event keeps the queue non-empty: call DisableFailureDetection before
+// WaitIdle.
+func (m *Monitor) EnableFailureDetection() {
+	c := m.cloud
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m.hbTicker != nil {
+		m.hbTicker.Cancel()
+	}
+	now := c.sim.Now()
+	for _, h := range c.hosts {
+		if !m.handled[h.Name] {
+			m.lastSeen[h.Name] = now
+		}
+	}
+	m.hbTicker = c.sim.Every(c.opts.Recovery.HeartbeatInterval, m.heartbeatLocked)
+}
+
+// DisableFailureDetection stops the heartbeat loop.
+func (m *Monitor) DisableFailureDetection() {
+	c := m.cloud
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m.hbTicker != nil {
+		m.hbTicker.Cancel()
+		m.hbTicker = nil
+	}
+}
+
+// SetUnresponsive hang-injects a host: the machine keeps its guests running
+// but stops answering heartbeats, the gray-failure case a crash test alone
+// misses. The monitor must detect and fence it like a crash.
+func (m *Monitor) SetUnresponsive(host string, v bool) error {
+	c := m.cloud
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.hostByName[host]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchHost, host)
+	}
+	m.unresponsive[host] = v
+	return nil
+}
+
+// markHandledLocked records that a host's failure is already being recovered
+// (e.g. an operator called FailHost), so the detector does not double-fire.
+func (m *Monitor) markHandledLocked(host string) { m.handled[host] = true }
+
+// heartbeatLocked is one detection tick: every host answers unless it is
+// failed or hang-injected; MissThreshold consecutive silent ticks declare
+// the host failed and trigger recovery.
+func (m *Monitor) heartbeatLocked() {
+	c := m.cloud
+	now := c.sim.Now()
+	threshold := c.opts.Recovery.MissThreshold
+	for _, h := range c.hosts {
+		if m.handled[h.Name] {
+			continue
+		}
+		if !h.Failed() && !m.unresponsive[h.Name] {
+			m.missed[h.Name] = 0
+			m.lastSeen[h.Name] = now
+			continue
+		}
+		m.missed[h.Name]++
+		if m.missed[h.Name] < threshold {
+			continue
+		}
+		m.handled[h.Name] = true
+		sinceLastSeen := now - m.lastSeen[h.Name]
+		c.reg.Counter("host_failures_detected").Inc()
+		c.reg.Histogram("host_detect_seconds").Observe(sinceLastSeen.Seconds())
+		if m.OnHostFailure != nil {
+			m.OnHostFailure(h.Name, sinceLastSeen)
+		}
+		c.handleHostFailureLocked(h)
 	}
 }
 

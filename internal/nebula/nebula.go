@@ -55,6 +55,9 @@ type Options struct {
 	// COWStageBytes is the metadata moved when provisioning a COW clone
 	// (default 4 MiB: the qcow2 header plus L1/L2 tables).
 	COWStageBytes int64
+	// Recovery tunes heartbeat failure detection and automatic VM
+	// recovery (selfheal.go). Zero values select defaults.
+	Recovery RecoveryOptions
 }
 
 func (o Options) withDefaults() Options {
@@ -76,6 +79,7 @@ func (o Options) withDefaults() Options {
 	if o.COWStageBytes == 0 {
 		o.COWStageBytes = 4 << 20
 	}
+	o.Recovery = o.Recovery.withDefaults()
 	return o
 }
 
@@ -106,6 +110,12 @@ type VMRecord struct {
 	FailReason string
 	// LastMigration holds the most recent migration report, if any.
 	LastMigration *migrate.Report
+	// Restarts counts automatic recoveries after host failures.
+	Restarts int
+
+	migRetries int           // consecutive rescheduled-migration attempts
+	recovering bool          // requeued by recovery; next Running closes MTTR
+	failedAt   time.Duration // virtual time of the host failure that requeued it
 }
 
 // Name returns the instance's unique hypervisor-level name.
@@ -132,6 +142,7 @@ type Cloud struct {
 	ipNext     int
 	monitor    *Monitor
 	schedKick  bool
+	stuckEvac  map[int]string // record ID → host an evacuation left it on
 }
 
 // New creates a cloud with a front-end node and an empty host pool.
@@ -154,6 +165,12 @@ func New(opts Options) *Cloud {
 		vms:        make(map[int]*VMRecord),
 		groups:     make(map[string][]int),
 		ipNext:     1,
+		stuckEvac:  make(map[int]string),
+	}
+	if opts.Recovery.MigrationDeadline > 0 {
+		if dd, ok := c.driver.(interface{ SetMigrationDeadline(time.Duration) }); ok {
+			dd.SetMigrationDeadline(opts.Recovery.MigrationDeadline)
+		}
 	}
 	c.monitor = newMonitor(c)
 	return c
@@ -358,7 +375,8 @@ func (c *Cloud) kickScheduler() {
 	})
 }
 
-// schedulePass tries to place every pending instance, FIFO.
+// schedulePass tries to place every pending instance, FIFO, then re-attempts
+// evacuations that were left stuck for lack of capacity.
 func (c *Cloud) schedulePass() {
 	var still []int
 	for _, id := range c.pending {
@@ -371,6 +389,7 @@ func (c *Cloud) schedulePass() {
 		}
 	}
 	c.pending = still
+	c.retryStuckEvacuationsLocked()
 }
 
 // candidateHosts filters a host pool by the record's anti-affinity
@@ -491,6 +510,12 @@ func (c *Cloud) boot(rec *VMRecord) {
 		rec.VM.Workload = rec.Template.Workload
 		c.setState(rec, Running)
 		c.reg.Counter("vms_booted").Inc()
+		if rec.recovering {
+			rec.recovering = false
+			c.reg.Counter("vms_auto_restarted").Inc()
+			c.reg.Histogram("vm_recovery_seconds").
+				Observe((c.sim.Now() - rec.failedAt).Seconds())
+		}
 		c.deliverContext(rec)
 		if rec.Template.Group != "" {
 			c.checkGroupReady(rec.Template.Group)
@@ -596,6 +621,7 @@ func (c *Cloud) liveMigrateLocked(rec *VMRecord, dst *virt.Host) error {
 		rec.LastMigration = &r
 		if rep.Success {
 			rec.HostName = dst.Name
+			rec.migRetries = 0
 			c.setState(rec, Running)
 			c.reg.Counter("migrations_succeeded").Inc()
 			c.reg.Histogram("migration_downtime_seconds").Observe(rep.Downtime.Seconds())
@@ -604,6 +630,7 @@ func (c *Cloud) liveMigrateLocked(rec *VMRecord, dst *virt.Host) error {
 		} else {
 			c.setState(rec, Running) // still live on the source
 			c.reg.Counter("migrations_failed").Inc()
+			c.rescheduleMigrationLocked(rec, dst)
 		}
 	})
 	if err != nil {
@@ -710,8 +737,11 @@ func (c *Cloud) shutdownLocked(id int) error {
 	return nil
 }
 
-// FailHost crash-injects a physical node. Its VMs fail; templates submitted
-// with Requeue are resubmitted for placement elsewhere.
+// FailHost crash-injects a physical node and immediately runs recovery, as
+// if the failure had just been detected: its VMs fail, and templates
+// submitted with Requeue are resubmitted for placement elsewhere (with
+// restart backoff and cap — see RecoveryOptions). Contrast CrashHost, which
+// kills the node silently and leaves detection to the heartbeat monitor.
 func (c *Cloud) FailHost(name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -719,37 +749,7 @@ func (c *Cloud) FailHost(name string) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoSuchHost, name)
 	}
-	h.Fail()
-	c.reg.Counter("hosts_failed").Inc()
-	ids := make([]int, 0, len(c.vms))
-	for id := range c.vms {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids) // deterministic requeue order
-	for _, id := range ids {
-		rec := c.vms[id]
-		if rec.HostName != name || rec.VM == nil {
-			continue
-		}
-		if rec.State == Done || rec.State == Failed {
-			continue
-		}
-		if rec.Template.Requeue {
-			// Resubmit: fresh pending record life for the same ID.
-			if rec.DiskImage != "" {
-				c.catalog.Delete(rec.DiskImage)
-				rec.DiskImage = ""
-			}
-			rec.VM = nil
-			rec.HostName = ""
-			rec.IP = ""
-			c.setState(rec, Pending)
-			c.pending = append(c.pending, rec.ID)
-			c.reg.Counter("vms_requeued").Inc()
-		} else {
-			c.fail(rec, "host failure")
-		}
-	}
-	c.kickScheduler()
+	c.monitor.markHandledLocked(name)
+	c.handleHostFailureLocked(h)
 	return nil
 }

@@ -1,0 +1,218 @@
+package nebula
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"videocloud/internal/virt"
+)
+
+// This file is the orchestrator half of the self-healing subsystem: what
+// happens *after* a host failure is known — whether declared by an operator
+// (FailHost), detected by the heartbeat monitor (monitor.go), or observed
+// mid-migration. The paper's IaaS claim is continuity: host monitoring plus
+// live migration keep the video service running through node trouble
+// (§III-A, Figures 7–10); this is the policy layer that claim needs.
+
+// RecoveryOptions tunes failure detection and automatic recovery. The zero
+// value selects the defaults documented per field.
+type RecoveryOptions struct {
+	// HeartbeatInterval is the monitor's failure-detection sampling period
+	// (default 500ms of virtual time).
+	HeartbeatInterval time.Duration
+	// MissThreshold is how many consecutive missed heartbeats declare a
+	// host failed (default 3).
+	MissThreshold int
+	// MaxRestarts caps automatic restarts per VM across host failures;
+	// past it the record fails permanently (default 3).
+	MaxRestarts int
+	// RestartBackoff delays the Nth automatic restart by
+	// RestartBackoff·2^(N-1), capped at RestartBackoffCap (default 1s).
+	RestartBackoff time.Duration
+	// RestartBackoffCap bounds the exponential backoff (default 30s).
+	RestartBackoffCap time.Duration
+	// MigrationRetries is how many times a failed live migration is
+	// re-aimed at a fresh destination before giving up (default 2).
+	MigrationRetries int
+	// MigrationDeadline bounds every driver-started live migration in
+	// virtual time (default 0 = unbounded); see migrate.Config.Deadline.
+	MigrationDeadline time.Duration
+}
+
+func (r RecoveryOptions) withDefaults() RecoveryOptions {
+	if r.HeartbeatInterval == 0 {
+		r.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if r.MissThreshold == 0 {
+		r.MissThreshold = 3
+	}
+	if r.MaxRestarts == 0 {
+		r.MaxRestarts = 3
+	}
+	if r.RestartBackoff == 0 {
+		r.RestartBackoff = time.Second
+	}
+	if r.RestartBackoffCap == 0 {
+		r.RestartBackoffCap = 30 * time.Second
+	}
+	if r.MigrationRetries == 0 {
+		r.MigrationRetries = 2
+	}
+	return r
+}
+
+// CrashHost kills a physical node silently: its guests die, but the
+// orchestrator's records are not told. Recovery happens only when the
+// heartbeat monitor notices the missing host — this is the chaos injector's
+// host-kill fault, and the difference between it and FailHost is exactly the
+// detection latency the monitor is measured on.
+func (c *Cloud) CrashHost(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, ok := c.hostByName[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchHost, name)
+	}
+	h.Fail()
+	c.reg.Counter("hosts_crashed").Inc()
+	return nil
+}
+
+// handleHostFailureLocked fences a failed (or hung) host and recovers its
+// VMs: Requeue templates are resubmitted with capped backoff, others fail.
+func (c *Cloud) handleHostFailureLocked(h *virt.Host) {
+	if !h.Failed() {
+		h.Fail() // fence: a hung host must not keep running guests
+	}
+	c.reg.Counter("hosts_failed").Inc()
+	ids := make([]int, 0, len(c.vms))
+	for id := range c.vms {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids) // deterministic requeue order
+	for _, id := range ids {
+		rec := c.vms[id]
+		if rec.HostName != h.Name || rec.VM == nil {
+			continue
+		}
+		if rec.State == Done || rec.State == Failed {
+			continue
+		}
+		if rec.Template.Requeue {
+			c.requeueWithBackoffLocked(rec, "host failure")
+		} else {
+			c.fail(rec, "host failure")
+		}
+	}
+	c.kickScheduler()
+}
+
+// requeueWithBackoffLocked resubmits a VM whose host died. The Nth restart
+// waits RestartBackoff·2^(N-1) (capped) before re-entering the scheduler —
+// a flapping host must not monopolize placement — and past MaxRestarts the
+// record fails permanently.
+func (c *Cloud) requeueWithBackoffLocked(rec *VMRecord, reason string) {
+	rec.Restarts++
+	cfg := c.opts.Recovery
+	if rec.Restarts > cfg.MaxRestarts {
+		c.fail(rec, reason+" (restart budget exhausted)")
+		c.reg.Counter("vms_restart_exhausted").Inc()
+		return
+	}
+	if rec.DiskImage != "" {
+		c.catalog.Delete(rec.DiskImage)
+		rec.DiskImage = ""
+	}
+	rec.VM = nil
+	rec.HostName = ""
+	rec.IP = ""
+	rec.recovering = true
+	rec.failedAt = c.sim.Now()
+	c.setState(rec, Pending)
+	c.reg.Counter("vms_requeued").Inc()
+
+	delay := cfg.RestartBackoff << (rec.Restarts - 1)
+	if delay > cfg.RestartBackoffCap || delay <= 0 {
+		delay = cfg.RestartBackoffCap
+	}
+	c.sim.Schedule(delay, func() {
+		if rec.State != Pending {
+			return
+		}
+		c.pending = append(c.pending, rec.ID)
+		c.kickScheduler()
+	})
+}
+
+// rescheduleMigrationLocked runs in a migration's failure callback: if the
+// destination died mid-copy, the guest (still live on the source) is
+// re-aimed at a fresh destination, up to MigrationRetries consecutive
+// attempts.
+func (c *Cloud) rescheduleMigrationLocked(rec *VMRecord, deadDst *virt.Host) {
+	if rec.State != Running || rec.VM == nil {
+		return
+	}
+	src := rec.VM.Host()
+	if src == nil || src.Failed() {
+		return // the source died too; host-failure recovery owns this VM
+	}
+	if !deadDst.Failed() || rec.migRetries >= c.opts.Recovery.MigrationRetries {
+		rec.migRetries = 0
+		return
+	}
+	rec.migRetries++
+	// place() skips failed and disabled hosts, so the dead destination is
+	// excluded automatically.
+	target := place(c.policy, c.candidateHosts(rec, c.otherHosts(src)), c.vmConfig(rec))
+	if target == nil {
+		return
+	}
+	if err := c.liveMigrateLocked(rec, target); err == nil {
+		c.reg.Counter("migrations_rescheduled").Inc()
+	}
+}
+
+// retryStuckEvacuationsLocked runs at the end of every scheduling pass: VMs
+// an evacuation could not move (no capacity at the time) are retried now
+// that capacity may have freed. A record leaves the stuck set when its
+// migration starts, its host leaves maintenance, or it stops Running.
+func (c *Cloud) retryStuckEvacuationsLocked() {
+	if len(c.stuckEvac) == 0 {
+		return
+	}
+	ids := make([]int, 0, len(c.stuckEvac))
+	for id := range c.stuckEvac {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		rec := c.vms[id]
+		host := c.stuckEvac[id]
+		if rec == nil || rec.State != Running || rec.HostName != host {
+			delete(c.stuckEvac, id)
+			continue
+		}
+		h := c.hostByName[host]
+		if h == nil || !h.Disabled() {
+			delete(c.stuckEvac, id) // maintenance over; nothing to finish
+			continue
+		}
+		target := place(c.policy, c.candidateHosts(rec, c.otherHosts(h)), c.vmConfig(rec))
+		if target == nil {
+			continue // still no room; stay in the set
+		}
+		if err := c.liveMigrateLocked(rec, target); err == nil {
+			delete(c.stuckEvac, id)
+			c.reg.Counter("evacuations_retried").Inc()
+		}
+	}
+}
+
+// StuckEvacuations returns how many VMs are waiting for capacity to finish
+// an evacuation.
+func (c *Cloud) StuckEvacuations() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.stuckEvac)
+}

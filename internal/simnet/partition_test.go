@@ -1,0 +1,107 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+// A partitioned destination freezes the flow; healing resumes it from where
+// it stalled, so total transfer time = pre-partition progress + outage +
+// remainder.
+func TestPartitionStallsAndHealResumes(t *testing.T) {
+	sim, n := newNet(t)
+	n.AddHost("a", 100*MB, 100*MB, 0)
+	n.AddHost("b", 100*MB, 100*MB, 0)
+	var res Result
+	done := false
+	if _, err := n.Transfer("a", "b", 100*MB, func(r Result) { res = r; done = true }); err != nil {
+		t.Fatal(err)
+	}
+	// Let half the bytes move, then cut the cable for 3 seconds.
+	sim.Schedule(500*time.Millisecond, func() {
+		if err := n.Partition("b"); err != nil {
+			t.Errorf("partition: %v", err)
+		}
+	})
+	sim.Schedule(3500*time.Millisecond, func() {
+		if err := n.Heal("b"); err != nil {
+			t.Errorf("heal: %v", err)
+		}
+	})
+	sim.Run()
+	if !done {
+		t.Fatal("flow never completed after heal")
+	}
+	got := res.Duration().Seconds()
+	// 0.5s progress + 3s outage + 0.5s remainder = 4s.
+	if got < 3.95 || got > 4.05 {
+		t.Fatalf("transfer took %.4fs, want ~4s (stall included)", got)
+	}
+}
+
+func TestPartitionNeverCompletesWithoutHeal(t *testing.T) {
+	sim, n := newNet(t)
+	n.AddHost("a", 100*MB, 100*MB, 0)
+	n.AddHost("b", 100*MB, 100*MB, 0)
+	done := false
+	n.Transfer("a", "b", 10*MB, func(Result) { done = true })
+	sim.Schedule(time.Millisecond, func() { n.Partition("b") })
+	sim.RunFor(time.Hour)
+	if done {
+		t.Fatal("flow completed through a partition")
+	}
+	if !n.Partitioned("b") {
+		t.Fatal("Partitioned(b) = false")
+	}
+	// The stalled flow is still tracked, waiting for a heal.
+	if n.ActiveFlows() != 1 {
+		t.Fatalf("ActiveFlows = %d, want 1 stalled", n.ActiveFlows())
+	}
+}
+
+// New transfers issued while the host is partitioned stall too, and a flow
+// between two healthy hosts is unaffected.
+func TestPartitionIsolatesOnlyTargetHost(t *testing.T) {
+	sim, n := newNet(t)
+	n.AddHost("a", 100*MB, 100*MB, 0)
+	n.AddHost("b", 100*MB, 100*MB, 0)
+	n.AddHost("c", 100*MB, 100*MB, 0)
+	if err := n.Partition("b"); err != nil {
+		t.Fatal(err)
+	}
+	stalled, healthy := false, false
+	n.Transfer("a", "b", 10*MB, func(Result) { stalled = true })
+	n.Transfer("a", "c", 10*MB, func(Result) { healthy = true })
+	sim.RunFor(time.Minute)
+	if stalled {
+		t.Fatal("transfer into partition completed")
+	}
+	if !healthy {
+		t.Fatal("unrelated transfer was blocked")
+	}
+}
+
+func TestPartitionUnknownHost(t *testing.T) {
+	_, n := newNet(t)
+	if err := n.Partition("ghost"); err == nil {
+		t.Fatal("want error for unknown host")
+	}
+	if err := n.Heal("ghost"); err == nil {
+		t.Fatal("want error for unknown host")
+	}
+}
+
+func TestSetLatencyAppliesToNewTransfers(t *testing.T) {
+	sim, n := newNet(t)
+	n.AddHost("a", 100*MB, 100*MB, 0)
+	n.AddHost("b", 100*MB, 100*MB, 0)
+	if err := n.SetLatency("b", 50*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	var res Result
+	n.Transfer("a", "b", 0, func(r Result) { res = r })
+	sim.Run()
+	if res.Duration() != 50*time.Millisecond {
+		t.Fatalf("zero-byte transfer took %v, want 50ms injected delay", res.Duration())
+	}
+}

@@ -115,19 +115,21 @@ func (f *Flow) Rate() float64 { return f.rate }
 // Network is the fabric connecting all hosts. It must be driven by a single
 // goroutine together with its simtime.Simulator.
 type Network struct {
-	sim   *simtime.Simulator
-	hosts map[string]*Host
-	flows map[*Flow]struct{}
-	reg   *metrics.Registry
+	sim         *simtime.Simulator
+	hosts       map[string]*Host
+	flows       map[*Flow]struct{}
+	partitioned map[*Host]bool
+	reg         *metrics.Registry
 }
 
 // New returns an empty network on the given simulator.
 func New(sim *simtime.Simulator) *Network {
 	return &Network{
-		sim:   sim,
-		hosts: make(map[string]*Host),
-		flows: make(map[*Flow]struct{}),
-		reg:   metrics.NewRegistry(),
+		sim:         sim,
+		hosts:       make(map[string]*Host),
+		flows:       make(map[*Flow]struct{}),
+		partitioned: make(map[*Host]bool),
+		reg:         metrics.NewRegistry(),
 	}
 }
 
@@ -179,6 +181,64 @@ func (n *Network) Hosts() []*Host {
 
 // ActiveFlows returns the number of flows currently moving bytes.
 func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+// Partition isolates a host from the fabric: every active flow touching it
+// freezes at rate zero (no progress, no completion) and new transfers stall
+// the same way until Heal. Zero-byte transfers still complete after
+// propagation latency — they model control messages already in flight.
+// Partition models a switch-port or cable failure, the "destination stops
+// responding" scenario for migration deadlines.
+func (n *Network) Partition(name string) error {
+	h, ok := n.hosts[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownHost, name)
+	}
+	if n.partitioned[h] {
+		return nil
+	}
+	n.advanceProgress()
+	n.partitioned[h] = true
+	n.reg.Counter("partitions").Inc()
+	n.reschedule()
+	return nil
+}
+
+// Heal reconnects a partitioned host; stalled flows resume at fair-share
+// rates from wherever they froze.
+func (n *Network) Heal(name string) error {
+	h, ok := n.hosts[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownHost, name)
+	}
+	if !n.partitioned[h] {
+		return nil
+	}
+	n.advanceProgress()
+	delete(n.partitioned, h)
+	n.reg.Counter("partition_heals").Inc()
+	n.reschedule()
+	return nil
+}
+
+// Partitioned reports whether the named host is currently isolated.
+func (n *Network) Partitioned(name string) bool {
+	h, ok := n.hosts[name]
+	return ok && n.partitioned[h]
+}
+
+// SetLatency changes a host's one-way propagation delay for transfers issued
+// after the call — the chaos injector's "delay a link" fault.
+func (n *Network) SetLatency(name string, latency time.Duration) error {
+	h, ok := n.hosts[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownHost, name)
+	}
+	if latency < 0 {
+		return fmt.Errorf("simnet: host %q negative latency", name)
+	}
+	h.Latency = latency
+	return nil
+}
 
 // EstimateTransfer returns the contention-free time to move bytes from src
 // to dst: propagation latency plus bytes over the bottleneck NIC.
@@ -304,6 +364,13 @@ func (n *Network) reschedule() {
 		return a.dst.Name < b.dst.Name
 	})
 	for _, f := range ordered {
+		if n.partitioned[f.src] || n.partitioned[f.dst] {
+			// Frozen by a partition: rate 0, no link share, and the
+			// completion loop below cancels any pending event.
+			f.rate = 0
+			frozen[f] = true
+			continue
+		}
 		e := get(f.src, true)
 		i := get(f.dst, false)
 		e.flows = append(e.flows, f)
@@ -351,7 +418,8 @@ func (n *Network) reschedule() {
 			f.completion.Cancel()
 		}
 		if f.rate <= 0 {
-			// Unreachable given positive capacities; guard anyway.
+			// Partition-frozen (or degenerate capacity): no completion
+			// event — the flow stalls until a Heal reschedules it.
 			continue
 		}
 		secs := f.remaining / f.rate

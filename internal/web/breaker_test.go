@@ -1,0 +1,158 @@
+package web
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"videocloud/internal/videodb"
+)
+
+// A storage outage on the streaming path must surface as 503 + Retry-After,
+// trip the breaker after the threshold, and short-circuit later requests
+// without touching HDFS — while the metadata pages keep serving.
+func TestBreakerTripsOnStorageOutage(t *testing.T) {
+	site, cluster := newSite(t)
+	b := newBrowser(t, site)
+	b.registerAndLogin("alice", "hunter2")
+	watch := b.upload("clip", "d", 4, 7)
+	streamPath := "/stream/" + strings.TrimPrefix(watch, "/watch/")
+
+	for _, n := range []string{"dn0", "dn1", "dn2", "dn3"} {
+		cluster.DataNode(n).SetDown(true)
+	}
+
+	// Every attempt fails with 503 and a Retry-After hint; after
+	// BreakerThreshold of them the breaker is open.
+	for i := 0; i < defaultBreakerThreshold; i++ {
+		resp, _ := b.get(streamPath)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("attempt %d: status = %d, want 503", i, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("attempt %d: no Retry-After header", i)
+		}
+	}
+	if st := site.BreakerStats(); st.State != "open" || st.Opened != 1 {
+		t.Fatalf("breaker = %+v, want open after %d failures", st, defaultBreakerThreshold)
+	}
+
+	// Open breaker: requests are rejected without reaching the store.
+	before := site.Metrics().Counter("stream_storage_errors").Value()
+	resp, _ := b.get(streamPath)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("short-circuit status = %d", resp.StatusCode)
+	}
+	if got := site.Metrics().Counter("stream_storage_errors").Value(); got != before {
+		t.Fatal("open breaker still hit the store")
+	}
+	if st := site.BreakerStats(); st.Rejected == 0 {
+		t.Fatalf("Rejected = %d, want > 0", st.Rejected)
+	}
+
+	// Degradation, not collapse: the watch page still renders from the DB.
+	if resp, _ := b.get(watch); resp.StatusCode != http.StatusOK {
+		t.Fatalf("watch page status = %d during outage", resp.StatusCode)
+	}
+}
+
+// After the cooldown a probe request goes through; with the store healthy
+// again the breaker re-closes and streaming resumes.
+func TestBreakerReclosesAfterRecovery(t *testing.T) {
+	site, cluster := newSite(t)
+	b := newBrowser(t, site)
+	b.registerAndLogin("bob", "hunter2")
+	watch := b.upload("clip", "d", 4, 11)
+	streamPath := "/stream/" + strings.TrimPrefix(watch, "/watch/")
+
+	// A controllable clock drives the cooldown.
+	now := time.Now()
+	site.hdfsBreaker.now = func() time.Time { return now }
+
+	for _, n := range []string{"dn0", "dn1", "dn2", "dn3"} {
+		cluster.DataNode(n).SetDown(true)
+	}
+	for i := 0; i < defaultBreakerThreshold; i++ {
+		b.get(streamPath)
+	}
+	if st := site.BreakerStats(); st.State != "open" {
+		t.Fatalf("breaker = %+v, want open", st)
+	}
+
+	// Still inside the cooldown: rejected.
+	if resp, _ := b.get(streamPath); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d inside cooldown", resp.StatusCode)
+	}
+
+	// Heal the store, let the cooldown pass: the probe succeeds and the
+	// breaker re-closes.
+	for _, n := range []string{"dn0", "dn1", "dn2", "dn3"} {
+		cluster.DataNode(n).SetDown(false)
+	}
+	now = now.Add(defaultBreakerCooldown + time.Second)
+	resp, _ := b.get(streamPath)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusPartialContent {
+		t.Fatalf("probe status = %d, want success", resp.StatusCode)
+	}
+	st := site.BreakerStats()
+	if st.State != "closed" || st.Reclosed != 1 {
+		t.Fatalf("breaker = %+v, want closed with one reclose", st)
+	}
+	if resp, _ := b.get(streamPath); resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusPartialContent {
+		t.Fatalf("post-recovery status = %d", resp.StatusCode)
+	}
+}
+
+// A failed half-open probe must re-open the breaker for a full cooldown.
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	site, cluster := newSite(t)
+	b := newBrowser(t, site)
+	b.registerAndLogin("carol", "hunter2")
+	watch := b.upload("clip", "d", 4, 13)
+	streamPath := "/stream/" + strings.TrimPrefix(watch, "/watch/")
+
+	now := time.Now()
+	site.hdfsBreaker.now = func() time.Time { return now }
+
+	for _, n := range []string{"dn0", "dn1", "dn2", "dn3"} {
+		cluster.DataNode(n).SetDown(true)
+	}
+	for i := 0; i < defaultBreakerThreshold; i++ {
+		b.get(streamPath)
+	}
+	// Cooldown passes but the store is still down: the probe fails and the
+	// breaker re-opens.
+	now = now.Add(defaultBreakerCooldown + time.Second)
+	b.get(streamPath)
+	st := site.BreakerStats()
+	if st.State != "open" || st.Opened != 2 {
+		t.Fatalf("breaker = %+v, want re-opened (Opened=2)", st)
+	}
+}
+
+// A missing file is a data problem, not a store outage: it must never trip
+// the breaker.
+func TestBreakerIgnoresMissingFiles(t *testing.T) {
+	site, _ := newSite(t)
+	b := newBrowser(t, site)
+	b.registerAndLogin("dave", "hunter2")
+	b.upload("clip", "d", 4, 17)
+
+	// Point a row at a path that does not exist in the store.
+	rows, _ := site.db.Scan("videos", func(videodb.Row) bool { return true })
+	id := rows[0]["id"].(int64)
+	if err := site.db.Update("videos", id, videodb.Row{"path": "videos/nope.vcf"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2*defaultBreakerThreshold; i++ {
+		resp, _ := b.get(fmt.Sprintf("/stream/%d", id))
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("missing-file status = %d, want 500", resp.StatusCode)
+		}
+	}
+	if st := site.BreakerStats(); st.State != "closed" || st.Opened != 0 {
+		t.Fatalf("breaker = %+v after missing-file requests, want closed", st)
+	}
+}

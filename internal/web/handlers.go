@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"log"
 	"net/http"
 	"strconv"
@@ -409,11 +410,39 @@ func (s *Site) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 		path = fmt.Sprintf("videos/%d-%s.vcf", rowInt(row, "id"), q)
 	}
-	rd, err := s.store.OpenSeeker(path)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	// The HDFS read path is guarded by a circuit breaker: while the store
+	// is down, fail fast with 503 + Retry-After instead of stacking
+	// requests on a dead backend. Metadata pages keep serving from the
+	// database, so the site degrades rather than collapses.
+	if !s.hdfsBreaker.Allow() {
+		w.Header().Set("Retry-After", strconv.Itoa(s.hdfsBreaker.RetryAfterSeconds()))
+		http.Error(w, "video storage temporarily unavailable", http.StatusServiceUnavailable)
 		return
 	}
+	rd, err := s.store.OpenSeeker(path)
+	if err == nil {
+		// Open only consults NameNode metadata; dead DataNodes surface
+		// on the first read. Probe one byte before committing to a 200.
+		var probe [1]byte
+		if _, perr := rd.ReadAt(probe[:], 0); perr != nil && perr != io.EOF {
+			err = perr
+		}
+	}
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			// A missing file is the row's problem, not the store's:
+			// it must not trip the breaker.
+			s.hdfsBreaker.Success()
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		s.hdfsBreaker.Failure()
+		s.reg.Counter("stream_storage_errors").Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(s.hdfsBreaker.RetryAfterSeconds()))
+		http.Error(w, "video storage temporarily unavailable", http.StatusServiceUnavailable)
+		return
+	}
+	s.hdfsBreaker.Success()
 	s.reg.Counter("stream_requests").Inc()
 	stream.Serve(w, r, path, rd)
 }

@@ -17,6 +17,7 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"videocloud/internal/fusebridge"
 	"videocloud/internal/metrics"
@@ -52,6 +53,12 @@ type Config struct {
 	// TranscodeQueueCap bounds the async intake queue (default 64). A full
 	// queue blocks uploaders — backpressure, not unbounded buffering.
 	TranscodeQueueCap int
+	// BreakerThreshold trips the HDFS read breaker after this many
+	// consecutive storage failures on the streaming path (default 5);
+	// BreakerCooldown is how long it stays open before probing again
+	// (default 5s). See breaker.go.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
 }
 
 // QualityLabel names a rendition by its vertical resolution ("720p").
@@ -77,6 +84,10 @@ type Site struct {
 	// queue is the async transcode pool (queue.go); nil in synchronous
 	// mode.
 	queue *transcodeQueue
+
+	// hdfsBreaker fails streaming fast while the store is down
+	// (breaker.go).
+	hdfsBreaker *breaker
 
 	mu           sync.Mutex
 	sessions     map[string]int64 // token -> user id
@@ -125,6 +136,7 @@ func New(cfg Config) (*Site, error) {
 	if s.maxInFlight == 0 {
 		s.maxInFlight = defaultMaxInFlight
 	}
+	s.hdfsBreaker = newBreaker(s.reg, cfg.BreakerThreshold, cfg.BreakerCooldown)
 	if err := s.createSchema(); err != nil {
 		return nil, err
 	}
