@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test race alloccheck chaosshort chaos bench benchall
+.PHONY: tier1 vet build test race alloccheck chaosshort chaos bench benchall trace
 
 tier1: vet build race alloccheck chaosshort
 
@@ -23,7 +23,7 @@ race:
 	$(GO) test -race ./...
 
 alloccheck:
-	$(GO) test -run 'TestAlloc' ./internal/video/ ./internal/hdfs/
+	$(GO) test -run 'TestAlloc' ./internal/video/ ./internal/hdfs/ ./internal/trace/
 
 # Short-mode chaos soak: the seeded fault-injection run (host crash,
 # DataNode crash, block corruption, tracker death mid-job) at reduced
@@ -53,3 +53,10 @@ bench:
 
 benchall:
 	$(GO) test -bench . -benchtime 1x ./...
+
+# Tracing-overhead benchmarks: disabled (must be 0 allocs/op), head-sampled,
+# and always-on span paths plus the critical-path extractor; results land in
+# BENCH_trace.json for regression comparison across PRs.
+trace:
+	$(GO) test -json -run '^$$' -bench 'BenchmarkTrace' -benchmem ./internal/trace/ > BENCH_trace.json
+	@echo "wrote BENCH_trace.json ($$(grep -c ns/op BENCH_trace.json) benchmark results)"

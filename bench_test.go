@@ -191,6 +191,14 @@ func BenchmarkE11AutoScaling(b *testing.B) {
 	b.ReportMetric(cell(tbl, -1, "max_fleet"), "peak_fleet")
 }
 
+// BenchmarkE13CriticalPath — per-layer critical-path attribution of one
+// traced upload and one traced playback (the last row is the playback
+// coverage; the harness asserts ≥95% for both phases).
+func BenchmarkE13CriticalPath(b *testing.B) {
+	tbl := runE(b, experiments.E13CriticalPath)
+	b.ReportMetric(cell(tbl, -1, "share_pct"), "playback_coverage_pct")
+}
+
 // ---- substrate micro-benchmarks ----
 
 // BenchmarkIndexSearch measures ranked query latency on a 10k-video index.

@@ -13,14 +13,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"time"
 
 	"videocloud/internal/core"
 	"videocloud/internal/hdfs"
+	"videocloud/internal/trace"
 	"videocloud/internal/video"
 )
 
@@ -37,12 +40,30 @@ func main() {
 		"async conversion pool size (0 = convert uploads inline)")
 	selfheal := flag.Bool("selfheal", true,
 		"arm failure detection + automatic recovery (host heartbeats, HDFS healer)")
+	traceMode := flag.String("trace", "off",
+		"distributed tracing: off, sample (head-sampled roots), or all")
+	traceRate := flag.Float64("trace-rate", 0.1,
+		"head-sampling probability for -trace sample")
+	traceExport := flag.String("trace-export", "",
+		"file that receives stored traces as Chrome trace-event JSON every -stats period (load in chrome://tracing)")
 	flag.Parse()
+
+	var topts trace.Options
+	switch *traceMode {
+	case "off":
+	case "sample":
+		topts = trace.Options{Enabled: true, SampleRate: *traceRate}
+	case "all":
+		topts = trace.Options{Enabled: true}
+	default:
+		log.Fatalf("bad -trace %q: want off, sample, or all", *traceMode)
+	}
 
 	vc, err := core.New(core.Config{
 		PhysicalHosts: *hosts, DataVMs: *dataVMs,
 		AdminUser: *admin, AdminPassword: *adminPass,
 		TranscodeWorkers: *transcodeWorkers,
+		Trace:            topts,
 	})
 	if err != nil {
 		log.Fatalf("boot: %v", err)
@@ -76,6 +97,9 @@ func main() {
 		go func() {
 			for range time.Tick(*stats) {
 				logRouteDashboard(vc)
+				if *traceExport != "" {
+					exportTraces(vc, *traceExport)
+				}
 			}
 		}()
 	}
@@ -127,6 +151,31 @@ func logRouteDashboard(vc *core.VideoCloud) {
 		log.Printf("breaker state=%s opened=%d reclosed=%d rejected=%d",
 			br.State, br.Opened, br.Reclosed, br.Rejected)
 	}
+	tr := st.Trace
+	if tr.Enabled || tr.RootsStarted > 0 {
+		log.Printf("trace roots started/sampled=%d/%d spans rec/drop=%d/%d "+
+			"stored=%d active=%d recent=%d retained=%d",
+			tr.RootsStarted, tr.RootsSampled, tr.SpansRecorded, tr.SpansDropped,
+			tr.TracesStored, tr.ActiveTraces, tr.RecentTraces, tr.RetainedTraces)
+	}
+}
+
+// exportTraces writes every stored trace (error/slow retained first) as
+// Chrome trace-event JSON for chrome://tracing or Perfetto.
+func exportTraces(vc *core.VideoCloud, path string) {
+	t := vc.Tracer()
+	traces := append(t.Retained(), t.Traces()...)
+	if len(traces) == 0 {
+		return
+	}
+	data, err := trace.ExportChrome(traces)
+	if err != nil {
+		log.Printf("trace export: %v", err)
+		return
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Printf("trace export: %v", err)
+	}
 }
 
 // seedCatalog uploads n demo videos as the admin.
@@ -145,7 +194,7 @@ func seedCatalog(vc *core.VideoCloud, n int) {
 			log.Printf("seed %d: %v", i, err)
 			continue
 		}
-		id, err := vc.Site().ProcessUpload(1, titles[i].title, titles[i].desc, data)
+		id, err := vc.Site().ProcessUpload(context.Background(), 1, titles[i].title, titles[i].desc, data)
 		if err != nil {
 			log.Printf("seed %d: %v", i, err)
 			continue

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,7 +35,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	id, err := vc.Site().ProcessUpload(1, "My first cloud video", "quickstart demo upload", data)
+	id, err := vc.Site().ProcessUpload(context.Background(), 1, "My first cloud video", "quickstart demo upload", data)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"strconv"
@@ -14,6 +15,7 @@ import (
 	"videocloud/internal/mapred"
 	"videocloud/internal/nebula"
 	"videocloud/internal/stream"
+	"videocloud/internal/trace"
 )
 
 // The chaos soak drives the full workload — uploads, streaming, a MapReduce
@@ -50,6 +52,28 @@ func waitUntil(t *testing.T, d time.Duration, what string, cond func() bool) {
 	t.Fatalf("timed out waiting for %s", what)
 }
 
+// annotated reports whether any span in tr carries an annotation key.
+func annotated(tr *trace.Trace, key string) bool {
+	for _, sd := range tr.Spans {
+		for _, a := range sd.Annotations {
+			if a.Key == key {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// findRootTrace scans both trace rings for a completed trace by root name.
+func findRootTrace(tracer *trace.Tracer, root string) *trace.Trace {
+	for _, tr := range append(tracer.Retained(), tracer.Traces()...) {
+		if tr.Root == root {
+			return tr
+		}
+	}
+	return nil
+}
+
 func allServiceVMsRunning(vc *VideoCloud) bool {
 	for _, vm := range vc.Cloud().Snapshot() {
 		if vm.State != nebula.Running {
@@ -72,6 +96,9 @@ func TestChaosSoak(t *testing.T) {
 	var taskHook func(phase, tracker string, taskID, attempt int) error
 	vc := boot(t, Config{
 		PhysicalHosts: 5, DataVMs: 4, Replication: 3,
+		// Always-on tracing: every failed-then-recovered operation below must
+		// come out of the soak as a stored trace carrying its fault story.
+		Trace: trace.Options{Enabled: true},
 		MapRed: mapred.Config{
 			TrackerAlive: func(tr string) bool {
 				return in == nil || in.TrackerAlive(tr)
@@ -139,6 +166,13 @@ func TestChaosSoak(t *testing.T) {
 	if !hostHealed {
 		t.Fatalf("VMs not recovered after host crash on %s: %+v", f1.Target, vc.Cloud().Snapshot())
 	}
+	// The requeued VM's recovery episode is a complete stored trace whose
+	// root records why the orchestrator requeued it.
+	if rec := findRootTrace(vc.Tracer(), "nebula.recovery"); rec == nil {
+		t.Fatalf("no nebula.recovery trace after host crash (stats %+v)", vc.Tracer().Stats())
+	} else if !annotated(rec, "requeue") {
+		t.Fatalf("recovery trace carries no requeue annotation: %+v", rec.Spans)
+	}
 
 	// ---- fault 2: silent DataNode crash ----
 	// The wall-clock healer must declare it dead and re-replicate every
@@ -183,7 +217,9 @@ func TestChaosSoak(t *testing.T) {
 	if corruptFile == nil {
 		t.Fatalf("corrupted block %d (target %s) not in any upload", blkID, f3.Target)
 	}
-	got, err := vc.HDFS().Client(corruptNode).ReadFile(corruptFile.path)
+	rctx, rsp := vc.Tracer().StartSpan(context.Background(), "soak.corrupt_read")
+	got, err := vc.HDFS().Client(corruptNode).ReadFileCtx(rctx, corruptFile.path)
+	rsp.End()
 	if err != nil {
 		t.Fatalf("read of corrupted %s did not fail over: %v", corruptFile.path, err)
 	}
@@ -192,6 +228,13 @@ func TestChaosSoak(t *testing.T) {
 	}
 	if vc.HDFS().Stats().CorruptReported == 0 {
 		t.Fatal("checksum verification never reported the corrupt replica")
+	}
+	// The failed-then-recovered read's trace names the bad replica and the
+	// failover that saved it.
+	if rtr := vc.Tracer().Trace(rsp.TraceID()); rtr == nil {
+		t.Fatal("corrupt read left no stored trace")
+	} else if !annotated(rtr, "replica_error") || !annotated(rtr, "failover") {
+		t.Fatalf("corrupt-read trace lacks replica_error/failover annotations: %+v", rtr.Spans)
 	}
 	in.DetectedByTarget(chaos.BlockCorruption, f3.Target)
 	waitUntil(t, 30*time.Second, "re-replication after corruption", func() bool {
@@ -212,7 +255,9 @@ func TestChaosSoak(t *testing.T) {
 	}
 	trackerFault := in.KillTracker(victim)
 	taskHook = in.TaskCrashHook(1.0, 2)
-	res, err := vc.ReindexMR()
+	mctx, msp := vc.Tracer().StartSpan(context.Background(), "soak.reindex")
+	res, err := vc.ReindexMRCtx(mctx)
+	msp.End()
 	if err != nil {
 		t.Fatalf("re-index under chaos: %v", err)
 	}
@@ -231,6 +276,29 @@ func TestChaosSoak(t *testing.T) {
 	in.DetectedByTarget(chaos.TrackerDeath, victim)
 	in.ReviveTracker(victim)
 	_ = trackerFault
+	// The chaotic job's trace shows each injected crash (task-attempt span
+	// with an error) and the retry that re-ran the work.
+	mtr := vc.Tracer().Trace(msp.TraceID())
+	if mtr == nil {
+		t.Fatal("chaotic re-index left no stored trace")
+	}
+	crashed, retried := 0, 0
+	for _, sd := range mtr.Spans {
+		if sd.Layer != "mapred" {
+			continue
+		}
+		if sd.Error != "" {
+			crashed++
+		}
+		for _, a := range sd.Annotations {
+			if a.Key == "retry" {
+				retried++
+			}
+		}
+	}
+	if crashed < 2 || retried < 2 {
+		t.Fatalf("re-index trace shows %d crashed / %d retried attempts, want >=2 each", crashed, retried)
+	}
 
 	// ---- verification: the system healed completely ----
 	// Every upload is byte-identical to its post-upload snapshot and still

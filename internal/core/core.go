@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -25,6 +26,7 @@ import (
 	"videocloud/internal/migrate"
 	"videocloud/internal/nebula"
 	"videocloud/internal/search"
+	"videocloud/internal/trace"
 	"videocloud/internal/video"
 	"videocloud/internal/virt"
 	"videocloud/internal/web"
@@ -68,6 +70,11 @@ type Config struct {
 	// knobs (task retries, tracker liveness) — the chaos soak plugs its
 	// injector in here.
 	MapRed mapred.Config
+	// Trace configures the distributed tracer shared by every layer (web
+	// middleware roots, transcode queue, farm, HDFS I/O, MapReduce
+	// attempts, VM lifecycles). The zero value builds a disabled tracer
+	// that costs nothing until Tracer().SetEnabled(true).
+	Trace trace.Options
 }
 
 func (c Config) withDefaults() Config {
@@ -105,6 +112,7 @@ type VideoCloud struct {
 	site   *web.Site
 	reg    *metrics.Registry
 	healer *hdfs.Healer
+	tracer *trace.Tracer
 
 	webVMID    int
 	nameVMID   int
@@ -127,9 +135,13 @@ var ErrNotReady = errors.New("core: service group did not become ready")
 func New(cfg Config) (*VideoCloud, error) {
 	cfg = cfg.withDefaults()
 	vc := &VideoCloud{cfg: cfg, reg: metrics.NewRegistry()}
+	vc.tracer = trace.New(cfg.Trace)
 
 	// ---- IaaS: hosts + image + service group ----
 	vc.cloud = nebula.New(nebula.Options{Policy: cfg.Policy, Recovery: cfg.Recovery})
+	// Attach the tracer before the service group is submitted so the boot
+	// of every service VM is captured as a nebula.vm trace.
+	vc.cloud.SetTracer(vc.tracer)
 	for i := 1; i <= cfg.PhysicalHosts; i++ {
 		name := fmt.Sprintf("node%d", i)
 		if _, err := vc.cloud.AddHost(name, cfg.HostCores, 1e9, cfg.HostMemoryBytes, 500*gb); err != nil {
@@ -209,6 +221,7 @@ func New(cfg Config) (*VideoCloud, error) {
 		AdminPassword:     cfg.AdminPassword,
 		TranscodeWorkers:  cfg.TranscodeWorkers,
 		TranscodeQueueCap: cfg.TranscodeQueueCap,
+		Tracer:            vc.tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -236,6 +249,9 @@ func (vc *VideoCloud) Handler() http.Handler { return vc.site }
 
 // Metrics returns stack-level counters.
 func (vc *VideoCloud) Metrics() *metrics.Registry { return vc.reg }
+
+// Tracer returns the stack-wide distributed tracer.
+func (vc *VideoCloud) Tracer() *trace.Tracer { return vc.tracer }
 
 // WebVMID returns the orchestrator ID of the web-server VM.
 func (vc *VideoCloud) WebVMID() int { return vc.webVMID }
@@ -296,10 +312,32 @@ func (vc *VideoCloud) KillDataVM(i int) (int, error) {
 // and atomically swaps it into the site. The stored segment lands at
 // /videocloud-index/segment.
 func (vc *VideoCloud) ReindexMR() (*mapred.JobResult, error) {
+	return vc.ReindexMRCtx(context.Background())
+}
+
+// ReindexMRCtx is ReindexMR under a core.reindex trace: the corpus export,
+// the MapReduce job (with its per-attempt spans), and the index swap all
+// record into one trace.
+func (vc *VideoCloud) ReindexMRCtx(ctx context.Context) (*mapred.JobResult, error) {
 	docs := vc.site.Documents()
 	if len(docs) == 0 {
 		return nil, errors.New("core: nothing to index")
 	}
+	ctx, sp := vc.tracer.StartSpan(ctx, "core.reindex")
+	if sp != nil {
+		sp.AnnotateInt("docs", int64(len(docs)))
+	}
+	res, err := vc.reindexSpan(ctx, docs)
+	if err != nil {
+		sp.SetError(err)
+		sp.End()
+		return nil, err
+	}
+	sp.End()
+	return res, nil
+}
+
+func (vc *VideoCloud) reindexSpan(ctx context.Context, docs []search.Document) (*mapred.JobResult, error) {
 	vc.reindexGen++
 	dir := fmt.Sprintf("/corpus/gen-%d", vc.reindexGen)
 	shard := len(docs)/len(vc.dataVMIDs) + 1
@@ -307,7 +345,7 @@ func (vc *VideoCloud) ReindexMR() (*mapred.JobResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	ix, res, err := search.BuildIndexMR(vc.engine, paths, fmt.Sprintf("/index/gen-%d", vc.reindexGen))
+	ix, res, err := search.BuildIndexMRCtx(ctx, vc.engine, paths, fmt.Sprintf("/index/gen-%d", vc.reindexGen))
 	if err != nil {
 		return nil, err
 	}
@@ -416,6 +454,9 @@ type Status struct {
 	Heal hdfs.HealStats
 	// Breaker reports the web tier's HDFS circuit breaker.
 	Breaker web.BreakerStats
+	// Trace reports the distributed tracer: roots started/sampled, spans
+	// recorded/dropped, and stored-trace counts.
+	Trace trace.Stats
 }
 
 // RecoveryStatus summarises the IaaS self-healing loop: how many host
@@ -451,6 +492,7 @@ func (vc *VideoCloud) Status() Status {
 		HDFS:       vc.hdfs.Stats(),
 		Recovery:   vc.recoveryStatus(),
 		Breaker:    vc.site.BreakerStats(),
+		Trace:      vc.tracer.Stats(),
 	}
 	if vc.healer != nil {
 		st.Heal = vc.healer.Stats()

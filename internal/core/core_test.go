@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -101,7 +102,7 @@ func (s *session) uploadDirect(vc *VideoCloud, title string, seconds int, seed u
 	if err != nil {
 		s.t.Fatal(err)
 	}
-	id, err := vc.Site().ProcessUpload(1, title, "uploaded in test", data)
+	id, err := vc.Site().ProcessUpload(context.Background(), 1, title, "uploaded in test", data)
 	if err != nil {
 		s.t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -101,7 +102,7 @@ func E9EndToEnd() *metrics.Table {
 		check(gerr == nil, "E9: generate: %v", gerr)
 		alice, aerr := site.DB().SelectOne("users", "username", "alice")
 		check(aerr == nil, "E9: no alice row")
-		id, uerr := site.ProcessUpload(alice["id"].(int64), "Nobody music video", "pop dance cover", data)
+		id, uerr := site.ProcessUpload(context.Background(), alice["id"].(int64), "Nobody music video", "pop dance cover", data)
 		check(uerr == nil, "E9: upload: %v", uerr)
 		videoID = id
 		speedup := site.Metrics().Histogram("conversion_speedup").Mean()
@@ -161,7 +162,7 @@ func E10FullStack() *metrics.Table {
 	mustPost(c, srv.URL+"/login", url.Values{"username": {"admin"}, "password": {"admin"}})
 	src := video.Spec{Codec: video.MPEG4, Res: video.R480p, FPS: 30, GOPSeconds: 2, BitrateBps: 200_000}
 	data, _ := video.Generate(src, 60, 7)
-	id, err := vc.Site().ProcessUpload(1, "Full stack stream", "served from VM-hosted HDFS", data)
+	id, err := vc.Site().ProcessUpload(context.Background(), 1, "Full stack stream", "served from VM-hosted HDFS", data)
 	check(err == nil, "E10: upload: %v", err)
 	t.AddRow("upload", "converted on data VMs, stored in VM-hosted HDFS")
 

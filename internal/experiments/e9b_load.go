@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -52,7 +53,7 @@ func E9bConcurrentLoad() *metrics.Table {
 		if gerr != nil {
 			panic(gerr)
 		}
-		id, uerr := site.ProcessUpload(1, fmt.Sprintf("load video %d dance cloud", i),
+		id, uerr := site.ProcessUpload(context.Background(), 1, fmt.Sprintf("load video %d dance cloud", i),
 			"seeded for the load test", data)
 		if uerr != nil {
 			panic(uerr)

@@ -90,5 +90,6 @@ func All() []*metrics.Table {
 		E9bConcurrentLoad(),
 		E10FullStack(),
 		E11AutoScaling(),
+		E13CriticalPath(),
 	}
 }

@@ -11,6 +11,7 @@
 package fusebridge
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -90,6 +91,12 @@ func mapErr(err error) error {
 // WriteFile stores data at name (parents auto-created), replacing any
 // existing file — the semantics a FUSE rewrite maps to create-over on HDFS.
 func (m *Mount) WriteFile(name string, data []byte) error {
+	return m.WriteFileCtx(context.Background(), name, data)
+}
+
+// WriteFileCtx is WriteFile linked to the trace span in ctx: the store
+// records hdfs.write_file / hdfs.write_block spans under the caller's trace.
+func (m *Mount) WriteFileCtx(ctx context.Context, name string, data []byte) error {
 	p, err := m.abs(name)
 	if err != nil {
 		return err
@@ -102,7 +109,7 @@ func (m *Mount) WriteFile(name string, data []byte) error {
 			return rerr
 		}
 	}
-	return m.client.WriteFile(p, data, m.replication)
+	return m.client.WriteFileCtx(ctx, p, data, m.replication)
 }
 
 // Create opens a streaming writer at name. The file becomes visible when
@@ -117,11 +124,16 @@ func (m *Mount) Create(name string) (io.WriteCloser, error) {
 
 // ReadFile returns the full content of name.
 func (m *Mount) ReadFile(name string) ([]byte, error) {
+	return m.ReadFileCtx(context.Background(), name)
+}
+
+// ReadFileCtx is ReadFile linked to the trace span in ctx.
+func (m *Mount) ReadFileCtx(ctx context.Context, name string) ([]byte, error) {
 	p, err := m.abs(name)
 	if err != nil {
 		return nil, err
 	}
-	data, err := m.client.ReadFile(p)
+	data, err := m.client.ReadFileCtx(ctx, p)
 	if err != nil {
 		return nil, mapPathErr("read", name, err)
 	}
@@ -166,11 +178,18 @@ func (m *Mount) Exists(name string) bool {
 // OpenSeeker opens name for random access (io.ReadSeeker + io.ReaderAt),
 // the interface the streaming layer needs for Range requests.
 func (m *Mount) OpenSeeker(name string) (*hdfs.Reader, error) {
+	return m.OpenSeekerCtx(context.Background(), name)
+}
+
+// OpenSeekerCtx is OpenSeeker linked to the trace span in ctx: block range
+// reads and prefetches through the returned reader record spans annotated
+// with readahead hits/misses under the caller's trace.
+func (m *Mount) OpenSeekerCtx(ctx context.Context, name string) (*hdfs.Reader, error) {
 	p, err := m.abs(name)
 	if err != nil {
 		return nil, err
 	}
-	r, err := m.client.Open(p)
+	r, err := m.client.OpenCtx(ctx, p)
 	if err != nil {
 		return nil, mapPathErr("open", name, err)
 	}

@@ -1,12 +1,15 @@
 package hdfs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"videocloud/internal/trace"
 )
 
 // Client implements the HDFS user-facing protocol described in §III-B: "Name
@@ -41,14 +44,23 @@ type Writer struct {
 	// the zero-based block index; an error fails that flush before it
 	// touches the cluster.
 	flushHook func(blockIndex int) error
+	// span, when non-nil, parents a per-block hdfs.write_block span for
+	// every flushed block.
+	span *trace.Span
 }
 
 // Create opens a new file for writing with the given replication factor.
 func (c *Client) Create(path string, replication int) (*Writer, error) {
+	return c.CreateCtx(context.Background(), path, replication)
+}
+
+// CreateCtx is Create linked to the trace span in ctx: every flushed block
+// records an hdfs.write_block child span.
+func (c *Client) CreateCtx(ctx context.Context, path string, replication int) (*Writer, error) {
 	if err := c.cluster.nn.Create(path, replication); err != nil {
 		return nil, err
 	}
-	return &Writer{client: c, path: path}, nil
+	return &Writer{client: c, path: path, span: trace.FromContext(ctx)}, nil
 }
 
 // Write implements io.Writer, flushing whole blocks as they fill. The
@@ -107,9 +119,21 @@ func (w *Writer) Write(p []byte) (int, error) {
 // block commits with the replicas that succeeded, in pipeline order, and
 // the NameNode repairs the rest.
 func (w *Writer) flushBlock(data []byte) error {
+	sp := w.span.StartChild("hdfs.write_block")
+	err := w.flushBlockSpan(data, sp)
+	if err != nil {
+		sp.SetError(err)
+	}
+	sp.End()
+	return err
+}
+
+func (w *Writer) flushBlockSpan(data []byte, sp *trace.Span) error {
 	c := w.client
 	idx := w.flushed
 	w.flushed++
+	sp.AnnotateInt("index", int64(idx))
+	sp.AnnotateInt("bytes", int64(len(data)))
 	if w.flushHook != nil {
 		if err := w.flushHook(idx); err != nil {
 			return err
@@ -120,6 +144,7 @@ func (w *Writer) flushBlock(data []byte) error {
 	if err != nil {
 		return err
 	}
+	sp.AnnotateInt("block", int64(info.ID))
 	ok := make([]bool, len(info.Locations))
 	store := func(i int, target string) {
 		dn := c.cluster.DataNode(target)
@@ -147,6 +172,8 @@ func (w *Writer) flushBlock(data []byte) error {
 	for i, target := range info.Locations {
 		if ok[i] {
 			stored = append(stored, target)
+		} else if sp.Recording() {
+			sp.Annotate("replica_failed", target)
 		}
 	}
 	if len(stored) == 0 {
@@ -156,9 +183,13 @@ func (w *Writer) flushBlock(data []byte) error {
 	if err := c.cluster.nn.CommitBlock(info.ID, int64(len(data)), stored); err != nil {
 		return err
 	}
+	if sp.Recording() {
+		sp.AnnotateInt("replicas", int64(len(stored)))
+	}
 	c.cluster.reg.Counter("bytes_written").Add(int64(len(data)) * int64(len(stored)))
 	c.cluster.reg.Counter("blocks_written").Inc()
-	c.cluster.reg.Histogram("hdfs_write_seconds").ObserveDuration(time.Since(start))
+	c.cluster.reg.Histogram("hdfs_write_seconds").
+		ObserveExemplar(time.Since(start).Seconds(), sp.TraceID())
 	return nil
 }
 
@@ -183,10 +214,30 @@ func (w *Writer) Close() error {
 
 // WriteFile creates path with the given replication and writes data.
 func (c *Client) WriteFile(path string, data []byte, replication int) error {
-	w, err := c.Create(path, replication)
+	return c.WriteFileCtx(context.Background(), path, data, replication)
+}
+
+// WriteFileCtx is WriteFile under an hdfs.write_file span parented from
+// ctx; each flushed block nests an hdfs.write_block child under it.
+func (c *Client) WriteFileCtx(ctx context.Context, path string, data []byte, replication int) error {
+	sp := trace.FromContext(ctx).StartChild("hdfs.write_file")
+	if sp != nil {
+		sp.Annotate("path", path)
+		sp.AnnotateInt("bytes", int64(len(data)))
+	}
+	err := c.writeFileSpan(path, data, replication, sp)
 	if err != nil {
+		sp.SetError(err)
+	}
+	sp.End()
+	return err
+}
+
+func (c *Client) writeFileSpan(path string, data []byte, replication int, sp *trace.Span) error {
+	if err := c.cluster.nn.Create(path, replication); err != nil {
 		return err
 	}
+	w := &Writer{client: c, path: path, span: sp}
 	if _, err := w.Write(data); err != nil {
 		return err
 	}
@@ -246,8 +297,18 @@ func (c *Client) pickCounter(pick string, locs []string, load map[string]int64) 
 // and range reads: rank replicas by the selection policy, track per-node
 // in-flight counts, fail over on any error, report corrupt replicas to the
 // NameNode (which queues repair), and record read latency. read runs
-// against a single replica.
-func (c *Client) fetchWithFailover(info BlockInfo, read func(dn *DataNode) ([]byte, error)) ([]byte, error) {
+// against a single replica. When parent records, the fetch emits an
+// hdfs.read_block span annotated with every failed replica and the eventual
+// failover; readahead ("hit"/"miss"/"prefetch") notes how the range-read
+// cache classified this fetch.
+func (c *Client) fetchWithFailover(parent *trace.Span, readahead string, info BlockInfo, read func(dn *DataNode) ([]byte, error)) ([]byte, error) {
+	sp := parent.StartChild("hdfs.read_block")
+	if sp != nil {
+		sp.AnnotateInt("block", int64(info.ID))
+		if readahead != "" {
+			sp.Annotate("readahead", readahead)
+		}
+	}
 	start := time.Now()
 	var lastErr error = fmt.Errorf("%w: block %d has no live replicas", ErrAllReplicasFailed, info.ID)
 	for i, loc := range c.orderReplicas(info.Locations) {
@@ -262,10 +323,20 @@ func (c *Client) fetchWithFailover(info BlockInfo, read func(dn *DataNode) ([]by
 		if err == nil {
 			if i > 0 {
 				c.cluster.reg.Counter("replica_failovers").Inc()
+				if sp.Recording() {
+					sp.Annotate("failover", fmt.Sprintf("retry served by %s after %d failed replica(s)", loc, i))
+				}
+			} else if sp.Recording() {
+				sp.Annotate("replica", loc)
 			}
 			c.cluster.reg.Counter("bytes_read").Add(int64(len(data)))
-			c.cluster.reg.Histogram("hdfs_read_seconds").ObserveDuration(time.Since(start))
+			c.cluster.reg.Histogram("hdfs_read_seconds").
+				ObserveExemplar(time.Since(start).Seconds(), sp.TraceID())
+			sp.End()
 			return data, nil
+		}
+		if sp.Recording() {
+			sp.Annotate("replica_error", loc+": "+err.Error())
 		}
 		if errors.Is(err, ErrChecksum) {
 			c.cluster.nn.ReportCorrupt(loc, info.ID)
@@ -273,12 +344,15 @@ func (c *Client) fetchWithFailover(info BlockInfo, read func(dn *DataNode) ([]by
 		}
 		lastErr = err
 	}
-	return nil, fmt.Errorf("%w: block %d: %v", ErrAllReplicasFailed, info.ID, lastErr)
+	err := fmt.Errorf("%w: block %d: %v", ErrAllReplicasFailed, info.ID, lastErr)
+	sp.SetError(err)
+	sp.End()
+	return nil, err
 }
 
 // readBlock fetches one whole block, failing over across replicas.
-func (c *Client) readBlock(info BlockInfo) ([]byte, error) {
-	return c.fetchWithFailover(info, func(dn *DataNode) ([]byte, error) {
+func (c *Client) readBlock(parent *trace.Span, info BlockInfo) ([]byte, error) {
+	return c.fetchWithFailover(parent, "", info, func(dn *DataNode) ([]byte, error) {
 		return dn.Read(info.ID)
 	})
 }
@@ -288,6 +362,28 @@ func (c *Client) readBlock(info BlockInfo) ([]byte, error) {
 // byte-identical to a sequential read: every block lands at its own offset
 // in one pre-sized buffer.
 func (c *Client) ReadFile(path string) ([]byte, error) {
+	return c.ReadFileCtx(context.Background(), path)
+}
+
+// ReadFileCtx is ReadFile under an hdfs.read_file span parented from ctx;
+// each block fetch nests an hdfs.read_block child recording per-replica
+// errors and failovers.
+func (c *Client) ReadFileCtx(ctx context.Context, path string) ([]byte, error) {
+	sp := trace.FromContext(ctx).StartChild("hdfs.read_file")
+	if sp != nil {
+		sp.Annotate("path", path)
+	}
+	data, err := c.readFileSpan(path, sp)
+	if err != nil {
+		sp.SetError(err)
+	} else if sp.Recording() {
+		sp.AnnotateInt("bytes", int64(len(data)))
+	}
+	sp.End()
+	return data, err
+}
+
+func (c *Client) readFileSpan(path string, sp *trace.Span) ([]byte, error) {
 	blocks, err := c.cluster.nn.GetBlockLocations(path)
 	if err != nil {
 		return nil, err
@@ -303,13 +399,13 @@ func (c *Client) ReadFile(path string) ([]byte, error) {
 	}
 	out := make([]byte, total)
 	if workers := c.cluster.readWorkers(len(blocks)); workers > 1 && len(blocks) > 1 {
-		if err := c.readBlocksParallel(blocks, offsets, out, workers); err != nil {
+		if err := c.readBlocksParallel(sp, blocks, offsets, out, workers); err != nil {
 			return nil, err
 		}
 		return out, nil
 	}
 	for i, b := range blocks {
-		data, err := c.readBlock(b)
+		data, err := c.readBlock(sp, b)
 		if err != nil {
 			return nil, err
 		}
@@ -320,7 +416,7 @@ func (c *Client) ReadFile(path string) ([]byte, error) {
 
 // readBlocksParallel fans block fetches out over a bounded worker pool;
 // the first error wins and stops further fetches from launching.
-func (c *Client) readBlocksParallel(blocks []BlockInfo, offsets []int64, out []byte, workers int) error {
+func (c *Client) readBlocksParallel(sp *trace.Span, blocks []BlockInfo, offsets []int64, out []byte, workers int) error {
 	var (
 		wg       sync.WaitGroup
 		sem      = make(chan struct{}, workers)
@@ -340,7 +436,7 @@ func (c *Client) readBlocksParallel(blocks []BlockInfo, offsets []int64, out []b
 			if failed.Load() {
 				return
 			}
-			data, err := c.readBlock(blocks[i])
+			data, err := c.readBlock(sp, blocks[i])
 			if err != nil {
 				if failed.CompareAndSwap(false, true) {
 					mu.Lock()
@@ -363,6 +459,29 @@ func (c *Client) readBlocksParallel(blocks []BlockInfo, offsets []int64, out []b
 
 // Open returns a random-access reader for path.
 func (c *Client) Open(path string) (*Reader, error) {
+	return c.OpenCtx(context.Background(), path)
+}
+
+// OpenCtx is Open linked to the trace span in ctx: range reads and
+// prefetches through the returned Reader record hdfs.read_block spans
+// annotated with readahead hits and misses.
+func (c *Client) OpenCtx(ctx context.Context, path string) (*Reader, error) {
+	sp := trace.FromContext(ctx).StartChild("hdfs.open")
+	if sp != nil {
+		sp.Annotate("path", path)
+	}
+	r, err := c.open(path)
+	if err != nil {
+		sp.SetError(err)
+		sp.End()
+		return nil, err
+	}
+	sp.End()
+	r.span = trace.FromContext(ctx)
+	return r, nil
+}
+
+func (c *Client) open(path string) (*Reader, error) {
 	blocks, err := c.cluster.nn.GetBlockLocations(path)
 	if err != nil {
 		return nil, err

@@ -5,6 +5,8 @@ import (
 	"io"
 	"sort"
 	"sync"
+
+	"videocloud/internal/trace"
 )
 
 // Reader reads an HDFS file with io.Reader/io.Seeker/io.ReaderAt semantics;
@@ -26,6 +28,9 @@ type Reader struct {
 	starts []int64 // starts[i] = file offset of blocks[i]
 	size   int64
 	pos    int64
+	// span, when non-nil (OpenCtx under a sampled trace), parents the
+	// hdfs.read_block / hdfs.prefetch spans this reader's fetches emit.
+	span *trace.Span
 
 	mu    sync.Mutex
 	cache map[int]*raEntry // block index -> readahead slot (≤2 entries)
@@ -124,6 +129,11 @@ func (r *Reader) rangeFromBlock(bi int, bo, want int64) ([]byte, error) {
 		<-e.ready
 		if e.err == nil {
 			r.client.cluster.reg.Counter("readahead_hits").Inc()
+			if hsp := r.span.StartChild("hdfs.read_block"); hsp != nil {
+				hsp.AnnotateInt("block", int64(r.blocks[bi].ID))
+				hsp.Annotate("readahead", "hit")
+				hsp.End()
+			}
 			end := bo + want
 			if end > int64(len(e.data)) {
 				end = int64(len(e.data))
@@ -143,7 +153,7 @@ func (r *Reader) rangeFromBlock(bi int, bo, want int64) ([]byte, error) {
 		r.mu.Unlock()
 	}
 	r.client.cluster.reg.Counter("readahead_misses").Inc()
-	return r.client.fetchWithFailover(r.blocks[bi], func(dn *DataNode) ([]byte, error) {
+	return r.client.fetchWithFailover(r.span, "miss", r.blocks[bi], func(dn *DataNode) ([]byte, error) {
 		return dn.ReadRange(r.blocks[bi].ID, bo, want)
 	})
 }
@@ -193,8 +203,18 @@ func (r *Reader) prefetch(bi int) {
 	r.mu.Unlock()
 	r.client.cluster.reg.Counter("readahead_prefetches").Inc()
 	info := r.blocks[bi]
+	psp := r.span.StartChild("hdfs.prefetch")
+	if psp != nil {
+		psp.AnnotateInt("block", int64(info.ID))
+	}
 	go func() {
-		e.data, e.err = r.client.readBlock(info)
+		e.data, e.err = r.client.fetchWithFailover(psp, "prefetch", info, func(dn *DataNode) ([]byte, error) {
+			return dn.Read(info.ID)
+		})
+		if e.err != nil {
+			psp.SetError(e.err)
+		}
+		psp.End()
 		close(e.ready)
 	}()
 }

@@ -14,6 +14,7 @@
 package mapred
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"videocloud/internal/hdfs"
+	"videocloud/internal/trace"
 )
 
 // KV is an intermediate key/value pair.
@@ -214,6 +216,34 @@ type slot struct {
 
 // Run executes the job to completion.
 func (e *Engine) Run(job Job) (*JobResult, error) {
+	return e.RunCtx(context.Background(), job)
+}
+
+// RunCtx is Run linked to the trace span in ctx: the job records a
+// mapred.job span with one mapred.map / mapred.reduce child per task
+// attempt. Task spans carry the modelled schedule in the sim clock domain
+// (SetSimStart/EndAtSim) alongside their real wall time, and failed attempts
+// carry the injected error plus a retry annotation.
+func (e *Engine) RunCtx(ctx context.Context, job Job) (*JobResult, error) {
+	jsp := trace.FromContext(ctx).StartChild("mapred.job")
+	jsp.Annotate("job", job.Name)
+	jsp.SetSimStart(0)
+	res, err := e.run(job, jsp)
+	if err != nil {
+		jsp.SetError(err)
+		jsp.End()
+		return res, err
+	}
+	jsp.AnnotateInt("map_tasks", int64(len(res.MapTasks)))
+	jsp.AnnotateInt("reduce_tasks", int64(len(res.ReduceTasks)))
+	if res.FailedAttempts > 0 {
+		jsp.AnnotateInt("failed_attempts", int64(res.FailedAttempts))
+	}
+	jsp.EndAtSim(res.Duration)
+	return res, nil
+}
+
+func (e *Engine) run(job Job, jsp *trace.Span) (*JobResult, error) {
 	wallStart := time.Now()
 	if job.Map == nil || job.Reduce == nil {
 		return nil, fmt.Errorf("mapred: job %q missing map or reduce function", job.Name)
@@ -273,6 +303,7 @@ func (e *Engine) Run(job Job) (*JobResult, error) {
 			}
 			dead[tr] = true
 			res.LostTrackers = append(res.LostTrackers, tr)
+			jsp.Annotate("lost_tracker", tr)
 			kept := res.MapTasks[:0]
 			keptSplits := taskSplits[:0]
 			keptOut := taskOutputs[:0]
@@ -314,14 +345,25 @@ func (e *Engine) Run(job Job) (*JobResult, error) {
 		taskID++
 		attempt := attempts[sp]
 		attempts[sp] = attempt + 1
+		asp := jsp.StartChild("mapred.map")
+		if asp != nil {
+			asp.Annotate("tracker", s.tracker)
+			asp.AnnotateInt("task", int64(id))
+			asp.AnnotateInt("attempt", int64(attempt))
+			asp.SetSimStart(s.free)
+		}
 		if hook := e.cfg.TaskFaultHook; hook != nil {
 			if herr := hook("map", s.tracker, id, attempt); herr != nil {
 				s.free += cost // the failed attempt held its slot
 				recordFailure(s.tracker)
+				asp.SetError(herr)
 				if attempts[sp] >= e.cfg.MaxTaskAttempts {
+					asp.EndAtSim(s.free)
 					return nil, fmt.Errorf("mapred: map task %d of %q failed %d attempts (%v): %w",
 						id, sp.path, attempts[sp], herr, ErrTaskFailed)
 				}
+				asp.Annotate("retry", "requeued")
+				asp.EndAtSim(s.free)
 				remaining = append(remaining, sp)
 				continue
 			}
@@ -330,11 +372,15 @@ func (e *Engine) Run(job Job) (*JobResult, error) {
 		out := make(map[string][]string)
 		emit := func(k, v string) { out[k] = append(out[k], v) }
 		if merr := job.Map(sp.path, data, emit); merr != nil {
+			asp.SetError(merr)
+			asp.End()
 			return nil, fmt.Errorf("mapred: map task %d: %w", id, merr)
 		}
 		if job.Combine != nil {
 			combined, cerr := combineOutput(out, job.Combine)
 			if cerr != nil {
+				asp.SetError(cerr)
+				asp.End()
 				return nil, fmt.Errorf("mapred: combine task %d: %w", id, cerr)
 			}
 			out = combined
@@ -344,6 +390,10 @@ func (e *Engine) Run(job Job) (*JobResult, error) {
 		// the network does not.
 		start := s.free
 		s.free += cost
+		if local {
+			asp.Annotate("local", "true")
+		}
+		asp.EndAtSim(s.free)
 		res.MapTasks = append(res.MapTasks, TaskStat{
 			ID: id, Tracker: s.tracker, Local: local,
 			Bytes: int64(len(data)), Start: start, End: s.free,
@@ -389,12 +439,14 @@ func (e *Engine) Run(job Job) (*JobResult, error) {
 		// retried reduce refetches its shuffle input, so ShuffleBytes
 		// counts every attempt.
 		var s *slot
+		var rsp *trace.Span
 		for attempt := 0; ; attempt++ {
 			if e.cfg.TrackerAlive != nil {
 				for _, tr := range e.trackers {
 					if !dead[tr] && !e.cfg.TrackerAlive(tr) {
 						dead[tr] = true
 						res.LostTrackers = append(res.LostTrackers, tr)
+						jsp.Annotate("lost_tracker", tr)
 					}
 				}
 			}
@@ -404,15 +456,26 @@ func (e *Engine) Run(job Job) (*JobResult, error) {
 			}
 			s = earliestSlot(live)
 			res.ShuffleBytes += inBytes
+			rsp = jsp.StartChild("mapred.reduce")
+			if rsp != nil {
+				rsp.Annotate("tracker", s.tracker)
+				rsp.AnnotateInt("partition", int64(p))
+				rsp.AnnotateInt("attempt", int64(attempt))
+				rsp.SetSimStart(s.free)
+			}
 			if hook := e.cfg.TaskFaultHook; hook != nil {
 				if herr := hook("reduce", s.tracker, p, attempt); herr != nil {
 					s.free += scaleBySpeed(e.cfg.TaskOverhead+bytesTime(inBytes, e.cfg.ReduceThroughput), s.speed) +
 						bytesTime(inBytes, e.cfg.NetBandwidth)
 					recordFailure(s.tracker)
+					rsp.SetError(herr)
 					if attempt+1 >= e.cfg.MaxTaskAttempts {
+						rsp.EndAtSim(s.free)
 						return nil, fmt.Errorf("mapred: reduce task %d failed %d attempts (%v): %w",
 							p, attempt+1, herr, ErrTaskFailed)
 					}
+					rsp.Annotate("retry", "requeued")
+					rsp.EndAtSim(s.free)
 					continue
 				}
 			}
@@ -428,6 +491,8 @@ func (e *Engine) Run(job Job) (*JobResult, error) {
 		emit := func(k, v string) { outPairs = append(outPairs, KV{k, v}) }
 		for _, k := range keys {
 			if rerr := job.Reduce(k, partitions[p][k], emit); rerr != nil {
+				rsp.SetError(rerr)
+				rsp.End()
 				return nil, fmt.Errorf("mapred: reduce partition %d key %q: %w", p, k, rerr)
 			}
 		}
@@ -438,6 +503,7 @@ func (e *Engine) Run(job Job) (*JobResult, error) {
 			bytesTime(outBytes, e.cfg.NetBandwidth) // HDFS write
 		start := s.free
 		s.free += cost
+		rsp.EndAtSim(s.free)
 		if s.free > jobEnd {
 			jobEnd = s.free
 		}

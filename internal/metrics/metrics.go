@@ -55,14 +55,23 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // which reservoir sampling keeps an unbiased sample; count/sum/min/max remain
 // exact.
 type Histogram struct {
-	mu      sync.Mutex
-	count   int64
-	sum     float64
-	min     float64
-	max     float64
-	samples []float64
-	capN    int
-	rngSeed uint64
+	mu       sync.Mutex
+	count    int64
+	sum      float64
+	min      float64
+	max      float64
+	samples  []float64
+	capN     int
+	rngSeed  uint64
+	exemplar Exemplar
+}
+
+// Exemplar links a histogram's worst observation to the trace that produced
+// it, so a latency quantile can be followed to a concrete request. A zero
+// TraceID means "no exemplar recorded".
+type Exemplar struct {
+	Value   float64
+	TraceID uint64
 }
 
 // reservoirCap bounds per-histogram memory; 4096 samples give quantile error
@@ -78,6 +87,22 @@ func NewHistogram() *Histogram {
 func (h *Histogram) Observe(v float64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	h.observeLocked(v)
+}
+
+// ObserveExemplar records v and, when traceID is nonzero and v is the
+// largest exemplar-carrying observation so far, remembers the (v, traceID)
+// pair — slow observations stay attributable to the trace that caused them.
+func (h *Histogram) ObserveExemplar(v float64, traceID uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.observeLocked(v)
+	if traceID != 0 && (h.exemplar.TraceID == 0 || v >= h.exemplar.Value) {
+		h.exemplar = Exemplar{Value: v, TraceID: traceID}
+	}
+}
+
+func (h *Histogram) observeLocked(v float64) {
 	if h.capN == 0 { // zero value usable
 		h.capN = reservoirCap
 		h.rngSeed = 0x9e3779b97f4a7c15
@@ -158,6 +183,14 @@ func (h *Histogram) Quantile(q float64) float64 {
 	}
 	s := append([]float64(nil), h.samples...)
 	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+// quantileSorted interpolates the q-quantile from an already-sorted sample.
+func quantileSorted(s []float64, q float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
 	if len(s) == 1 {
 		return s[0]
 	}
@@ -177,15 +210,30 @@ type Snapshot struct {
 	Sum, Mean     float64
 	Min, Max      float64
 	P50, P90, P99 float64
+	Exemplar      Exemplar
 }
 
-// Snapshot returns a consistent summary.
+// Snapshot returns a consistent summary. The reservoir is copied once under
+// a single lock acquisition and sorted once for all three quantiles (the old
+// path re-locked and re-sorted per quantile — eight lock round-trips and
+// three sorts per snapshot, which the route dashboard takes per histogram).
 func (h *Histogram) Snapshot() Snapshot {
-	return Snapshot{
-		Count: h.Count(), Sum: h.Sum(), Mean: h.Mean(),
-		Min: h.Min(), Max: h.Max(),
-		P50: h.Quantile(0.5), P90: h.Quantile(0.9), P99: h.Quantile(0.99),
+	h.mu.Lock()
+	s := Snapshot{
+		Count: h.count, Sum: h.sum,
+		Min: h.min, Max: h.max,
+		Exemplar: h.exemplar,
 	}
+	sorted := append([]float64(nil), h.samples...)
+	h.mu.Unlock()
+	if s.Count > 0 {
+		s.Mean = s.Sum / float64(s.Count)
+	}
+	sort.Float64s(sorted)
+	s.P50 = quantileSorted(sorted, 0.5)
+	s.P90 = quantileSorted(sorted, 0.9)
+	s.P99 = quantileSorted(sorted, 0.99)
+	return s
 }
 
 // Registry is a named collection of metrics. The zero value is usable.

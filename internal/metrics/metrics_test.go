@@ -275,3 +275,32 @@ func TestTableOverlongRowPanics(t *testing.T) {
 	}()
 	tb.AddRow(1, 2)
 }
+
+func TestSnapshotMatchesQuantileAccessors(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	if s.P50 != h.Quantile(0.5) || s.P90 != h.Quantile(0.9) || s.P99 != h.Quantile(0.99) {
+		t.Fatalf("single-sort snapshot disagrees with Quantile: %+v", s)
+	}
+	if s.Count != 100 || s.Min != 1 || s.Max != 100 || s.Mean != 50.5 {
+		t.Fatalf("snapshot aggregates wrong: %+v", s)
+	}
+}
+
+func TestObserveExemplarKeepsWorst(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveExemplar(0.2, 11)
+	h.ObserveExemplar(0.9, 22)
+	h.ObserveExemplar(0.5, 33) // smaller than current exemplar: ignored
+	h.ObserveExemplar(1.5, 0)  // no trace ID: observation counts, exemplar unchanged
+	s := h.Snapshot()
+	if s.Exemplar.TraceID != 22 || s.Exemplar.Value != 0.9 {
+		t.Fatalf("exemplar %+v, want value 0.9 from trace 22", s.Exemplar)
+	}
+	if s.Count != 4 || s.Max != 1.5 {
+		t.Fatalf("exemplar observations not recorded: %+v", s)
+	}
+}

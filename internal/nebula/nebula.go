@@ -27,6 +27,7 @@ import (
 	"videocloud/internal/migrate"
 	"videocloud/internal/simnet"
 	"videocloud/internal/simtime"
+	"videocloud/internal/trace"
 	"videocloud/internal/virt"
 )
 
@@ -116,6 +117,13 @@ type VMRecord struct {
 	migRetries int           // consecutive rescheduled-migration attempts
 	recovering bool          // requeued by recovery; next Running closes MTTR
 	failedAt   time.Duration // virtual time of the host failure that requeued it
+
+	// span is the open lifecycle trace (nebula.vm for provisioning,
+	// nebula.migration / nebula.recovery / ... for later episodes); it is
+	// closed when the episode reaches a settled state (Running, Done,
+	// Failed). stateSpan is the child covering the current VM state.
+	span      *trace.Span
+	stateSpan *trace.Span
 }
 
 // Name returns the instance's unique hypervisor-level name.
@@ -143,6 +151,7 @@ type Cloud struct {
 	monitor    *Monitor
 	schedKick  bool
 	stuckEvac  map[int]string // record ID → host an evacuation left it on
+	tracer     *trace.Tracer  // nil disables lifecycle tracing
 }
 
 // New creates a cloud with a front-end node and an empty host pool.
@@ -196,6 +205,23 @@ func (c *Cloud) Driver() Driver { return c.driver }
 
 // Monitor returns the host-monitoring subsystem.
 func (c *Cloud) Monitor() *Monitor { return c.monitor }
+
+// SetTracer attaches a tracer; VM lifecycle episodes (provisioning,
+// migration, suspend, shutdown, recovery requeues) record root traces with
+// one child span per state, stamped in the virtual clock domain. Set it
+// before submitting VMs whose boot should be captured.
+func (c *Cloud) SetTracer(t *trace.Tracer) {
+	c.mu.Lock()
+	c.tracer = t
+	c.mu.Unlock()
+}
+
+// Tracer returns the attached tracer (nil when lifecycle tracing is off).
+func (c *Cloud) Tracer() *trace.Tracer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tracer
+}
 
 // Now returns current virtual time.
 func (c *Cloud) Now() time.Duration {
@@ -280,6 +306,7 @@ func (c *Cloud) submitLocked(tpl Template) (int, error) {
 	c.nextID++
 	rec := &VMRecord{ID: c.nextID, Template: tpl, State: Pending}
 	rec.StateLog = append(rec.StateLog, Transition{At: c.sim.Now(), To: Pending})
+	c.traceTransition(rec, Pending)
 	c.vms[rec.ID] = rec
 	c.pending = append(c.pending, rec.ID)
 	if tpl.Group != "" {
@@ -360,6 +387,66 @@ func (c *Cloud) PendingCount() int {
 func (c *Cloud) setState(rec *VMRecord, to VMState) {
 	rec.StateLog = append(rec.StateLog, Transition{At: c.sim.Now(), From: rec.State, To: to})
 	rec.State = to
+	c.traceTransition(rec, to)
+}
+
+// traceTransition maintains the record's lifecycle trace across a state
+// change. Episodes open lazily on the first unsettled state (Pending,
+// Prolog, Migrating, ...) and close when the VM settles (Running, Done,
+// Failed), so a long-running VM yields one complete stored trace per
+// lifecycle episode instead of one eternally open trace. All spans are
+// stamped in the virtual clock domain explicitly — the tracer never reads
+// the sim clock, which would deadlock under c.mu.
+func (c *Cloud) traceTransition(rec *VMRecord, to VMState) {
+	if rec.span == nil && !c.tracer.Enabled() {
+		return
+	}
+	now := c.sim.Now()
+	if rec.stateSpan != nil {
+		rec.stateSpan.EndAtSim(now)
+		rec.stateSpan = nil
+	}
+	settled := to == Running || to == Done || to == Failed
+	if rec.span == nil {
+		if settled {
+			return // e.g. tracer attached mid-episode
+		}
+		rec.span = c.tracer.StartRoot(episodeName(rec, to))
+		if rec.span == nil {
+			return
+		}
+		rec.span.AnnotateInt("vm_id", int64(rec.ID))
+		rec.span.Annotate("vm", rec.Name())
+		rec.span.SetSimStart(now)
+	}
+	if settled {
+		if to == Failed {
+			rec.span.Annotate("fail_reason", rec.FailReason)
+			rec.span.SetError(errors.New(rec.FailReason))
+		}
+		rec.span.EndAtSim(now)
+		rec.span = nil
+		return
+	}
+	rec.stateSpan = rec.span.StartChild("nebula." + to.String())
+	rec.stateSpan.SetSimStart(now)
+}
+
+// episodeName names the lifecycle trace opened by a transition into an
+// unsettled state: first provisioning is nebula.vm, a recovery requeue is
+// nebula.recovery, and operator actions are named for the operation.
+func episodeName(rec *VMRecord, to VMState) string {
+	switch {
+	case to == Pending && rec.recovering:
+		return "nebula.recovery"
+	case to == Migrating:
+		return "nebula.migration"
+	case to == Suspended:
+		return "nebula.suspend"
+	case to == Shutdown:
+		return "nebula.shutdown"
+	}
+	return "nebula.vm"
 }
 
 // kickScheduler arranges a scheduling pass at the current virtual time.
@@ -622,12 +709,15 @@ func (c *Cloud) liveMigrateLocked(rec *VMRecord, dst *virt.Host) error {
 		if rep.Success {
 			rec.HostName = dst.Name
 			rec.migRetries = 0
+			rec.span.Annotate("downtime", rep.Downtime.String())
 			c.setState(rec, Running)
 			c.reg.Counter("migrations_succeeded").Inc()
 			c.reg.Histogram("migration_downtime_seconds").Observe(rep.Downtime.Seconds())
 			c.reg.Histogram("migration_total_seconds").Observe(rep.TotalTime.Seconds())
 			c.kickScheduler() // source capacity freed
 		} else {
+			rec.span.Annotate("fail_reason", rep.Reason)
+			rec.span.SetError(fmt.Errorf("migration failed: %s", rep.Reason))
 			c.setState(rec, Running) // still live on the source
 			c.reg.Counter("migrations_failed").Inc()
 			c.rescheduleMigrationLocked(rec, dst)
@@ -636,7 +726,12 @@ func (c *Cloud) liveMigrateLocked(rec *VMRecord, dst *virt.Host) error {
 	if err != nil {
 		return err
 	}
+	src := rec.HostName
 	c.setState(rec, Migrating)
+	if rec.span != nil {
+		rec.span.Annotate("src", src)
+		rec.span.Annotate("dst", dst.Name)
+	}
 	c.reg.Counter("migrations_started").Inc()
 	return nil
 }

@@ -1,6 +1,7 @@
 package nebula
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -129,7 +130,11 @@ func (c *Cloud) requeueWithBackoffLocked(rec *VMRecord, reason string) {
 	rec.IP = ""
 	rec.recovering = true
 	rec.failedAt = c.sim.Now()
+	// The state the failure interrupted carries the fault; the (possibly
+	// fresh) episode root carries the requeue decision.
+	rec.stateSpan.SetError(errors.New(reason))
 	c.setState(rec, Pending)
+	rec.span.Annotate("requeue", reason)
 	c.reg.Counter("vms_requeued").Inc()
 
 	delay := cfg.RestartBackoff << (rec.Restarts - 1)

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"fmt"
@@ -129,7 +130,14 @@ func IndexJob(inputs []string, output string) mapred.Job {
 // searchable index from its output. The returned JobResult carries the
 // modelled parallel construction time for E3.
 func BuildIndexMR(engine *mapred.Engine, inputs []string, output string) (*Index, *mapred.JobResult, error) {
-	res, err := engine.Run(IndexJob(inputs, output))
+	return BuildIndexMRCtx(context.Background(), engine, inputs, output)
+}
+
+// BuildIndexMRCtx is BuildIndexMR linked to the trace span in ctx: the
+// MapReduce job records mapred.job / task-attempt spans under the caller's
+// trace.
+func BuildIndexMRCtx(ctx context.Context, engine *mapred.Engine, inputs []string, output string) (*Index, *mapred.JobResult, error) {
+	res, err := engine.RunCtx(ctx, IndexJob(inputs, output))
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// Allocation regression gates for the disabled-tracer fast path (make tier1
+// runs these via the alloccheck target). Instrumentation ships permanently
+// wired into every layer, so the disabled path must cost literally nothing:
+// StartSpan returns the context unchanged and a nil span, and every Span
+// method short-circuits on the nil receiver.
+
+func TestAllocDisabledStartSpan(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocation counts")
+	}
+	tr := New(Options{Enabled: false})
+	ctx := context.Background()
+	got := testing.AllocsPerRun(10, func() {
+		c, sp := tr.StartSpan(ctx, "web.upload")
+		sp.Annotate("k", "v")
+		sp.AnnotateInt("n", 42)
+		sp.SetError(errTest)
+		child := sp.StartChild("hdfs.read_block")
+		child.End()
+		sp.End()
+		if c != ctx {
+			t.Fatal("disabled StartSpan must return ctx unchanged")
+		}
+	})
+	if got != 0 {
+		t.Fatalf("disabled StartSpan path allocates %.0f times per op, want 0", got)
+	}
+}
+
+func TestAllocNilTracer(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocation counts")
+	}
+	var tr *Tracer
+	ctx := context.Background()
+	got := testing.AllocsPerRun(10, func() {
+		_, sp := tr.StartSpan(ctx, "web.stream")
+		sp.End()
+		if rt := tr.StartRoot("nebula.vm"); rt != nil {
+			t.Fatal("nil tracer StartRoot must return nil")
+		}
+	})
+	if got != 0 {
+		t.Fatalf("nil-tracer path allocates %.0f times per op, want 0", got)
+	}
+}
+
+func TestAllocFromContextDisabled(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocation counts")
+	}
+	ctx := context.Background()
+	got := testing.AllocsPerRun(10, func() {
+		sp := FromContext(ctx)
+		sp.Annotate("k", "v")
+		c := sp.StartChild("farm.task")
+		c.End()
+	})
+	if got != 0 {
+		t.Fatalf("FromContext on a bare context allocates %.0f times per op, want 0", got)
+	}
+}
+
+var errTest = errors.New("test error")

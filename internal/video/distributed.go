@@ -8,6 +8,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"videocloud/internal/trace"
 )
 
 // Farm is the distributed conversion service of Figure 16: "we use FFmpeg to
@@ -244,10 +246,20 @@ func (f Farm) ConvertMultiContext(ctx context.Context, data []byte, targets ...S
 	sort.Slice(order, func(a, b int) bool { return lptLess(tasks[order[a]], tasks[order[b]]) })
 	scratch.tasks, scratch.order = tasks, order
 
-	wall, err := f.runPool(ctx, data, gops, tasks, order, targets, seeds, outs, headerLens)
+	csp := trace.FromContext(ctx).StartChild("farm.convert")
+	if csp != nil {
+		csp.AnnotateInt("gops", int64(len(gops)))
+		csp.AnnotateInt("segments", int64(len(bounds)))
+		csp.AnnotateInt("renditions", int64(len(targets)))
+		csp.AnnotateInt("nodes", int64(len(f.Nodes)))
+	}
+	wall, err := f.runPool(ctx, csp, data, gops, tasks, order, targets, seeds, outs, headerLens)
 	if err != nil {
+		csp.SetError(err)
+		csp.End()
 		return nil, err
 	}
+	csp.End()
 
 	// Deterministic modelled schedule, one per rendition, identical to what
 	// a standalone Convert of that rendition reports: LPT list scheduling
@@ -302,7 +314,7 @@ func (f Farm) ConvertMultiContext(ctx context.Context, data []byte, targets ...S
 // The first failing task cancels the shared context; workers drain the
 // remaining queue without doing work, and in-flight segment loops abort at
 // their next GOP-batch cancellation check.
-func (f Farm) runPool(ctx context.Context, data []byte, gops []gopRange,
+func (f Farm) runPool(ctx context.Context, csp *trace.Span, data []byte, gops []gopRange,
 	tasks []segTask, order []int, targets []Spec, seeds []uint64,
 	outs [][]byte, headerLens []int) (time.Duration, error) {
 
@@ -337,16 +349,26 @@ func (f Farm) runPool(ctx context.Context, data []byte, gops []gopRange,
 				if cctx.Err() != nil {
 					continue // cancelled: drain without working
 				}
+				tsp := csp.StartChild("farm.task")
+				if tsp != nil {
+					tsp.Annotate("node", node)
+					tsp.AnnotateInt("segment", int64(tk.seg))
+					tsp.AnnotateInt("rendition", int64(tk.target))
+				}
 				if f.FaultHook != nil {
 					if err := f.FaultHook(node, tk.seg); err != nil {
+						tsp.SetError(err)
+						tsp.End()
 						fail(err)
 						continue
 					}
 				}
 				if err := runTask(cctx, data, gops, targets[tk.target],
 					seeds[tk.target], outs[tk.target], headerLens[tk.target], tk); err != nil {
+					tsp.SetError(err)
 					fail(err)
 				}
+				tsp.End()
 			}
 		}()
 	}

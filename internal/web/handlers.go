@@ -1,6 +1,7 @@
 package web
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -14,6 +15,7 @@ import (
 
 	"videocloud/internal/search"
 	"videocloud/internal/stream"
+	"videocloud/internal/trace"
 	"videocloud/internal/video"
 	"videocloud/internal/videodb"
 )
@@ -263,27 +265,37 @@ func (s *Site) handleUpload(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "log in to upload", http.StatusUnauthorized)
 		return
 	}
+	// Receiving the body is a real cost on large uploads; giving it a span
+	// keeps it out of the root's unattributed self-time.
+	bsp := trace.FromContext(r.Context()).StartChild("web.receive_body")
 	if err := r.ParseMultipartForm(maxUploadBytes); err != nil {
+		bsp.SetError(err)
+		bsp.End()
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	file, _, err := r.FormFile("video")
 	if err != nil {
+		bsp.End()
 		http.Error(w, "missing video file", http.StatusBadRequest)
 		return
 	}
 	defer file.Close()
 	data, err := io.ReadAll(io.LimitReader(file, maxUploadBytes))
 	if err != nil {
+		bsp.SetError(err)
+		bsp.End()
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	bsp.AnnotateInt("bytes", int64(len(data)))
+	bsp.End()
 	title := strings.TrimSpace(r.FormValue("title"))
 	if title == "" {
 		http.Error(w, "title required", http.StatusBadRequest)
 		return
 	}
-	id, err := s.ProcessUpload(rowInt(user, "id"), title, r.FormValue("description"), data)
+	id, err := s.ProcessUpload(r.Context(), rowInt(user, "id"), title, r.FormValue("description"), data)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -301,11 +313,19 @@ func (s *Site) handleUpload(w http.ResponseWriter, r *http.Request) {
 // the call returns the video id as soon as the row (status "processing") is
 // queued, and the pool flips it to "ready" when playable. Without workers
 // the conversion runs inline and a failed upload leaves no row behind.
-func (s *Site) ProcessUpload(uploaderID int64, title, description string, data []byte) (int64, error) {
+//
+// ctx carries the request's trace span (and cancellation for the synchronous
+// path); the farm, store, and queue spans all become children of it.
+func (s *Site) ProcessUpload(ctx context.Context, uploaderID int64, title, description string, data []byte) (int64, error) {
+	psp := trace.FromContext(ctx).StartChild("video.probe")
 	info, err := video.Probe(data)
 	if err != nil {
+		psp.SetError(err)
+		psp.End()
 		return 0, fmt.Errorf("web: not a playable upload: %w", err)
 	}
+	psp.End()
+	isp := trace.FromContext(ctx).StartChild("db.insert")
 	id, err := s.db.Insert("videos", videodb.Row{
 		"title": title, "description": description,
 		"uploader_id":      uploaderID,
@@ -313,10 +333,14 @@ func (s *Site) ProcessUpload(uploaderID int64, title, description string, data [
 		"status":           statusProcessing,
 	})
 	if err != nil {
+		isp.SetError(err)
+		isp.End()
 		return 0, err
 	}
+	isp.End()
+	trace.FromContext(ctx).AnnotateInt("video_id", id)
 	if s.queue != nil {
-		if qerr := s.enqueueTranscode(transcodeJob{
+		if qerr := s.enqueueTranscode(ctx, transcodeJob{
 			videoID: id, title: title, description: description,
 			data: data, enqueued: time.Now(),
 		}); qerr != nil {
@@ -327,7 +351,7 @@ func (s *Site) ProcessUpload(uploaderID int64, title, description string, data [
 		}
 		return id, nil
 	}
-	if err := s.transcodeAndPublish(id, title, description, data); err != nil {
+	if err := s.transcodeAndPublish(ctx, id, title, description, data); err != nil {
 		s.db.Delete("videos", id)
 		return 0, err
 	}
@@ -341,7 +365,13 @@ func (s *Site) videoByRequest(r *http.Request) (videodb.Row, error) {
 	if err != nil {
 		return nil, fmt.Errorf("web: bad video id: %v", err)
 	}
-	return s.db.Get("videos", id)
+	sp := trace.FromContext(r.Context()).StartChild("db.get")
+	row, err := s.db.Get("videos", id)
+	if err != nil {
+		sp.SetError(err)
+	}
+	sp.End()
+	return row, err
 }
 
 func (s *Site) handleWatch(w http.ResponseWriter, r *http.Request) {
@@ -414,12 +444,14 @@ func (s *Site) handleStream(w http.ResponseWriter, r *http.Request) {
 	// is down, fail fast with 503 + Retry-After instead of stacking
 	// requests on a dead backend. Metadata pages keep serving from the
 	// database, so the site degrades rather than collapses.
+	ctx := r.Context()
 	if !s.hdfsBreaker.Allow() {
+		log.Printf("web: breaker open, shedding stream %s (request %s)", path, requestIDFrom(ctx))
 		w.Header().Set("Retry-After", strconv.Itoa(s.hdfsBreaker.RetryAfterSeconds()))
 		http.Error(w, "video storage temporarily unavailable", http.StatusServiceUnavailable)
 		return
 	}
-	rd, err := s.store.OpenSeeker(path)
+	rd, err := s.store.OpenSeekerCtx(ctx, path)
 	if err == nil {
 		// Open only consults NameNode metadata; dead DataNodes surface
 		// on the first read. Probe one byte before committing to a 200.
@@ -438,13 +470,17 @@ func (s *Site) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 		s.hdfsBreaker.Failure()
 		s.reg.Counter("stream_storage_errors").Inc()
+		log.Printf("web: storage failure streaming %s (request %s): %v", path, requestIDFrom(ctx), err)
 		w.Header().Set("Retry-After", strconv.Itoa(s.hdfsBreaker.RetryAfterSeconds()))
 		http.Error(w, "video storage temporarily unavailable", http.StatusServiceUnavailable)
 		return
 	}
 	s.hdfsBreaker.Success()
 	s.reg.Counter("stream_requests").Inc()
+	ssp := trace.FromContext(ctx).StartChild("stream.serve")
+	ssp.Annotate("path", path)
 	stream.Serve(w, r, path, rd)
+	ssp.End()
 }
 
 // ---- comments, reports, edit, delete ----

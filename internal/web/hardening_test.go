@@ -2,6 +2,7 @@ package web
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"mime/multipart"
@@ -72,7 +73,7 @@ func TestConcurrentTraffic(t *testing.T) {
 	b := newBrowser(t, site)
 	b.registerAndLogin("carol", "pw")
 
-	seedID, err := site.ProcessUpload(1, "seed dance video", "concurrency fixture", genClip(t, 10, 3))
+	seedID, err := site.ProcessUpload(context.Background(), 1, "seed dance video", "concurrency fixture", genClip(t, 10, 3))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,13 +1,57 @@
 package web
 
 import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"videocloud/internal/metrics"
 )
+
+// Request IDs are a salted counter run through a 64-bit mixer: unique per
+// process, cheap (no entropy read per request), and unguessable enough for
+// log correlation. The salt is drawn once at startup.
+var (
+	ridSeq  atomic.Uint64
+	ridSalt = func() uint64 {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			panic(fmt.Sprintf("web: entropy unavailable: %v", err))
+		}
+		return binary.BigEndian.Uint64(b[:])
+	}()
+)
+
+// nextRequestID returns a 16-hex-char per-request ID.
+func nextRequestID() string {
+	x := ridSalt ^ (ridSeq.Add(1) * 0x9e3779b97f4a7c15)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return fmt.Sprintf("%016x", x)
+}
+
+// ridKey keys the request ID in a request context.
+type ridKey struct{}
+
+func withRequestID(ctx context.Context, rid string) context.Context {
+	return context.WithValue(ctx, ridKey{}, rid)
+}
+
+// requestIDFrom returns the request's ID ("-" when the middleware did not
+// run, e.g. direct handler tests).
+func requestIDFrom(ctx context.Context) string {
+	if rid, ok := ctx.Value(ridKey{}).(string); ok {
+		return rid
+	}
+	return "-"
+}
 
 // defaultMaxInFlight is the admission limit when Config.MaxInFlight is zero:
 // requests beyond it are shed with 503 instead of queueing unboundedly — the
@@ -109,7 +153,8 @@ func (w *statusRecorder) Flush() {
 }
 
 // instrument wraps a handler with the serving-path middleware: admission
-// control (shed with 503 over the in-flight limit), per-route request/
+// control (shed with 503 over the in-flight limit), per-request IDs echoed
+// as X-Request-ID, a root trace span per sampled request, per-route request/
 // status/latency/in-flight instruments, and panic recovery so one malformed
 // request can never take down the handler goroutine silently.
 func (s *Site) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
@@ -117,6 +162,8 @@ func (s *Site) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	shed := s.reg.Counter("http_shed")
 	globalInflight := s.reg.Gauge("http_inflight")
 	return func(w http.ResponseWriter, r *http.Request) {
+		rid := nextRequestID()
+		w.Header().Set("X-Request-ID", rid)
 		n := s.inflightNow.Add(1)
 		if n > s.maxInFlight {
 			s.inflightNow.Add(-1)
@@ -127,19 +174,27 @@ func (s *Site) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		globalInflight.Set(n)
 		rm.inflight.Add(1)
 		rm.requests.Inc()
+		ctx, sp := s.tracer.StartSpan(withRequestID(r.Context(), rid), "web."+route)
+		if sp != nil {
+			sp.Annotate("request_id", rid)
+			sp.Annotate("method", r.Method)
+			sp.Annotate("path", r.URL.Path)
+		}
+		r = r.WithContext(ctx)
 		sw := &statusRecorder{ResponseWriter: w}
 		start := time.Now()
 		defer func() {
 			if p := recover(); p != nil {
 				rm.panics.Inc()
 				s.reg.Counter("http_panics").Inc()
-				log.Printf("web: panic in %s handler: %v", route, p)
+				log.Printf("web: panic in %s handler (request %s): %v", route, rid, p)
+				sp.SetError(fmt.Errorf("panic: %v", p))
 				if sw.status == 0 {
 					http.Error(sw.ResponseWriter, "internal error", http.StatusInternalServerError)
 					sw.status = http.StatusInternalServerError
 				}
 			}
-			rm.latency.ObserveDuration(time.Since(start))
+			rm.latency.ObserveExemplar(time.Since(start).Seconds(), sp.TraceID())
 			class := sw.status / 100
 			if sw.status == 0 {
 				class = 2 // nothing written: net/http sends 200 on close
@@ -147,6 +202,13 @@ func (s *Site) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 			if class >= 2 && class <= 5 {
 				rm.status[class].Inc()
 			}
+			if sp != nil {
+				sp.Annotate("status", strconv.Itoa(sw.status))
+				if class == 5 {
+					sp.SetError(fmt.Errorf("http %d", sw.status))
+				}
+			}
+			sp.End()
 			rm.inflight.Add(-1)
 			globalInflight.Set(s.inflightNow.Add(-1))
 		}()

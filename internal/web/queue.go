@@ -1,6 +1,7 @@
 package web
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"videocloud/internal/search"
+	"videocloud/internal/trace"
 	"videocloud/internal/video"
 	"videocloud/internal/videodb"
 )
@@ -28,8 +30,12 @@ const (
 // instead of dropping jobs or growing without bound.
 const defaultTranscodeQueueCap = 64
 
-// transcodeJob is one upload waiting for farm conversion.
+// transcodeJob is one upload waiting for farm conversion. ctx is the queue's
+// base context re-parented with the uploading request's trace span, so the
+// worker's spans stay causally linked to the request while the job's
+// cancellation follows the queue lifetime, not the (long-gone) HTTP request.
 type transcodeJob struct {
+	ctx         context.Context
 	videoID     int64
 	title       string
 	description string
@@ -41,6 +47,8 @@ type transcodeJob struct {
 type transcodeQueue struct {
 	jobs     chan transcodeJob
 	nworkers int
+	baseCtx  context.Context // cancelled by Close after the drain
+	cancel   context.CancelFunc
 	mu       sync.Mutex // guards closed and admission into pending
 	closed   bool       // set by Close; enqueueTranscode fails fast after
 	pending  sync.WaitGroup // jobs accepted but not yet published/failed
@@ -63,6 +71,7 @@ func (s *Site) startTranscoders(workers, queueCap int) {
 		queueCap = defaultTranscodeQueueCap
 	}
 	q := &transcodeQueue{jobs: make(chan transcodeJob, queueCap), nworkers: workers}
+	q.baseCtx, q.cancel = context.WithCancel(context.Background())
 	s.queue = q
 	for i := 0; i < workers; i++ {
 		q.workers.Add(1)
@@ -84,7 +93,7 @@ var errSiteClosed = errors.New("web: site is shut down, not accepting uploads")
 // Close it returns errSiteClosed instead of sending: admission into the
 // pending group happens under the queue mutex, so Close can wait out every
 // accepted sender before it closes the channel.
-func (s *Site) enqueueTranscode(job transcodeJob) error {
+func (s *Site) enqueueTranscode(ctx context.Context, job transcodeJob) error {
 	q := s.queue
 	q.mu.Lock()
 	if q.closed {
@@ -93,12 +102,19 @@ func (s *Site) enqueueTranscode(job transcodeJob) error {
 	}
 	q.pending.Add(1)
 	q.mu.Unlock()
+	// The job runs on the queue's lifetime but keeps the request's span
+	// linkage: the worker's spans land in the uploading request's trace. The
+	// Hold keeps the trace from flushing between the HTTP response and the
+	// worker dequeuing the job; runTranscodeJob releases it.
+	job.ctx = trace.Reparent(q.baseCtx, ctx)
+	trace.FromContext(job.ctx).Hold()
 	q.enqueued.Add(1)
 	s.reg.Counter("transcode_jobs").Inc()
 	select {
 	case q.jobs <- job:
 	default:
 		s.reg.Counter("transcode_backpressure").Inc()
+		trace.FromContext(ctx).Annotate("backpressure", "intake queue full, send blocked")
 		q.jobs <- job
 	}
 	s.reg.Gauge("transcode_queue_depth").Set(int64(len(q.jobs)))
@@ -108,9 +124,24 @@ func (s *Site) enqueueTranscode(job transcodeJob) error {
 func (s *Site) runTranscodeJob(job transcodeJob) {
 	q := s.queue
 	defer q.pending.Done()
+	defer trace.FromContext(job.ctx).Release() // matches enqueueTranscode's Hold
 	s.reg.Gauge("transcode_queue_depth").Set(int64(len(q.jobs)))
-	s.reg.Histogram("transcode_wait_seconds").Observe(time.Since(job.enqueued).Seconds())
-	if err := s.transcodeAndPublish(job.videoID, job.title, job.description, job.data); err != nil {
+	wait := time.Since(job.enqueued)
+	// The queue.job span crosses the async boundary: it is a child of the
+	// uploading request's web.upload span (via the re-parented job context)
+	// but starts on the worker goroutine after the queue wait.
+	ctx, sp := s.tracer.StartSpan(job.ctx, "queue.job")
+	if sp != nil {
+		sp.AnnotateInt("video_id", job.videoID)
+		sp.Annotate("queue_wait", wait.String())
+	}
+	s.reg.Histogram("transcode_wait_seconds").ObserveExemplar(wait.Seconds(), sp.TraceID())
+	err := s.transcodeAndPublish(ctx, job.videoID, job.title, job.description, job.data)
+	if err != nil {
+		sp.SetError(err)
+	}
+	sp.End()
+	if err != nil {
 		// Asynchronous failure: the uploader already got their id back, so
 		// the row stays, marked failed, and the watch page explains.
 		q.failed.Add(1)
@@ -128,9 +159,9 @@ func (s *Site) runTranscodeJob(job transcodeJob) {
 // rendition in ONE farm pass (single parse/split of the source), stores the
 // outputs through the FUSE mount, and publishes the row: path + renditions +
 // status=ready, search index, recent-list invalidation, metrics.
-func (s *Site) transcodeAndPublish(id int64, title, description string, data []byte) error {
+func (s *Site) transcodeAndPublish(ctx context.Context, id int64, title, description string, data []byte) error {
 	specs := append([]video.Spec{s.target}, s.renditions...)
-	results, err := s.farm.ConvertMulti(data, specs...)
+	results, err := s.farm.ConvertMultiContext(ctx, data, specs...)
 	if err != nil {
 		return fmt.Errorf("web: conversion failed: %w", err)
 	}
@@ -146,28 +177,32 @@ func (s *Site) transcodeAndPublish(id int64, title, description string, data []b
 		}
 	}
 	path := fmt.Sprintf("videos/%d.vcf", id)
-	if werr := s.store.WriteFile(path, results[0].Output); werr != nil {
+	if werr := s.store.WriteFileCtx(ctx, path, results[0].Output); werr != nil {
 		return fmt.Errorf("web: store failed: %w", werr)
 	}
 	written = append(written, path)
 	labels := []string{QualityLabel(s.target)}
 	for i, spec := range s.renditions {
 		rpath := fmt.Sprintf("videos/%d-%s.vcf", id, QualityLabel(spec))
-		if werr := s.store.WriteFile(rpath, results[i+1].Output); werr != nil {
+		if werr := s.store.WriteFileCtx(ctx, rpath, results[i+1].Output); werr != nil {
 			unstore()
 			return fmt.Errorf("web: store %s failed: %w", QualityLabel(spec), werr)
 		}
 		written = append(written, rpath)
 		labels = append(labels, QualityLabel(spec))
 	}
+	psp := trace.FromContext(ctx).StartChild("db.publish")
 	if uerr := s.db.Update("videos", id, videodb.Row{
 		"path": path, "renditions": strings.Join(labels, ","), "status": statusReady,
 	}); uerr != nil {
+		psp.SetError(uerr)
+		psp.End()
 		unstore()
 		return uerr
 	}
 	s.Index().Add(search.Document{ID: id, Title: title, Body: description})
 	s.invalidateRecent()
+	psp.End()
 	res := results[0]
 	s.reg.Counter("uploads").Inc()
 	s.reg.Counter("upload_bytes").Add(int64(len(data)))
@@ -204,6 +239,7 @@ func (s *Site) Close() {
 		q.pending.Wait()
 		close(q.jobs)
 		q.workers.Wait()
+		q.cancel()
 	})
 }
 

@@ -22,6 +22,7 @@ import (
 	"videocloud/internal/fusebridge"
 	"videocloud/internal/metrics"
 	"videocloud/internal/search"
+	"videocloud/internal/trace"
 	"videocloud/internal/video"
 	"videocloud/internal/videodb"
 )
@@ -59,6 +60,10 @@ type Config struct {
 	// (default 5s). See breaker.go.
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+	// Tracer, when non-nil and enabled, opens a root span per request in
+	// the middleware and threads it through the upload/stream paths down
+	// to HDFS block I/O. Nil disables tracing at zero cost.
+	Tracer *trace.Tracer
 }
 
 // QualityLabel names a rendition by its vertical resolution ("720p").
@@ -74,6 +79,7 @@ type Site struct {
 	renditions []video.Spec
 	reg        *metrics.Registry
 	mux        *http.ServeMux
+	tracer     *trace.Tracer // nil-safe: all span operations no-op when nil
 
 	// Serving-path state (middleware.go, cache.go).
 	routeMetrics []*routeMetrics
@@ -130,6 +136,7 @@ func New(cfg Config) (*Site, error) {
 		target:     target,
 		renditions: cfg.Renditions,
 		reg:        metrics.NewRegistry(),
+		tracer:     cfg.Tracer,
 		sessions:   make(map[string]int64),
 	}
 	s.maxInFlight = int64(cfg.MaxInFlight)
@@ -225,6 +232,9 @@ func (s *Site) Documents() []search.Document {
 
 // Metrics exposes site counters.
 func (s *Site) Metrics() *metrics.Registry { return s.reg }
+
+// Tracer exposes the site's tracer (nil when tracing is not configured).
+func (s *Site) Tracer() *trace.Tracer { return s.tracer }
 
 // Target returns the playback encoding spec.
 func (s *Site) Target() video.Spec { return s.target }

@@ -1,0 +1,184 @@
+package web
+
+import (
+	"bytes"
+	"mime/multipart"
+	"net/http"
+	"testing"
+	"time"
+
+	"videocloud/internal/fusebridge"
+	"videocloud/internal/hdfs"
+	"videocloud/internal/trace"
+	"videocloud/internal/video"
+)
+
+// tracedAsyncSite is asyncSite plus an always-sampling tracer, so every
+// request yields a stored trace.
+func tracedAsyncSite(t testing.TB, workers, queueCap int) (*Site, *trace.Tracer) {
+	t.Helper()
+	cluster := hdfs.NewCluster(4, 256*1024)
+	mount, err := fusebridge.New(cluster.Client(""), "/site", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := trace.New(trace.Options{Enabled: true})
+	site, err := New(Config{
+		Store:             mount,
+		Farm:              video.Farm{Nodes: []string{"dn0", "dn1", "dn2", "dn3"}},
+		Target:            video.Spec{Codec: video.H264, Res: video.R720p, FPS: 30, GOPSeconds: 2, BitrateBps: 100_000},
+		Renditions:        []video.Spec{{Codec: video.H264, Res: video.R360p, FPS: 30, GOPSeconds: 2, BitrateBps: 50_000}},
+		AdminUser:         "admin",
+		AdminPassword:     "secret",
+		TranscodeWorkers:  workers,
+		TranscodeQueueCap: queueCap,
+		Tracer:            tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(site.Close)
+	return site, tracer
+}
+
+// findTrace polls both rings for the first completed trace with the given
+// root name. The trace flushes only when its last async span ends, which can
+// trail DrainTranscodes by a scheduler beat.
+func findTrace(t *testing.T, tracer *trace.Tracer, root string) *trace.Trace {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		for _, tr := range append(tracer.Retained(), tracer.Traces()...) {
+			if tr.Root == root {
+				return tr
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no completed trace with root %q (stats %+v)", root, tracer.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func annotation(sd trace.SpanData, key string) string {
+	for _, a := range sd.Annotations {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// TestTraceSpansAsyncUploadPipeline drives a real HTTP upload through the
+// async queue and asserts the resulting trace is one connected tree spanning
+// every layer: the web root, the queue.job span re-parented across the
+// enqueue boundary, the farm's conversion/task spans, and the HDFS writes
+// underneath publish. Run under -race (make tier1) this also gates the
+// tracer's cross-goroutine span handoff.
+func TestTraceSpansAsyncUploadPipeline(t *testing.T) {
+	site, tracer := tracedAsyncSite(t, 2, 8)
+	b := newBrowser(t, site)
+	b.registerAndLogin("tess", "pw")
+
+	// Post the upload without following the redirect so the captured
+	// X-Request-ID belongs to the upload request, not the watch page after.
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	mw.WriteField("title", "traced upload")
+	mw.WriteField("description", "observability fixture")
+	fw, _ := mw.CreateFormFile("video", "clip.avi")
+	fw.Write(testUploadMedia(t, 10, 77))
+	mw.Close()
+	req, _ := http.NewRequest("POST", b.srv.URL+"/upload", &buf)
+	req.Header.Set("Content-Type", mw.FormDataContentType())
+	noRedirect := &http.Client{
+		Jar:           b.c.Jar,
+		CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse },
+	}
+	resp, err := noRedirect.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusSeeOther {
+		t.Fatalf("upload status = %d, want 303", resp.StatusCode)
+	}
+	rid := resp.Header.Get("X-Request-ID")
+	if rid == "" {
+		t.Fatal("upload response carries no X-Request-ID")
+	}
+
+	site.DrainTranscodes()
+	tr := findTrace(t, tracer, "web.upload")
+
+	if tr.Open != 0 || tr.Dropped != 0 {
+		t.Fatalf("trace open=%d dropped=%d, want 0/0", tr.Open, tr.Dropped)
+	}
+	root, ok := tr.RootSpan()
+	if !ok {
+		t.Fatal("trace has no root span")
+	}
+	if got := annotation(root, "request_id"); got != rid {
+		t.Fatalf("root request_id annotation %q != X-Request-ID header %q", got, rid)
+	}
+
+	// Parentage must close: every non-root span's parent is in the trace.
+	ids := make(map[uint64]bool, len(tr.Spans))
+	for _, sd := range tr.Spans {
+		ids[sd.SpanID] = true
+	}
+	for _, sd := range tr.Spans {
+		if sd.TraceID != tr.TraceID {
+			t.Fatalf("span %s carries trace id %x, want %x", sd.Name, sd.TraceID, tr.TraceID)
+		}
+		if sd.ParentID == 0 {
+			if sd.SpanID != root.SpanID {
+				t.Fatalf("second root span %s in trace", sd.Name)
+			}
+			continue
+		}
+		if !ids[sd.ParentID] {
+			t.Fatalf("span %s is orphaned: parent %x not in trace", sd.Name, sd.ParentID)
+		}
+	}
+
+	// The one trace must span every layer of the pipeline.
+	layers := make(map[string]bool)
+	names := make(map[string]bool)
+	for _, sd := range tr.Spans {
+		layers[sd.Layer] = true
+		names[sd.Name] = true
+	}
+	for _, layer := range []string{"web", "queue", "farm", "hdfs", "db"} {
+		if !layers[layer] {
+			t.Fatalf("trace is missing layer %q (saw %v)", layer, layers)
+		}
+	}
+	for _, name := range []string{"web.upload", "queue.job", "farm.convert", "farm.task", "hdfs.write_file", "db.publish"} {
+		if !names[name] {
+			t.Fatalf("trace is missing span %q", name)
+		}
+	}
+
+	// The queue.job span must hang off the web root (Reparent preserved the
+	// linkage across the enqueue boundary).
+	for _, sd := range tr.Spans {
+		if sd.Name == "queue.job" && sd.ParentID != root.SpanID {
+			t.Fatalf("queue.job parent %x, want web root %x", sd.ParentID, root.SpanID)
+		}
+	}
+}
+
+// TestTraceDisabledSiteUnchanged pins the zero-cost contract: a site built
+// without a tracer still serves uploads, emits request IDs, and records no
+// traces anywhere.
+func TestTraceDisabledSiteUnchanged(t *testing.T) {
+	site := asyncSite(t, 1, 4, nil)
+	b := newBrowser(t, site)
+	b.registerAndLogin("uma", "pw")
+	b.upload("untraced", "no tracer configured", 8, 78)
+	site.DrainTranscodes()
+	if tr := site.Tracer(); tr != nil {
+		t.Fatalf("site without Config.Tracer has tracer %v", tr)
+	}
+}
