@@ -42,12 +42,13 @@ chaos:
 # Hot-path benchmarks: -cpu 1,4 shows how the conversion worker pool and
 # the HDFS block fan-out scale with real cores; results land in
 # BENCH_convert.json / BENCH_hdfs.json for regression comparison across
-# PRs (BenchmarkReadRange's B/op is the chunked-checksum gate).
+# PRs (BenchmarkReadRange's B/op is the chunked-checksum gate;
+# BenchmarkStreamCached's B/op is the zero-copy block-cache gate).
 bench:
 	$(GO) test -json -run '^$$' -bench 'BenchmarkTranscoderConvert|BenchmarkFarm|BenchmarkSplit|BenchmarkMerge' \
 		-benchmem -cpu 1,4 ./internal/video/ > BENCH_convert.json
 	@echo "wrote BENCH_convert.json ($$(grep -c ns/op BENCH_convert.json) benchmark results)"
-	$(GO) test -json -run '^$$' -bench 'BenchmarkReadRange|BenchmarkReadFile|BenchmarkWriteFile|BenchmarkStreamSeek' \
+	$(GO) test -json -run '^$$' -bench 'BenchmarkReadRange|BenchmarkReadFile|BenchmarkWriteFile|BenchmarkStream' \
 		-benchmem -cpu 1,4 ./internal/hdfs/ > BENCH_hdfs.json
 	@echo "wrote BENCH_hdfs.json ($$(grep -c ns/op BENCH_hdfs.json) benchmark results)"
 

@@ -129,6 +129,11 @@ func logRouteDashboard(vc *core.VideoCloud) {
 			h.ReplicaLocal, h.ReplicaLeastLoaded, h.ReplicaFirst, h.ReplicaFailovers,
 			h.ReadLatency.P99*1000, h.WriteLatency.P99*1000)
 	}
+	if h.CacheHits > 0 || h.CacheFills > 0 {
+		log.Printf("blockcache hit/miss/wait=%d/%d/%d fill=%d evict=%d resident=%dMB entries=%d refs=%d",
+			h.CacheHits, h.CacheMisses, h.CacheWaits, h.CacheFills, h.CacheEvictions,
+			h.CacheBytes>>20, h.CacheEntries, h.CacheRefs)
+	}
 	rc := st.Recovery
 	if rc.HostsCrashed > 0 || rc.HostFailuresDetected > 0 || rc.VMsRequeued > 0 {
 		log.Printf("recovery hosts crashed/detected=%d/%d vms requeued/restarted/exhausted=%d/%d/%d "+

@@ -51,6 +51,10 @@ type Config struct {
 	// from Hadoop's 64 MiB to keep simulated uploads cheap; override for
 	// fidelity).
 	BlockSize int64
+	// BlockCacheBytes budgets the shared, refcounted HDFS block cache the
+	// serving hot path reads through (zero selects the HDFS default;
+	// negative disables caching so every read verifies against replicas).
+	BlockCacheBytes int64
 	// Policy is the Capacity Manager policy (default striping).
 	Policy nebula.Policy
 	// Target is the playback encoding (default: web package's H.264/720p).
@@ -190,6 +194,11 @@ func New(cfg Config) (*VideoCloud, error) {
 
 	// ---- PaaS: HDFS + MapReduce on the data VMs ----
 	vc.hdfs = hdfs.NewCluster(0, cfg.BlockSize)
+	// The assembled stack serves video through the shared block cache:
+	// concurrent viewers of a hot file share one replica fetch and zero
+	// per-request data copies. Standalone clusters leave it off so every
+	// read exercises replica checksums.
+	vc.hdfs.SetBlockCacheCapacity(cfg.BlockCacheBytes)
 	var trackers []string
 	for _, id := range vc.dataVMIDs {
 		rec, rerr := vc.cloud.VM(id)

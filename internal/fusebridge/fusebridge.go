@@ -53,28 +53,26 @@ func (m *Mount) abs(name string) (string, error) {
 	return m.root + "/" + name, nil
 }
 
-// Open implements fs.FS.
+// Open implements fs.FS. Files resolve status and block layout in a single
+// batched NameNode call (Client.Open); only the directory branch pays a
+// second round trip for the listing.
 func (m *Mount) Open(name string) (fs.File, error) {
 	p, err := m.abs(name)
 	if err != nil {
 		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrInvalid}
 	}
-	st, err := m.client.Stat(p)
-	if err != nil {
-		return nil, &fs.PathError{Op: "open", Path: name, Err: mapErr(err)}
-	}
-	if st.IsDir {
-		entries, err := m.client.List(p)
-		if err != nil {
-			return nil, &fs.PathError{Op: "open", Path: name, Err: mapErr(err)}
+	r, err := m.client.Open(p)
+	if errors.Is(err, hdfs.ErrIsDirectory) {
+		entries, lerr := m.client.List(p)
+		if lerr != nil {
+			return nil, &fs.PathError{Op: "open", Path: name, Err: mapErr(lerr)}
 		}
 		return &dirFile{name: gopath.Base(name), entries: entries}, nil
 	}
-	r, err := m.client.Open(p)
 	if err != nil {
 		return nil, &fs.PathError{Op: "open", Path: name, Err: mapErr(err)}
 	}
-	return &file{name: gopath.Base(name), st: st, r: r}, nil
+	return &file{name: gopath.Base(name), st: r.Stat(), r: r}, nil
 }
 
 func mapErr(err error) error {
@@ -228,7 +226,16 @@ func (f *file) Stat() (fs.FileInfo, error) {
 func (f *file) Read(p []byte) (int, error)                { return f.r.Read(p) }
 func (f *file) Seek(off int64, whence int) (int64, error) { return f.r.Seek(off, whence) }
 func (f *file) ReadAt(p []byte, off int64) (int, error)   { return f.r.ReadAt(p, off) }
-func (f *file) Close() error                              { return nil }
+func (f *file) Size() int64                               { return f.r.Size() }
+
+// AppendRangeSlices forwards the zero-copy range API (stream.SliceRanger),
+// so HTTP serving through the fs.FS view also avoids per-request buffers.
+func (f *file) AppendRangeSlices(dst [][]byte, off, length int64) ([][]byte, error) {
+	return f.r.AppendRangeSlices(dst, off, length)
+}
+
+// Close releases the reader's shared block-cache references.
+func (f *file) Close() error { return f.r.Close() }
 
 type dirFile struct {
 	name    string

@@ -53,3 +53,55 @@ func TestAllocReadRangeBounded(t *testing.T) {
 			perOp, window, block)
 	}
 }
+
+// TestAllocCachedStreamZeroCopy gates the serving hot path's headline
+// property: once a file's blocks are resident in the shared cache, resolving
+// a Range window to response slices performs no data copy and (amortised)
+// no allocation at all — the window is served as views of cached block data
+// reused across requests.
+func TestAllocCachedStreamZeroCopy(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocation counts")
+	}
+	const block = 1 << 20
+	const blocks = 4
+	const window = 256 << 10
+	c := NewCluster(2, block)
+	c.SetBlockCacheCapacity(0)
+	cl := c.Client("")
+	data := payload(blocks*block, 42)
+	if err := cl.WriteFile("/v", data, 2); err != nil {
+		t.Fatal(err)
+	}
+	r, err := cl.Open("/v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var slices [][]byte
+	readWindow := func(i int) {
+		off := (int64(i) * 3 * window) % int64(blocks*block-window)
+		slices, err = r.AppendRangeSlices(slices[:0], off, window)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm-up: fill the cache, retain every block, grow the slice header.
+	for i := 0; i < blocks*2; i++ {
+		readWindow(i)
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	const iters = 256
+	for i := 0; i < iters; i++ {
+		readWindow(i)
+	}
+	runtime.ReadMemStats(&after)
+	perOp := int64(after.TotalAlloc-before.TotalAlloc) / iters
+	// ~0 data-copy allocations: a few hundred bytes of slack for metrics
+	// internals, nothing within orders of magnitude of the window.
+	if perOp > 256 {
+		t.Fatalf("cached AppendRangeSlices allocates %d B/op for a %d B window; want ~0", perOp, window)
+	}
+}

@@ -41,7 +41,10 @@ func BenchmarkReadRange(b *testing.B) {
 
 // BenchmarkReadFile reads an 8-block file whose block fetches fan out over
 // up to GOMAXPROCS workers — compare -cpu 1 vs -cpu 4 for the parallel
-// speedup.
+// speedup. The loop reuses its destination buffer (ReadFileInto), the
+// steady-state form of repeated full-file readers: each block is CRC32
+// verified against its replica and copied exactly once, into the final
+// buffer.
 func BenchmarkReadFile(b *testing.B) {
 	const blockSize = 4 << 20
 	const blocks = 8
@@ -51,11 +54,42 @@ func BenchmarkReadFile(b *testing.B) {
 	if err := cl.WriteFile("/f", data, 2); err != nil {
 		b.Fatal(err)
 	}
+	buf := make([]byte, len(data))
 	b.SetBytes(int64(len(data)))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := cl.ReadFile("/f"); err != nil {
+		var err error
+		buf, err = cl.ReadFileInto("/f", buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadFileCached is BenchmarkReadFile against the serving
+// configuration: the shared block cache enabled (as core.New runs it), so
+// after the first iteration fills the cache every block is served by one
+// copy out of resident verified data — no replica access, no checksum
+// pass.
+func BenchmarkReadFileCached(b *testing.B) {
+	const blockSize = 4 << 20
+	const blocks = 8
+	c := NewCluster(4, blockSize)
+	c.SetBlockCacheCapacity(0)
+	cl := c.Client("")
+	data := payload(blocks*blockSize, 2)
+	if err := cl.WriteFile("/f", data, 2); err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, len(data))
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = cl.ReadFileInto("/f", buf)
+		if err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -109,6 +143,40 @@ func BenchmarkStreamSeek(b *testing.B) {
 			b.Fatal(err)
 		}
 		if _, err := io.ReadFull(r, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamCached replays the zero-copy serving loop: pseudo-random
+// 256 KiB Range windows resolved to slices of shared-cache block data
+// (Reader.AppendRangeSlices — what stream.Serve hands to the vectored
+// response write). Steady state performs no data copy at all; B/op tracks
+// bookkeeping, not bytes.
+func BenchmarkStreamCached(b *testing.B) {
+	const blockSize = 4 << 20
+	const blocks = 8
+	const window = 256 << 10
+	c := NewCluster(4, blockSize)
+	c.SetBlockCacheCapacity(0)
+	cl := c.Client("")
+	data := payload(blocks*blockSize, 4)
+	if err := cl.WriteFile("/v.mp4", data, 2); err != nil {
+		b.Fatal(err)
+	}
+	r, err := cl.Open("/v.mp4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	var slices [][]byte
+	b.SetBytes(window)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := (int64(i) * 7654321) % (int64(len(data)) - window)
+		slices, err = r.AppendRangeSlices(slices[:0], off, window)
+		if err != nil {
 			b.Fatal(err)
 		}
 	}

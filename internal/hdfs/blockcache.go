@@ -1,0 +1,251 @@
+package hdfs
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"videocloud/internal/metrics"
+)
+
+// BlockCache is a shared, size-bounded, reference-counted cache of immutable
+// block data. It is the serving hot path's answer to per-request buffers:
+// every reader of a hot file slices the same cached copy of each block, so
+// N concurrent viewers of a viral video cost one replica fetch and zero
+// per-viewer data copies.
+//
+// Three properties make it safe to hand out interior slices:
+//
+//   - Entry data is immutable. The cache owns the only reference to the
+//     backing array (fills come from DataNode.Read, which returns a fresh
+//     verified copy), and nothing ever writes to it again.
+//   - Entries are reference-counted. A Reader retains a reference for every
+//     block it has handed out slices of and releases them on Close; the
+//     outstanding-reference gauge must return to zero when serving is done.
+//   - Eviction never invalidates a slice. Evicting an entry only detaches it
+//     from the cache's index; holders keep their reference and the data stays
+//     reachable (and therefore valid) until the last reference is released
+//     and the garbage collector reclaims it. Pinned entries (refs > 0) are
+//     skipped by the evictor entirely, so the budget prefers to shed idle
+//     blocks first.
+//
+// Fills are single-flight: concurrent requests for the same absent block
+// share one replica fetch. The first caller fetches; later callers are
+// counted as waits and receive a reference to the same entry.
+type BlockCache struct {
+	capacity int64
+	reg      *metrics.Registry
+
+	// pinned counts outstanding references across all entries, resident or
+	// evicted — the gauge tests use to prove readers release everything.
+	pinned atomic.Int64
+
+	mu      sync.Mutex
+	entries map[BlockID]*CacheEntry
+	fills   map[BlockID]*cacheFill
+	lru     *list.List // front = most recently used; values are *CacheEntry
+	bytes   int64      // resident bytes
+}
+
+// CacheEntry is one cached block. Data is immutable; callers may slice it
+// freely for as long as they hold a reference.
+type CacheEntry struct {
+	owner *BlockCache
+	id    BlockID
+	data  []byte
+	refs  atomic.Int64
+	elem  *list.Element // nil once evicted
+}
+
+// Data returns the immutable block bytes. Callers must hold a reference.
+func (e *CacheEntry) Data() []byte { return e.data }
+
+// Release drops one reference on e. It releases against the cache that
+// created the entry, so it stays correct even if the cluster has since
+// swapped in a different cache.
+func (e *CacheEntry) Release() {
+	if e != nil {
+		e.owner.Release(e)
+	}
+}
+
+// retain adds a reference to an entry the caller already holds one on (so
+// it cannot concurrently drop to zero).
+func (e *CacheEntry) retain() {
+	e.refs.Add(1)
+	e.owner.pinned.Add(1)
+}
+
+// cacheFill is an in-flight single-flight fetch; done closes once entry/err
+// are set. waiters is the number of joiners whose references are pre-counted
+// into the entry before done closes, so the evictor can never observe the
+// entry unpinned while a waiter is about to use it.
+type cacheFill struct {
+	done    chan struct{}
+	waiters int64
+	entry   *CacheEntry
+	err     error
+}
+
+// newBlockCache builds a cache bounded to capacity resident bytes, counting
+// into the cluster registry. capacity <= 0 is rejected by the cluster layer.
+func newBlockCache(capacity int64, reg *metrics.Registry) *BlockCache {
+	return &BlockCache{
+		capacity: capacity,
+		reg:      reg,
+		entries:  make(map[BlockID]*CacheEntry),
+		fills:    make(map[BlockID]*cacheFill),
+		lru:      list.New(),
+	}
+}
+
+// Capacity returns the resident-byte budget.
+func (c *BlockCache) Capacity() int64 { return c.capacity }
+
+// acquire returns a referenced entry for id if resident. The caller must
+// release it.
+func (c *BlockCache) acquire(id BlockID) (*CacheEntry, bool) {
+	c.mu.Lock()
+	e := c.entries[id]
+	if e == nil {
+		c.mu.Unlock()
+		return nil, false
+	}
+	e.refs.Add(1)
+	c.pinned.Add(1)
+	c.lru.MoveToFront(e.elem)
+	c.mu.Unlock()
+	c.reg.Counter("blockcache_hits").Inc()
+	return e, true
+}
+
+// GetOrFill returns a referenced entry for id, fetching it with fetch when
+// absent. Concurrent callers for the same absent block share one fetch. The
+// returned source is "hit", "wait" (joined an in-flight fill), or "fill"
+// (this caller ran the fetch). The caller must Release the entry.
+func (c *BlockCache) GetOrFill(id BlockID, fetch func() ([]byte, error)) (e *CacheEntry, source string, err error) {
+	c.mu.Lock()
+	if e := c.entries[id]; e != nil {
+		e.refs.Add(1)
+		c.pinned.Add(1)
+		c.lru.MoveToFront(e.elem)
+		c.mu.Unlock()
+		c.reg.Counter("blockcache_hits").Inc()
+		return e, "hit", nil
+	}
+	if f := c.fills[id]; f != nil {
+		f.waiters++
+		c.mu.Unlock()
+		c.reg.Counter("blockcache_waits").Inc()
+		<-f.done
+		if f.err != nil {
+			return nil, "wait", f.err
+		}
+		// The reference was pre-counted into the entry by the filler.
+		return f.entry, "wait", nil
+	}
+	f := &cacheFill{done: make(chan struct{})}
+	c.fills[id] = f
+	c.mu.Unlock()
+
+	c.reg.Counter("blockcache_misses").Inc()
+	data, ferr := fetch()
+
+	c.mu.Lock()
+	delete(c.fills, id)
+	if ferr != nil {
+		f.err = ferr
+		c.mu.Unlock()
+		close(f.done)
+		return nil, "fill", ferr
+	}
+	e = &CacheEntry{owner: c, id: id, data: data}
+	// One reference for the filler plus one per waiter, all counted before
+	// the entry becomes visible, so it is born pinned.
+	e.refs.Store(1 + f.waiters)
+	c.pinned.Add(1 + f.waiters)
+	f.entry = e
+	e.elem = c.lru.PushFront(e)
+	c.entries[id] = e
+	c.bytes += int64(len(data))
+	c.reg.Counter("blockcache_fills").Inc()
+	c.evictLocked()
+	c.mu.Unlock()
+	close(f.done)
+	return e, "fill", nil
+}
+
+// Release drops one reference on e. Entries are never freed eagerly: a
+// released resident entry stays cached (now evictable), and a released
+// evicted entry simply becomes garbage once the last holder lets go.
+func (c *BlockCache) Release(e *CacheEntry) {
+	if e == nil {
+		return
+	}
+	e.refs.Add(-1)
+	c.pinned.Add(-1)
+}
+
+// evictLocked sheds least-recently-used unpinned entries until resident
+// bytes fit the budget. Pinned entries are skipped: the budget may be
+// temporarily exceeded while every resident block is in use, which is
+// bounded by the working set of open readers.
+func (c *BlockCache) evictLocked() {
+	for c.bytes > c.capacity {
+		evicted := false
+		for el := c.lru.Back(); el != nil; {
+			prev := el.Prev()
+			e := el.Value.(*CacheEntry)
+			if e.refs.Load() == 0 {
+				c.removeLocked(e)
+				c.reg.Counter("blockcache_evictions").Inc()
+				evicted = true
+				break
+			}
+			el = prev
+		}
+		if !evicted {
+			return // everything resident is pinned
+		}
+	}
+}
+
+// removeLocked detaches a resident entry from the index and LRU list.
+func (c *BlockCache) removeLocked(e *CacheEntry) {
+	delete(c.entries, e.id)
+	c.lru.Remove(e.elem)
+	e.elem = nil
+	c.bytes -= int64(len(e.data))
+}
+
+// Invalidate detaches the given blocks from the cache regardless of pin
+// state (holders keep valid data). Used when blocks are reclaimed on file
+// deletion, and by chaos tests to force a refill from replicas.
+func (c *BlockCache) Invalidate(ids ...BlockID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, id := range ids {
+		if e := c.entries[id]; e != nil {
+			c.removeLocked(e)
+			c.reg.Counter("blockcache_invalidations").Inc()
+		}
+	}
+}
+
+// Bytes returns the resident cached bytes.
+func (c *BlockCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Entries returns the resident entry count.
+func (c *BlockCache) Entries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Refs returns the outstanding references across all entries (resident or
+// evicted). Zero means no reader currently holds cache-backed slices.
+func (c *BlockCache) Refs() int64 { return c.pinned.Load() }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -302,6 +303,26 @@ func (c *Client) pickCounter(pick string, locs []string, load map[string]int64) 
 // failover; readahead ("hit"/"miss"/"prefetch") notes how the range-read
 // cache classified this fetch.
 func (c *Client) fetchWithFailover(parent *trace.Span, readahead string, info BlockInfo, read func(dn *DataNode) ([]byte, error)) ([]byte, error) {
+	var data []byte
+	_, err := c.fetchIntoFailover(parent, readahead, info, func(dn *DataNode) (int, error) {
+		d, err := read(dn)
+		if err != nil {
+			return 0, err
+		}
+		data = d
+		return len(d), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// fetchIntoFailover is the base replica-iteration loop; read reports the
+// bytes it produced (typically written into a caller-owned buffer, which is
+// why no []byte crosses this boundary — the alloc-free into-variants and
+// the allocating fetchWithFailover both compile down to it).
+func (c *Client) fetchIntoFailover(parent *trace.Span, readahead string, info BlockInfo, read func(dn *DataNode) (int, error)) (int, error) {
 	sp := parent.StartChild("hdfs.read_block")
 	if sp != nil {
 		sp.AnnotateInt("block", int64(info.ID))
@@ -318,7 +339,7 @@ func (c *Client) fetchWithFailover(parent *trace.Span, readahead string, info Bl
 		}
 		ctr := c.cluster.inflightFor(loc)
 		ctr.Add(1)
-		data, err := read(dn)
+		n, err := read(dn)
 		ctr.Add(-1)
 		if err == nil {
 			if i > 0 {
@@ -329,11 +350,11 @@ func (c *Client) fetchWithFailover(parent *trace.Span, readahead string, info Bl
 			} else if sp.Recording() {
 				sp.Annotate("replica", loc)
 			}
-			c.cluster.reg.Counter("bytes_read").Add(int64(len(data)))
+			c.cluster.reg.Counter("bytes_read").Add(int64(n))
 			c.cluster.reg.Histogram("hdfs_read_seconds").
 				ObserveExemplar(time.Since(start).Seconds(), sp.TraceID())
 			sp.End()
-			return data, nil
+			return n, nil
 		}
 		if sp.Recording() {
 			sp.Annotate("replica_error", loc+": "+err.Error())
@@ -347,13 +368,53 @@ func (c *Client) fetchWithFailover(parent *trace.Span, readahead string, info Bl
 	err := fmt.Errorf("%w: block %d: %v", ErrAllReplicasFailed, info.ID, lastErr)
 	sp.SetError(err)
 	sp.End()
-	return nil, err
+	return 0, err
+}
+
+// fetchRangeInto reads [off, off+len(dst)) of a block into dst with replica
+// failover, verifying and copying only the checksum chunks the window
+// overlaps — no intermediate buffer.
+func (c *Client) fetchRangeInto(parent *trace.Span, readahead string, info BlockInfo, off int64, dst []byte) (int, error) {
+	return c.fetchIntoFailover(parent, readahead, info, func(dn *DataNode) (int, error) {
+		return dn.ReadRangeInto(info.ID, off, dst)
+	})
 }
 
 // readBlock fetches one whole block, failing over across replicas.
 func (c *Client) readBlock(parent *trace.Span, info BlockInfo) ([]byte, error) {
 	return c.fetchWithFailover(parent, "", info, func(dn *DataNode) ([]byte, error) {
 		return dn.Read(info.ID)
+	})
+}
+
+// blockInto lands one whole block in dst (len(dst) = block length). With
+// the shared cache enabled the block is served from — or filled into — the
+// cache, so a re-read of a hot file is a single copy with no checksum pass;
+// otherwise the replica verifies its whole-block CRC and copies straight
+// into dst.
+func (c *Client) blockInto(parent *trace.Span, info BlockInfo, dst []byte) (int, error) {
+	if bc := c.cluster.BlockCache(); bc != nil {
+		e, source, err := bc.GetOrFill(info.ID, func() ([]byte, error) {
+			return c.fetchWithFailover(parent, "cache_fill", info, func(dn *DataNode) ([]byte, error) {
+				return dn.Read(info.ID)
+			})
+		})
+		if err != nil {
+			return 0, err
+		}
+		n := copy(dst, e.data)
+		e.Release()
+		if source != "fill" && parent.Recording() {
+			if sp := parent.StartChild("hdfs.read_block"); sp != nil {
+				sp.AnnotateInt("block", int64(info.ID))
+				sp.Annotate("cache", source)
+				sp.End()
+			}
+		}
+		return n, nil
+	}
+	return c.fetchIntoFailover(parent, "", info, func(dn *DataNode) (int, error) {
+		return dn.ReadInto(info.ID, dst)
 	})
 }
 
@@ -365,15 +426,27 @@ func (c *Client) ReadFile(path string) ([]byte, error) {
 	return c.ReadFileCtx(context.Background(), path)
 }
 
+// ReadFileInto is ReadFile reusing dst's backing array when it is large
+// enough (growing it otherwise) — the steady-state form for callers that
+// re-read files in a loop (MapReduce splits, transcode inputs), which
+// otherwise pay a full buffer allocation and zeroing per read.
+func (c *Client) ReadFileInto(path string, dst []byte) ([]byte, error) {
+	return c.readFileInto(context.Background(), path, dst)
+}
+
 // ReadFileCtx is ReadFile under an hdfs.read_file span parented from ctx;
 // each block fetch nests an hdfs.read_block child recording per-replica
 // errors and failovers.
 func (c *Client) ReadFileCtx(ctx context.Context, path string) ([]byte, error) {
+	return c.readFileInto(ctx, path, nil)
+}
+
+func (c *Client) readFileInto(ctx context.Context, path string, dst []byte) ([]byte, error) {
 	sp := trace.FromContext(ctx).StartChild("hdfs.read_file")
 	if sp != nil {
 		sp.Annotate("path", path)
 	}
-	data, err := c.readFileSpan(path, sp)
+	data, err := c.readFileSpan(path, dst, sp)
 	if err != nil {
 		sp.SetError(err)
 	} else if sp.Recording() {
@@ -383,7 +456,7 @@ func (c *Client) ReadFileCtx(ctx context.Context, path string) ([]byte, error) {
 	return data, err
 }
 
-func (c *Client) readFileSpan(path string, sp *trace.Span) ([]byte, error) {
+func (c *Client) readFileSpan(path string, dst []byte, sp *trace.Span) ([]byte, error) {
 	blocks, err := c.cluster.nn.GetBlockLocations(path)
 	if err != nil {
 		return nil, err
@@ -397,7 +470,11 @@ func (c *Client) readFileSpan(path string, sp *trace.Span) ([]byte, error) {
 		offsets[i] = total
 		total += b.Length
 	}
-	out := make([]byte, total)
+	out := dst
+	if int64(cap(out)) < total {
+		out = make([]byte, total)
+	}
+	out = out[:total]
 	if workers := c.cluster.readWorkers(len(blocks)); workers > 1 && len(blocks) > 1 {
 		if err := c.readBlocksParallel(sp, blocks, offsets, out, workers); err != nil {
 			return nil, err
@@ -405,11 +482,14 @@ func (c *Client) readFileSpan(path string, sp *trace.Span) ([]byte, error) {
 		return out, nil
 	}
 	for i, b := range blocks {
-		data, err := c.readBlock(sp, b)
+		n, err := c.blockInto(sp, b, out[offsets[i]:offsets[i]+b.Length])
 		if err != nil {
 			return nil, err
 		}
-		copy(out[offsets[i]:], data)
+		if int64(n) < b.Length {
+			return nil, fmt.Errorf("hdfs: block %d short read: %d of %d bytes: %w",
+				b.ID, n, b.Length, io.ErrUnexpectedEOF)
+		}
 	}
 	return out, nil
 }
@@ -436,16 +516,19 @@ func (c *Client) readBlocksParallel(sp *trace.Span, blocks []BlockInfo, offsets 
 			if failed.Load() {
 				return
 			}
-			data, err := c.readBlock(sp, blocks[i])
+			b := blocks[i]
+			n, err := c.blockInto(sp, b, out[offsets[i]:offsets[i]+b.Length])
+			if err == nil && int64(n) < b.Length {
+				err = fmt.Errorf("hdfs: block %d short read: %d of %d bytes: %w",
+					b.ID, n, b.Length, io.ErrUnexpectedEOF)
+			}
 			if err != nil {
 				if failed.CompareAndSwap(false, true) {
 					mu.Lock()
 					firstErr = err
 					mu.Unlock()
 				}
-				return
 			}
-			copy(out[offsets[i]:], data)
 		}(i)
 	}
 	wg.Wait()
@@ -482,9 +565,14 @@ func (c *Client) OpenCtx(ctx context.Context, path string) (*Reader, error) {
 }
 
 func (c *Client) open(path string) (*Reader, error) {
-	blocks, err := c.cluster.nn.GetBlockLocations(path)
+	// One batched NameNode round trip resolves status and block layout
+	// together — the open-for-streaming path used to pay two.
+	st, blocks, err := c.cluster.nn.FileBlocks(path)
 	if err != nil {
 		return nil, err
+	}
+	if st.IsDir {
+		return nil, fmt.Errorf("%w: %q", ErrIsDirectory, path)
 	}
 	starts := make([]int64, len(blocks))
 	var size int64
@@ -497,6 +585,7 @@ func (c *Client) open(path string) (*Reader, error) {
 		blocks: blocks,
 		starts: starts,
 		size:   size,
+		st:     st,
 		cache:  make(map[int]*raEntry),
 	}, nil
 }

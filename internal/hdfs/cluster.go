@@ -27,10 +27,38 @@ type Cluster struct {
 	readConc  atomic.Int64 // 0 = auto (GOMAXPROCS capped at 8)
 	writeConc atomic.Int64 // 0 = auto (all pipeline targets at once)
 
+	// cache, when non-nil, is the shared refcounted block cache readers
+	// serve from (SetBlockCacheCapacity). Off by default so corruption
+	// tests exercise the replica path; the core stack enables it.
+	cache atomic.Pointer[BlockCache]
+
 	mu       sync.RWMutex
 	nodes    map[string]*DataNode
 	inflight map[string]*atomic.Int64
 }
+
+// DefaultBlockCacheBytes is the resident budget SetBlockCacheCapacity(0)
+// selects — enough for a few hot multi-block videos at the scaled-down
+// 4 MiB block size without dominating a test process's memory.
+const DefaultBlockCacheBytes = 256 << 20
+
+// SetBlockCacheCapacity enables the shared block cache with a resident-byte
+// budget (0 selects DefaultBlockCacheBytes) or disables it entirely with a
+// negative value. Enabling replaces any previous cache; already-open readers
+// keep references into the old one, which stays valid until released.
+func (c *Cluster) SetBlockCacheCapacity(budget int64) {
+	if budget < 0 {
+		c.cache.Store(nil)
+		return
+	}
+	if budget == 0 {
+		budget = DefaultBlockCacheBytes
+	}
+	c.cache.Store(newBlockCache(budget, c.reg))
+}
+
+// BlockCache returns the shared block cache, or nil when disabled.
+func (c *Cluster) BlockCache() *BlockCache { return c.cache.Load() }
 
 // NewCluster creates a cluster with n datanodes named "dn0".."dn<n-1>".
 // blockSize 0 selects the 64 MiB default.
@@ -285,6 +313,9 @@ func (c *Cluster) Delete(path string) error {
 	if err != nil {
 		return err
 	}
+	if bc := c.BlockCache(); bc != nil {
+		bc.Invalidate(freed...)
+	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	for _, dn := range c.nodes {
@@ -325,6 +356,19 @@ type Stats struct {
 	ReplicaFirst       int64
 	ReplicaFailovers   int64
 
+	// Shared block cache effectiveness: block requests served from the
+	// resident cache, requests that ran a replica fetch, requests that
+	// joined another caller's in-flight fetch (single-flight), entries
+	// shed by the budget, and the live resident/pin state.
+	CacheHits        int64
+	CacheMisses      int64
+	CacheWaits       int64
+	CacheFills       int64
+	CacheEvictions   int64
+	CacheBytes       int64
+	CacheEntries     int64
+	CacheRefs        int64
+
 	// Per-block-operation latency distributions, in seconds.
 	ReadLatency  metrics.Snapshot
 	WriteLatency metrics.Snapshot
@@ -332,7 +376,21 @@ type Stats struct {
 
 // Stats snapshots the data-path metrics.
 func (c *Cluster) Stats() Stats {
+	var cacheBytes, cacheRefs int64
+	var cacheEntries int
+	if bc := c.BlockCache(); bc != nil {
+		cacheBytes, cacheEntries, cacheRefs = bc.Bytes(), bc.Entries(), bc.Refs()
+	}
 	return Stats{
+		CacheHits:      c.reg.Counter("blockcache_hits").Value(),
+		CacheMisses:    c.reg.Counter("blockcache_misses").Value(),
+		CacheWaits:     c.reg.Counter("blockcache_waits").Value(),
+		CacheFills:     c.reg.Counter("blockcache_fills").Value(),
+		CacheEvictions: c.reg.Counter("blockcache_evictions").Value(),
+		CacheBytes:     cacheBytes,
+		CacheEntries:   int64(cacheEntries),
+		CacheRefs:      cacheRefs,
+
 		BytesRead:           c.reg.Counter("bytes_read").Value(),
 		BytesWritten:        c.reg.Counter("bytes_written").Value(),
 		BlocksWritten:       c.reg.Counter("blocks_written").Value(),

@@ -103,6 +103,32 @@ func (dn *DataNode) Store(id BlockID, data []byte) error {
 func (dn *DataNode) Read(id BlockID) ([]byte, error) {
 	dn.mu.RLock()
 	defer dn.mu.RUnlock()
+	bd, err := dn.lockedVerified(id)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(bd.data))
+	copy(out, bd.data)
+	return out, nil
+}
+
+// ReadInto verifies the whole-block checksum and copies the block into dst,
+// returning the bytes copied (min of block and dst length) — Read without
+// the output allocation, for callers landing blocks at their final offset
+// in a pre-sized file buffer.
+func (dn *DataNode) ReadInto(id BlockID, dst []byte) (int, error) {
+	dn.mu.RLock()
+	defer dn.mu.RUnlock()
+	bd, err := dn.lockedVerified(id)
+	if err != nil {
+		return 0, err
+	}
+	return copy(dst, bd.data), nil
+}
+
+// lockedVerified fetches a block record and verifies its whole-block CRC;
+// callers hold dn.mu.
+func (dn *DataNode) lockedVerified(id BlockID) (*blockData, error) {
 	bd, err := dn.locked(id)
 	if err != nil {
 		return nil, err
@@ -110,9 +136,7 @@ func (dn *DataNode) Read(id BlockID) ([]byte, error) {
 	if crc32.ChecksumIEEE(bd.data) != bd.whole {
 		return nil, fmt.Errorf("%w: %d on %s", ErrChecksum, id, dn.name)
 	}
-	out := make([]byte, len(bd.data))
-	copy(out, bd.data)
-	return out, nil
+	return bd, nil
 }
 
 // ReadRange returns up to length bytes of the block starting at off,
@@ -127,13 +151,41 @@ func (dn *DataNode) ReadRange(id BlockID, off, length int64) ([]byte, error) {
 	}
 	dn.mu.RLock()
 	defer dn.mu.RUnlock()
-	bd, err := dn.locked(id)
+	bd, end, err := dn.lockedRange(id, off, length)
 	if err != nil {
 		return nil, err
 	}
+	out := make([]byte, end-off)
+	copy(out, bd.data[off:end])
+	return out, nil
+}
+
+// ReadRangeInto is ReadRange landing directly in dst (the window length is
+// len(dst)) — the serving hot path's variant, which verifies the overlapped
+// checksum chunks in place and performs exactly one copy, into the caller's
+// buffer. Returns the bytes copied, short only when the window runs past
+// the block end.
+func (dn *DataNode) ReadRangeInto(id BlockID, off int64, dst []byte) (int, error) {
+	dn.mu.RLock()
+	defer dn.mu.RUnlock()
+	bd, end, err := dn.lockedRange(id, off, int64(len(dst)))
+	if err != nil {
+		return 0, err
+	}
+	return copy(dst, bd.data[off:end]), nil
+}
+
+// lockedRange validates a window against a block, verifies the checksum
+// chunks overlapping [off, off+length), and returns the record with the
+// clamped window end; callers hold dn.mu.
+func (dn *DataNode) lockedRange(id BlockID, off, length int64) (*blockData, int64, error) {
+	bd, err := dn.locked(id)
+	if err != nil {
+		return nil, 0, err
+	}
 	size := int64(len(bd.data))
 	if off < 0 || off > size {
-		return nil, fmt.Errorf("hdfs: offset %d out of block bounds %d", off, size)
+		return nil, 0, fmt.Errorf("hdfs: offset %d out of block bounds %d", off, size)
 	}
 	end := off + length
 	if end > size {
@@ -146,12 +198,10 @@ func (dn *DataNode) ReadRange(id BlockID, off, length int64) ([]byte, error) {
 			hi = size
 		}
 		if crc32.ChecksumIEEE(bd.data[lo:hi]) != bd.sums[ci] {
-			return nil, fmt.Errorf("%w: %d chunk %d on %s", ErrChecksum, id, ci, dn.name)
+			return nil, 0, fmt.Errorf("%w: %d chunk %d on %s", ErrChecksum, id, ci, dn.name)
 		}
 	}
-	out := make([]byte, end-off)
-	copy(out, bd.data[off:end])
-	return out, nil
+	return bd, end, nil
 }
 
 // locked fetches a block record; callers hold dn.mu.

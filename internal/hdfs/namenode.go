@@ -366,15 +366,67 @@ func (nn *NameNode) GetBlockLocations(p string) ([]BlockInfo, error) {
 	if !node.complete {
 		return nil, fmt.Errorf("%w: %q", ErrFileOpen, p)
 	}
+	return nn.blockInfosLocked(node), nil
+}
+
+// blockInfosLocked snapshots a complete file's block layout. The location
+// lists are carved from one arena sized by a counting pass — two
+// allocations for the whole file instead of one per block — with
+// full-capacity subslices so an append on one block's list can never bleed
+// into the next. Callers hold nn.mu.
+func (nn *NameNode) blockInfosLocked(node *inode) []BlockInfo {
 	out := make([]BlockInfo, len(node.blocks))
-	for i, id := range node.blocks {
+	var locTotal int
+	for _, id := range node.blocks {
 		info := nn.blocks[id]
-		out[i] = BlockInfo{
-			ID: id, Length: info.Length,
-			Locations: nn.liveLocations(info), Replication: info.Replication,
+		for _, name := range info.Locations {
+			if dn := nn.datanodes[name]; dn != nil && dn.alive {
+				locTotal++
+			}
 		}
 	}
-	return out, nil
+	arena := make([]string, 0, locTotal)
+	for i, id := range node.blocks {
+		info := nn.blocks[id]
+		lo := len(arena)
+		for _, name := range info.Locations {
+			if dn := nn.datanodes[name]; dn != nil && dn.alive {
+				arena = append(arena, name)
+			}
+		}
+		out[i] = BlockInfo{
+			ID: id, Length: info.Length,
+			Locations: arena[lo:len(arena):len(arena)], Replication: info.Replication,
+		}
+	}
+	return out
+}
+
+// FileBlocks resolves a path's status and, for complete files, its block
+// layout in one namespace lock acquisition — the batched lookup backing
+// Client.Open, which previously paid separate Stat and GetBlockLocations
+// round trips. Directories return their status with nil blocks; an
+// under-construction file is an ErrFileOpen error.
+func (nn *NameNode) FileBlocks(p string) (FileStatus, []BlockInfo, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	node, err := nn.lookup(p)
+	if err != nil {
+		return FileStatus{}, nil, err
+	}
+	st := FileStatus{Path: path.Clean(p), IsDir: node.dir, Replication: node.replication}
+	if node.dir {
+		return st, nil, nil
+	}
+	if !node.complete {
+		return FileStatus{}, nil, fmt.Errorf("%w: %q", ErrFileOpen, p)
+	}
+	blocks := nn.blockInfosLocked(node)
+	for _, b := range blocks {
+		st.Size += b.Length
+	}
+	st.Blocks = len(blocks)
+	return st, blocks, nil
 }
 
 func (nn *NameNode) liveLocations(info *BlockInfo) []string {

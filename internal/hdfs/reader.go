@@ -13,27 +13,42 @@ import (
 // it backs both sequential consumption (MapReduce splits, the FUSE bridge)
 // and the seekable-playback path of the video site (HTTP Range requests).
 //
-// Sequential Reads get readahead: once a read touches the tail of a block,
-// the next block is prefetched in the background into a small per-reader
-// cache, so block N+1 transfers while block N is being consumed. Random
-// ReadAt windows bypass the readahead trigger and fetch — and
-// checksum-verify — only the chunks they overlap, keeping a K-byte read of
-// an N-byte block at O(K) cost for any N.
+// With the cluster's shared block cache enabled (the serving configuration),
+// block windows are served by slicing the cache's immutable copy: the first
+// reader of a block runs one single-flight replica fetch and every
+// concurrent and later reader shares the result. AppendRangeSlices exposes
+// those views directly — zero data copies between the cache and the HTTP
+// response — with the reader holding a reference per block until Close.
 //
-// ReadAt is safe for concurrent use; Read and Seek share the position and
-// are not.
+// Without the cache, sequential Reads get per-reader readahead: once a read
+// touches the tail of a block, the next block is prefetched in the
+// background, so block N+1 transfers while block N is being consumed.
+// Random ReadAt windows bypass the readahead trigger and fetch — and
+// checksum-verify — only the chunks they overlap, straight into the
+// caller's buffer.
+//
+// A short block — fewer bytes than the NameNode's recorded length, from a
+// truncated cache entry or replica — fails the read with
+// io.ErrUnexpectedEOF instead of silently misaligning later bytes.
+//
+// ReadAt and AppendRangeSlices are safe for concurrent use; Read and Seek
+// share the position and are not. Close releases every cache reference the
+// reader holds; slices obtained before Close stay valid until then.
 type Reader struct {
 	client *Client
 	blocks []BlockInfo
 	starts []int64 // starts[i] = file offset of blocks[i]
 	size   int64
+	st     FileStatus
 	pos    int64
 	// span, when non-nil (OpenCtx under a sampled trace), parents the
 	// hdfs.read_block / hdfs.prefetch spans this reader's fetches emit.
 	span *trace.Span
 
-	mu    sync.Mutex
-	cache map[int]*raEntry // block index -> readahead slot (≤2 entries)
+	mu       sync.Mutex
+	cache    map[int]*raEntry      // block index -> readahead slot (≤2 entries)
+	retained map[BlockID]*CacheEntry // shared-cache refs backing handed-out slices
+	closed   bool
 }
 
 // raEntry is one readahead slot; ready closes once data/err are set.
@@ -51,6 +66,9 @@ const readaheadTriggerDenom = 4
 
 // Size returns the file length.
 func (r *Reader) Size() int64 { return r.size }
+
+// Stat returns the file's NameNode status as recorded at open time.
+func (r *Reader) Stat() FileStatus { return r.st }
 
 // Read implements io.Reader. The prefetch is armed before the current
 // window is fetched so the next block transfers while this one is served.
@@ -81,6 +99,27 @@ func (r *Reader) Seek(offset int64, whence int) (int64, error) {
 	return abs, nil
 }
 
+// Close releases the reader's shared-cache references. Slices returned by
+// AppendRangeSlices must not be used after Close. Reads after Close still
+// work (they fall back to acquire-copy-release), so a late Range request on
+// a recycled fs.File fails loudly nowhere — but they retain nothing.
+func (r *Reader) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	retained := r.retained
+	r.retained = nil
+	r.cache = nil
+	r.mu.Unlock()
+	for _, e := range retained {
+		e.Release()
+	}
+	return nil
+}
+
 // blockIndex returns the index of the block containing file offset off
 // (len(r.blocks) when off is at or past EOF).
 func (r *Reader) blockIndex(off int64) int {
@@ -90,7 +129,9 @@ func (r *Reader) blockIndex(off int64) int {
 }
 
 // ReadAt implements io.ReaderAt, fetching only the block ranges covering
-// [off, off+len(p)).
+// [off, off+len(p)). A block that comes back shorter than its recorded
+// length fails with io.ErrUnexpectedEOF rather than letting the next
+// block's bytes slide into the gap.
 func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("hdfs: negative read offset %d", off)
@@ -105,10 +146,16 @@ func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
 		if rem := r.blocks[bi].Length - bo; want > rem {
 			want = rem
 		}
-		chunk, err := r.rangeFromBlock(bi, bo, want)
-		n += copy(p[n:], chunk)
+		m, err := r.blockRangeInto(bi, bo, p[n:int64(n)+want])
+		n += m
 		if err != nil {
 			return n, err
+		}
+		if int64(m) < want {
+			// The source (cache entry or replica) held fewer bytes than
+			// the NameNode recorded for this block. Advancing would
+			// misalign every subsequent byte of the response.
+			return n, io.ErrUnexpectedEOF
 		}
 	}
 	if n < len(p) {
@@ -117,45 +164,217 @@ func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
 	return n, nil
 }
 
-// rangeFromBlock serves [bo, bo+want) of block bi: from the readahead
-// cache when a prefetched copy exists or is in flight (counted as a hit),
-// otherwise straight from a replica, verifying only the checksum chunks
-// the window overlaps (counted as a miss).
-func (r *Reader) rangeFromBlock(bi int, bo, want int64) ([]byte, error) {
+// AppendRangeSlices appends immutable views covering [off, off+length) of
+// the file to dst and returns it — the zero-copy serving path. With the
+// shared block cache the views alias cached block data (references held
+// until Close); without it each view is a freshly fetched window buffer.
+// A short block yields io.ErrUnexpectedEOF, an offset at or past EOF
+// io.EOF; length is clamped to the file end.
+func (r *Reader) AppendRangeSlices(dst [][]byte, off, length int64) ([][]byte, error) {
+	if off < 0 {
+		return dst, fmt.Errorf("hdfs: negative read offset %d", off)
+	}
+	if length == 0 {
+		return dst, nil
+	}
+	if off >= r.size {
+		return dst, io.EOF
+	}
+	if rem := r.size - off; length > rem {
+		length = rem
+	}
+	var n int64
+	for bi := r.blockIndex(off); n < length && bi < len(r.blocks); bi++ {
+		bo := off + n - r.starts[bi]
+		want := length - n
+		if rem := r.blocks[bi].Length - bo; want > rem {
+			want = rem
+		}
+		sl, err := r.blockRangeSlice(bi, bo, want)
+		if len(sl) > 0 {
+			dst = append(dst, sl)
+		}
+		n += int64(len(sl))
+		if err != nil {
+			return dst, err
+		}
+		if int64(len(sl)) < want {
+			return dst, io.ErrUnexpectedEOF
+		}
+	}
+	return dst, nil
+}
+
+// RangeSlices is AppendRangeSlices into a fresh slice set.
+func (r *Reader) RangeSlices(off, length int64) ([][]byte, error) {
+	return r.AppendRangeSlices(nil, off, length)
+}
+
+// localSlot returns the reader-local readahead entry for block bi, or nil.
+func (r *Reader) localSlot(bi int) *raEntry {
 	r.mu.Lock()
 	e := r.cache[bi]
 	r.mu.Unlock()
-	if e != nil {
-		<-e.ready
-		if e.err == nil {
-			r.client.cluster.reg.Counter("readahead_hits").Inc()
-			if hsp := r.span.StartChild("hdfs.read_block"); hsp != nil {
-				hsp.AnnotateInt("block", int64(r.blocks[bi].ID))
-				hsp.Annotate("readahead", "hit")
-				hsp.End()
-			}
-			end := bo + want
-			if end > int64(len(e.data)) {
-				end = int64(len(e.data))
-			}
-			if bo > end {
-				bo = end
-			}
-			return e.data[bo:end], nil
+	return e
+}
+
+// localSlotData waits for a readahead slot and returns its data, dropping
+// the slot on fetch failure so the caller retries against live replicas.
+func (r *Reader) localSlotData(bi int, e *raEntry) ([]byte, bool) {
+	<-e.ready
+	if e.err == nil {
+		r.client.cluster.reg.Counter("readahead_hits").Inc()
+		if hsp := r.span.StartChild("hdfs.read_block"); hsp != nil {
+			hsp.AnnotateInt("block", int64(r.blocks[bi].ID))
+			hsp.Annotate("readahead", "hit")
+			hsp.End()
 		}
-		// The prefetch failed (e.g. every replica was down when it ran);
-		// drop the slot and retry synchronously, which re-ranks replicas
-		// as they are now.
-		r.mu.Lock()
-		if r.cache[bi] == e {
-			delete(r.cache, bi)
-		}
+		return e.data, true
+	}
+	// The prefetch failed (e.g. every replica was down when it ran);
+	// drop the slot and retry synchronously, which re-ranks replicas
+	// as they are now.
+	r.mu.Lock()
+	if r.cache[bi] == e {
+		delete(r.cache, bi)
+	}
+	r.mu.Unlock()
+	return nil, false
+}
+
+// cacheEntry returns a referenced shared-cache entry for block bi, filling
+// it single-flight from replicas when absent. The reference is transient:
+// the caller must Release it. When the reader already retains the block
+// (slices handed out), that retained entry is reused with an extra
+// reference so mixed ReadAt/slice traffic stays cheap.
+func (r *Reader) cacheEntry(bc *BlockCache, bi int) (*CacheEntry, error) {
+	info := r.blocks[bi]
+	r.mu.Lock()
+	if e := r.retained[info.ID]; e != nil {
+		e.retain()
 		r.mu.Unlock()
+		return e, nil
+	}
+	r.mu.Unlock()
+	e, source, err := bc.GetOrFill(info.ID, func() ([]byte, error) {
+		return r.client.fetchWithFailover(r.span, "cache_fill", info, func(dn *DataNode) ([]byte, error) {
+			return dn.Read(info.ID)
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	if source != "fill" && r.span.Recording() {
+		// Fills already emit an annotated hdfs.read_block span from the
+		// replica fetch; hits and single-flight joins record a cheap span
+		// so traces attribute the window to the cache.
+		if hsp := r.span.StartChild("hdfs.read_block"); hsp != nil {
+			hsp.AnnotateInt("block", int64(info.ID))
+			hsp.Annotate("cache", source)
+			hsp.End()
+		}
+	}
+	return e, nil
+}
+
+// retainEntry records e as backing handed-out slices, owning its reference
+// until Close. Reports false — caller keeps ownership — when the reader is
+// closed or already retains the block.
+func (r *Reader) retainEntry(e *CacheEntry) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed || r.retained[e.id] != nil {
+		return false
+	}
+	if r.retained == nil {
+		r.retained = make(map[BlockID]*CacheEntry)
+	}
+	r.retained[e.id] = e
+	return true
+}
+
+// blockRangeInto copies [bo, bo+len(dst)) of block bi into dst, serving
+// from the reader-local readahead slot, then the shared block cache
+// (single-flight fill, reference held only for the copy — a sequential
+// whole-file scan never pins more than one block), then straight from a
+// replica, verifying and copying only the checksum chunks the window
+// overlaps.
+func (r *Reader) blockRangeInto(bi int, bo int64, dst []byte) (int, error) {
+	if e := r.localSlot(bi); e != nil {
+		if data, ok := r.localSlotData(bi, e); ok {
+			return copyWindow(dst, data, bo), nil
+		}
+	}
+	if bc := r.client.cluster.BlockCache(); bc != nil {
+		e, err := r.cacheEntry(bc, bi)
+		if err != nil {
+			return 0, err
+		}
+		n := copyWindow(dst, e.data, bo)
+		e.Release()
+		return n, nil
+	}
+	r.client.cluster.reg.Counter("readahead_misses").Inc()
+	return r.client.fetchRangeInto(r.span, "miss", r.blocks[bi], bo, dst)
+}
+
+// blockRangeSlice returns a view of [bo, bo+want) of block bi without
+// copying when a cached copy exists (reader-local or shared); otherwise it
+// fetches exactly that window into a fresh buffer. Shared-cache views stay
+// referenced until Close.
+func (r *Reader) blockRangeSlice(bi int, bo, want int64) ([]byte, error) {
+	if e := r.localSlot(bi); e != nil {
+		if data, ok := r.localSlotData(bi, e); ok {
+			return sliceWindow(data, bo, want), nil
+		}
+	}
+	if bc := r.client.cluster.BlockCache(); bc != nil {
+		e, err := r.cacheEntry(bc, bi)
+		if err != nil {
+			return nil, err
+		}
+		sl := sliceWindow(e.data, bo, want)
+		if !r.retainEntry(e) {
+			// Closed reader (nothing would hold the reference past this
+			// call): hand back a copy instead of an unguarded view.
+			// Already-retained block: the retained reference covers the
+			// view's lifetime and this transient one is extra.
+			r.mu.Lock()
+			closed := r.closed
+			r.mu.Unlock()
+			if closed {
+				cp := make([]byte, len(sl))
+				copy(cp, sl)
+				sl = cp
+			}
+			e.Release()
+		}
+		return sl, nil
 	}
 	r.client.cluster.reg.Counter("readahead_misses").Inc()
 	return r.client.fetchWithFailover(r.span, "miss", r.blocks[bi], func(dn *DataNode) ([]byte, error) {
 		return dn.ReadRange(r.blocks[bi].ID, bo, want)
 	})
+}
+
+// copyWindow copies data[bo:bo+len(dst)] into dst, clamped to len(data).
+func copyWindow(dst, data []byte, bo int64) int {
+	if bo >= int64(len(data)) {
+		return 0
+	}
+	return copy(dst, data[bo:])
+}
+
+// sliceWindow returns data[bo:bo+want], clamped to len(data).
+func sliceWindow(data []byte, bo, want int64) []byte {
+	if bo >= int64(len(data)) {
+		return nil
+	}
+	end := bo + want
+	if end > int64(len(data)) {
+		end = int64(len(data))
+	}
+	return data[bo:end]
 }
 
 // maybePrefetch arms readahead for the block after the one a prospective
@@ -184,11 +403,20 @@ func (r *Reader) maybePrefetch(off, n int64) {
 	r.prefetch(j + 1)
 }
 
-// prefetch starts a background whole-block fetch of block bi into the
-// reader's cache unless one is already there; blocks the consumer has
-// passed are evicted so the cache never outgrows current+next.
+// prefetch warms block bi in the background: into the shared cache when
+// enabled (one fill serves every reader), otherwise into the reader-local
+// slot cache, evicting slots the consumer has passed so the local cache
+// never outgrows current+next.
 func (r *Reader) prefetch(bi int) {
+	if bc := r.client.cluster.BlockCache(); bc != nil {
+		r.prefetchShared(bc, bi)
+		return
+	}
 	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
 	if _, ok := r.cache[bi]; ok {
 		r.mu.Unlock()
 		return
@@ -197,6 +425,9 @@ func (r *Reader) prefetch(bi int) {
 		if k < bi-1 {
 			delete(r.cache, k)
 		}
+	}
+	if r.cache == nil {
+		r.cache = make(map[int]*raEntry)
 	}
 	e := &raEntry{ready: make(chan struct{})}
 	r.cache[bi] = e
@@ -216,5 +447,34 @@ func (r *Reader) prefetch(bi int) {
 		}
 		psp.End()
 		close(e.ready)
+	}()
+}
+
+// prefetchShared warms block bi in the shared cache. Residency is checked
+// first so repeat triggers on the same block tail cost one lock hop; the
+// fill itself is single-flight across all readers.
+func (r *Reader) prefetchShared(bc *BlockCache, bi int) {
+	info := r.blocks[bi]
+	if e, ok := bc.acquire(info.ID); ok {
+		e.Release()
+		return
+	}
+	r.client.cluster.reg.Counter("readahead_prefetches").Inc()
+	psp := r.span.StartChild("hdfs.prefetch")
+	if psp != nil {
+		psp.AnnotateInt("block", int64(info.ID))
+	}
+	go func() {
+		e, _, err := bc.GetOrFill(info.ID, func() ([]byte, error) {
+			return r.client.fetchWithFailover(psp, "prefetch", info, func(dn *DataNode) ([]byte, error) {
+				return dn.Read(info.ID)
+			})
+		})
+		if err != nil {
+			psp.SetError(err)
+		} else {
+			e.Release()
+		}
+		psp.End()
 	}()
 }

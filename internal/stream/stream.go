@@ -10,22 +10,142 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
 )
 
+// SliceRanger is content that can expose a byte range as views of its
+// backing storage instead of copying through a read buffer — the HDFS
+// reader implements it by slicing shared-cache block data. Serve uses it
+// for the zero-copy response path.
+type SliceRanger interface {
+	Size() int64
+	// AppendRangeSlices appends views covering [off, off+length) (clamped
+	// to EOF) to dst. The views must stay valid until the content is
+	// closed.
+	AppendRangeSlices(dst [][]byte, off, length int64) ([][]byte, error)
+}
+
 // Serve writes content with full Range support (206 partial content,
-// Accept-Ranges, If-Range) using the standard library's ServeContent over
-// any io.ReadSeeker — which the HDFS reader satisfies, so playback bytes
-// come straight out of replicated blocks.
+// Accept-Ranges, If-Range) — the paper's draggable-time-bar mechanism.
+//
+// Content implementing SliceRanger takes the zero-copy path: the requested
+// window is resolved to views of cached block data and written with a
+// single readv-style vectored write (net.Buffers), so no serving buffer
+// ever holds a copy of the bytes. Everything else — multi-range requests,
+// If-Range, plain io.ReadSeeker content — falls back to the standard
+// library's ServeContent.
 func Serve(w http.ResponseWriter, r *http.Request, name string, content io.ReadSeeker) {
 	// The paper streams H.264 in an MP4 container to Flowplayer, so the
 	// response carries the real media type (not the internal .vcf
 	// container extension).
 	w.Header().Set("Content-Type", "video/mp4")
+	if sr, ok := content.(SliceRanger); ok && r.Header.Get("If-Range") == "" {
+		if serveSlices(w, r, sr) {
+			return
+		}
+	}
 	http.ServeContent(w, r, name, time.Time{}, content)
+}
+
+// serveSlices answers GET/HEAD with an optional single Range out of a
+// SliceRanger, reporting whether it handled the request. Requests it does
+// not speak (multi-range, malformed specs, non-bytes units) return false
+// and fall back to ServeContent.
+func serveSlices(w http.ResponseWriter, r *http.Request, sr SliceRanger) bool {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		return false
+	}
+	size := sr.Size()
+	off, length := int64(0), size
+	status := http.StatusOK
+	if spec := r.Header.Get("Range"); spec != "" {
+		var ok bool
+		off, length, ok = parseRange(spec, size)
+		if !ok {
+			return false
+		}
+		if off < 0 {
+			// Syntactically valid but unsatisfiable (start past EOF, or
+			// any range against an empty file).
+			w.Header().Set("Content-Range", fmt.Sprintf("bytes */%d", size))
+			http.Error(w, "requested range not satisfiable", http.StatusRequestedRangeNotSatisfiable)
+			return true
+		}
+		status = http.StatusPartialContent
+		w.Header().Set("Content-Range", fmt.Sprintf("bytes %d-%d/%d", off, off+length-1, size))
+	}
+	w.Header().Set("Accept-Ranges", "bytes")
+	w.Header().Set("Content-Length", strconv.FormatInt(length, 10))
+	w.WriteHeader(status)
+	if r.Method == http.MethodHead || length == 0 {
+		return true
+	}
+	slices, err := sr.AppendRangeSlices(nil, off, length)
+	if err != nil {
+		// Headers are on the wire; aborting the connection mid-body is the
+		// only honest signal left (ServeContent has the same failure mode).
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		return true
+	}
+	// One vectored write: on a TCP connection net.Buffers becomes writev,
+	// handing every cached block slice to the kernel without concatenating
+	// them into a response buffer.
+	bufs := net.Buffers(slices)
+	bufs.WriteTo(w)
+	return true
+}
+
+// parseRange parses a single-range "bytes=" spec against size, returning
+// the window and ok=false for specs this path does not serve (multi-range,
+// non-bytes units, syntax errors) — those fall back to ServeContent. A
+// syntactically valid but unsatisfiable range returns off=-1 with ok=true.
+func parseRange(spec string, size int64) (off, length int64, ok bool) {
+	const prefix = "bytes="
+	if !strings.HasPrefix(spec, prefix) || strings.ContainsAny(spec, ", ") {
+		return 0, 0, false
+	}
+	startStr, endStr, found := strings.Cut(spec[len(prefix):], "-")
+	if !found {
+		return 0, 0, false
+	}
+	if startStr == "" {
+		// Suffix form "-n": the final n bytes.
+		n, err := strconv.ParseInt(endStr, 10, 64)
+		if err != nil || n < 0 {
+			return 0, 0, false
+		}
+		if n == 0 || size == 0 {
+			return -1, 0, true
+		}
+		if n > size {
+			n = size
+		}
+		return size - n, n, true
+	}
+	start, err := strconv.ParseInt(startStr, 10, 64)
+	if err != nil || start < 0 {
+		return 0, 0, false
+	}
+	if start >= size {
+		return -1, 0, true
+	}
+	if endStr == "" {
+		return start, size - start, true
+	}
+	end, err := strconv.ParseInt(endStr, 10, 64)
+	if err != nil || end < start {
+		return 0, 0, false
+	}
+	if end >= size {
+		end = size - 1
+	}
+	return start, end - start + 1, true
 }
 
 // Player is a headless streaming client.
@@ -57,6 +177,12 @@ var (
 	ErrBadStatus      = errors.New("stream: unexpected HTTP status")
 )
 
+// probeDrainLimit bounds how much of a probe response body the player reads
+// before giving up on it. A range-honouring server sends 1 byte; a server
+// that ignores Range would otherwise make the probe download the whole
+// video just to learn it can't seek.
+const probeDrainLimit = 4 << 10
+
 // Probe asks for the first byte to learn total size and Range support.
 func (p *Player) Probe(url string) (size int64, err error) {
 	req, err := http.NewRequest(http.MethodGet, url, nil)
@@ -69,10 +195,15 @@ func (p *Player) Probe(url string) (size int64, err error) {
 		return 0, err
 	}
 	defer resp.Body.Close()
-	io.Copy(io.Discard, resp.Body)
+	// Drain at most a few KiB so the connection can be reused in the
+	// common case, then just close: never slurp a 200-with-full-body.
+	io.CopyN(io.Discard, resp.Body, probeDrainLimit)
 	switch resp.StatusCode {
-	case http.StatusPartialContent:
-		// Range honoured — fall through to Content-Range parsing.
+	case http.StatusPartialContent,
+		http.StatusRequestedRangeNotSatisfiable:
+		// 206: range honoured. 416: range understood but the file is
+		// empty (no byte 0 exists) — both carry the total size in
+		// Content-Range, as "bytes 0-0/N" or "bytes */N".
 	case http.StatusOK:
 		// The server answered with the full body: it works, it just
 		// ignores Range — the only reply that genuinely means "no range
@@ -81,7 +212,7 @@ func (p *Player) Probe(url string) (size int64, err error) {
 	default:
 		return 0, fmt.Errorf("%w: %d", ErrBadStatus, resp.StatusCode)
 	}
-	// Content-Range: bytes 0-0/12345
+	// Content-Range: bytes 0-0/12345 (or bytes */0 for an empty file)
 	cr := resp.Header.Get("Content-Range")
 	i := strings.LastIndexByte(cr, '/')
 	if i < 0 {
@@ -126,6 +257,18 @@ func (p *Player) Play(url string, seekFractions []float64, verify func(off int64
 		return nil, err
 	}
 	rep := &Report{Size: size, Requests: 1}
+	if size == 0 {
+		// A zero-length video has nothing to fetch; the session is just
+		// the probe. Seek fractions are still validated — a bad drag is a
+		// caller bug regardless of content length.
+		for _, f := range seekFractions {
+			if f < 0 || f >= 1 {
+				return nil, fmt.Errorf("stream: seek fraction %v out of [0,1)", f)
+			}
+			rep.Seeks++
+		}
+		return rep, nil
+	}
 	fetch := func(off int64) error {
 		end := off + p.chunk() - 1
 		if end >= size {

@@ -453,6 +453,10 @@ func (s *Site) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	rd, err := s.store.OpenSeekerCtx(ctx, path)
 	if err == nil {
+		// The reader retains a block-cache reference for every slice it
+		// hands to the response; Close releases them once the response is
+		// written so the cache can evict again.
+		defer rd.Close()
 		// Open only consults NameNode metadata; dead DataNodes surface
 		// on the first read. Probe one byte before committing to a 200.
 		var probe [1]byte
