@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test race alloccheck chaosshort chaos bench benchall trace
+.PHONY: tier1 vet build test race alloccheck chaosshort chaos bench benchall trace scale
 
 tier1: vet build race alloccheck chaosshort
 
@@ -23,7 +23,7 @@ race:
 	$(GO) test -race ./...
 
 alloccheck:
-	$(GO) test -run 'TestAlloc' ./internal/video/ ./internal/hdfs/ ./internal/trace/
+	$(GO) test -run 'TestAlloc' ./internal/video/ ./internal/hdfs/ ./internal/trace/ ./internal/ingress/
 
 # Short-mode chaos soak: the seeded fault-injection run (host crash,
 # DataNode crash, block corruption, tracker death mid-job) at reduced
@@ -38,6 +38,14 @@ chaos:
 	CHAOS_BENCH_OUT=$(CURDIR)/BENCH_recovery.json \
 		$(GO) test -race -count=1 -run 'TestChaosSoak' ./internal/core/
 	@echo "wrote BENCH_recovery.json (seed $$(grep -m1 '"seed"' BENCH_recovery.json | tr -dc 0-9))"
+
+# Serving-fleet scale sweep: closed-loop Zipf viewers against 1/4/8
+# NIC-capped frontends plus the flash-crowd single-flight phase; the rows
+# and flash report land in BENCH_scale.json for comparison across PRs.
+scale:
+	SCALE_BENCH_OUT=$(CURDIR)/BENCH_scale.json \
+		$(GO) test -short -count=1 -run 'TestScaleBench' ./internal/experiments/
+	@echo "wrote BENCH_scale.json ($$(grep -c '"throughput_x"' BENCH_scale.json) fleet rows + flash report)"
 
 # Hot-path benchmarks: -cpu 1,4 shows how the conversion worker pool and
 # the HDFS block fan-out scale with real cores; results land in

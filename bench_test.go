@@ -199,6 +199,15 @@ func BenchmarkE13CriticalPath(b *testing.B) {
 	b.ReportMetric(cell(tbl, -1, "share_pct"), "playback_coverage_pct")
 }
 
+// BenchmarkE14ServingScale — closed-loop Zipf load against 1/4/8 NIC-capped
+// frontends over a 4-shard metadata store, plus a flash crowd exercising the
+// single-flight home cache (rows 0-2 are the fleet sizes; the harness gates
+// >=2x at 4 and >=3x at 8 frontends with p99 within 2x of the baseline).
+func BenchmarkE14ServingScale(b *testing.B) {
+	tbl := runE(b, experiments.E14ServingScale)
+	b.ReportMetric(cell(tbl, 2, "vs_1fe"), "throughput_x/8-frontends")
+}
+
 // ---- substrate micro-benchmarks ----
 
 // BenchmarkIndexSearch measures ranked query latency on a 10k-video index.

@@ -38,6 +38,12 @@ func main() {
 	adminPass := flag.String("admin-pass", "admin", "admin account password")
 	transcodeWorkers := flag.Int("transcode-workers", 0,
 		"async conversion pool size (0 = convert uploads inline)")
+	frontends := flag.Int("frontends", 1,
+		"web-server replicas behind the ingress balancer (1 = no ingress)")
+	dbShards := flag.Int("dbshards", 1,
+		"metadata store shards hashed by id (1 = single embedded DB)")
+	streamRate := flag.Int64("stream-rate", 0,
+		"per-frontend streaming egress cap in bytes/sec (0 = unpaced)")
 	selfheal := flag.Bool("selfheal", true,
 		"arm failure detection + automatic recovery (host heartbeats, HDFS healer)")
 	traceMode := flag.String("trace", "off",
@@ -63,7 +69,9 @@ func main() {
 		PhysicalHosts: *hosts, DataVMs: *dataVMs,
 		AdminUser: *admin, AdminPassword: *adminPass,
 		TranscodeWorkers: *transcodeWorkers,
-		Trace:            topts,
+		Frontends:        *frontends, MetadataShards: *dbShards,
+		StreamRateBytesPerSec: *streamRate,
+		Trace:                 topts,
 	})
 	if err != nil {
 		log.Fatalf("boot: %v", err)
@@ -71,6 +79,10 @@ func main() {
 	st := vc.Status()
 	log.Printf("videocloud: %d hosts, %d VMs running, datanodes %v",
 		st.Hosts, len(st.VMs), st.DataNodes)
+	if st.Fleet.Frontends > 1 || st.Fleet.MetadataShards > 1 {
+		log.Printf("videocloud: serving fleet: %d frontends, %d metadata shards",
+			st.Fleet.Frontends, st.Fleet.MetadataShards)
+	}
 	for _, vm := range st.VMs {
 		log.Printf("  vm %-14s state=%-8s host=%-6s ip=%s", vm.Name, vm.State, vm.Host, vm.IP)
 	}
@@ -162,6 +174,11 @@ func logRouteDashboard(vc *core.VideoCloud) {
 			"stored=%d active=%d recent=%d retained=%d",
 			tr.RootsStarted, tr.RootsSampled, tr.SpansRecorded, tr.SpansDropped,
 			tr.TracesStored, tr.ActiveTraces, tr.RecentTraces, tr.RetainedTraces)
+	}
+	fl := st.Fleet
+	if fl.Frontends > 1 {
+		log.Printf("fleet frontends=%d shards=%d routes affine/spread=%d/%d backend_requests=%v",
+			fl.Frontends, fl.MetadataShards, fl.AffineRoutes, fl.SpreadRoutes, fl.BackendRequests)
 	}
 }
 

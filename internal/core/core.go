@@ -21,6 +21,7 @@ import (
 
 	"videocloud/internal/fusebridge"
 	"videocloud/internal/hdfs"
+	"videocloud/internal/ingress"
 	"videocloud/internal/mapred"
 	"videocloud/internal/metrics"
 	"videocloud/internal/migrate"
@@ -28,6 +29,7 @@ import (
 	"videocloud/internal/search"
 	"videocloud/internal/trace"
 	"videocloud/internal/video"
+	"videocloud/internal/videodb"
 	"videocloud/internal/virt"
 	"videocloud/internal/web"
 )
@@ -66,6 +68,17 @@ type Config struct {
 	TranscodeWorkers int
 	// TranscodeQueueCap bounds the async transcode intake queue.
 	TranscodeQueueCap int
+	// Frontends is the number of web-server replicas behind the ingress
+	// balancer (default 1: the paper's single web VM; >1 builds the
+	// scale-out serving fleet E14 measures).
+	Frontends int
+	// MetadataShards splits the metadata store into independent shards
+	// hashed by id (default 1: one videodb.DB; >1 builds a
+	// videodb.ShardedDB).
+	MetadataShards int
+	// StreamRateBytesPerSec caps each frontend's aggregate streaming
+	// egress — the per-web-VM NIC model. Zero leaves replicas unpaced.
+	StreamRateBytesPerSec int64
 	// Recovery tunes host failure detection and VM auto-restart (zero
 	// values select the nebula defaults; arm detection with
 	// StartSelfHealing).
@@ -103,6 +116,12 @@ func (c Config) withDefaults() Config {
 	if c.BlockSize == 0 {
 		c.BlockSize = 4 << 20
 	}
+	if c.Frontends == 0 {
+		c.Frontends = 1
+	}
+	if c.MetadataShards == 0 {
+		c.MetadataShards = 1
+	}
 	return c
 }
 
@@ -114,6 +133,8 @@ type VideoCloud struct {
 	engine *mapred.Engine
 	mount  *fusebridge.Mount
 	site   *web.Site
+	sites  []*web.Site
+	lb     *ingress.Balancer
 	reg    *metrics.Registry
 	healer *hdfs.Healer
 	tracer *trace.Tracer
@@ -222,18 +243,44 @@ func New(cfg Config) (*VideoCloud, error) {
 	}
 
 	// ---- SaaS: the website, converting uploads on the data VMs ----
-	vc.site, err = web.New(web.Config{
-		Store:             vc.mount,
-		Farm:              video.Farm{Nodes: trackers},
-		Target:            cfg.Target,
-		AdminUser:         cfg.AdminUser,
-		AdminPassword:     cfg.AdminPassword,
-		TranscodeWorkers:  cfg.TranscodeWorkers,
-		TranscodeQueueCap: cfg.TranscodeQueueCap,
-		Tracer:            vc.tracer,
-	})
+	// MetadataShards > 1 swaps the single embedded DB for a sharded store
+	// (per-shard latency lands in the stack registry); Frontends > 1 builds
+	// replica Sites over the shared fleet state behind an ingress balancer.
+	webCfg := web.Config{
+		Store:                 vc.mount,
+		Farm:                  video.Farm{Nodes: trackers},
+		Target:                cfg.Target,
+		AdminUser:             cfg.AdminUser,
+		AdminPassword:         cfg.AdminPassword,
+		TranscodeWorkers:      cfg.TranscodeWorkers,
+		TranscodeQueueCap:     cfg.TranscodeQueueCap,
+		StreamRateBytesPerSec: cfg.StreamRateBytesPerSec,
+		Tracer:                vc.tracer,
+	}
+	if cfg.MetadataShards > 1 {
+		sdb := videodb.NewSharded(cfg.MetadataShards)
+		sdb.SetMetrics(vc.reg)
+		webCfg.DB = sdb
+	}
+	vc.site, err = web.New(webCfg)
 	if err != nil {
 		return nil, err
+	}
+	vc.sites = []*web.Site{vc.site}
+	for i := 1; i < cfg.Frontends; i++ {
+		rep, rerr := web.NewReplica(webCfg, vc.site)
+		if rerr != nil {
+			return nil, rerr
+		}
+		vc.sites = append(vc.sites, rep)
+	}
+	if len(vc.sites) > 1 {
+		backends := make([]http.Handler, len(vc.sites))
+		for i, s := range vc.sites {
+			backends[i] = s
+		}
+		vc.lb = ingress.New(backends...)
+		vc.lb.SetMetrics(vc.reg)
 	}
 	return vc, nil
 }
@@ -250,11 +297,25 @@ func (vc *VideoCloud) Engine() *mapred.Engine { return vc.engine }
 // Mount returns the FUSE mount the site stores uploads in.
 func (vc *VideoCloud) Mount() *fusebridge.Mount { return vc.mount }
 
-// Site returns the video website.
+// Site returns the primary web replica (all replicas share one fleet state,
+// so reads and writes through any of them are equivalent).
 func (vc *VideoCloud) Site() *web.Site { return vc.site }
 
-// Handler returns the website as an http.Handler.
-func (vc *VideoCloud) Handler() http.Handler { return vc.site }
+// Sites returns every web replica in the serving fleet.
+func (vc *VideoCloud) Sites() []*web.Site { return vc.sites }
+
+// Ingress returns the fleet's load balancer, nil for a single-frontend
+// deployment.
+func (vc *VideoCloud) Ingress() *ingress.Balancer { return vc.lb }
+
+// Handler returns the serving tier as an http.Handler: the ingress balancer
+// when a fleet is deployed, the lone site otherwise.
+func (vc *VideoCloud) Handler() http.Handler {
+	if vc.lb != nil {
+		return vc.lb
+	}
+	return vc.site
+}
 
 // Metrics returns stack-level counters.
 func (vc *VideoCloud) Metrics() *metrics.Registry { return vc.reg }
@@ -466,6 +527,23 @@ type Status struct {
 	// Trace reports the distributed tracer: roots started/sampled, spans
 	// recorded/dropped, and stored-trace counts.
 	Trace trace.Stats
+	// Fleet reports the serving tier's shape and per-frontend request
+	// distribution.
+	Fleet FleetStatus
+}
+
+// FleetStatus summarises the scale-out serving tier.
+type FleetStatus struct {
+	// Frontends is the number of web replicas (1 = no ingress).
+	Frontends int
+	// MetadataShards is the number of metadata store shards (1 = single DB).
+	MetadataShards int
+	// BackendRequests is the ingress's completed-request count per
+	// frontend (nil for a single-frontend deployment).
+	BackendRequests []int64
+	// AffineRoutes / SpreadRoutes split ingress routing decisions between
+	// video-affinity and least-in-flight.
+	AffineRoutes, SpreadRoutes int64
 }
 
 // RecoveryStatus summarises the IaaS self-healing loop: how many host
@@ -506,6 +584,15 @@ func (vc *VideoCloud) Status() Status {
 	if vc.healer != nil {
 		st.Heal = vc.healer.Stats()
 	}
+	st.Fleet = FleetStatus{
+		Frontends:      len(vc.sites),
+		MetadataShards: vc.cfg.MetadataShards,
+	}
+	if vc.lb != nil {
+		st.Fleet.BackendRequests = vc.lb.Stats()
+		st.Fleet.AffineRoutes = vc.reg.Counter("ingress_affine_routes").Value()
+		st.Fleet.SpreadRoutes = vc.reg.Counter("ingress_spread_routes").Value()
+	}
 	return st
 }
 
@@ -526,13 +613,19 @@ func (vc *VideoCloud) recoveryStatus() RecoveryStatus {
 	}
 }
 
-// DrainTranscodes waits for every queued upload conversion to finish
-// (no-op for a synchronous site).
-func (vc *VideoCloud) DrainTranscodes() { vc.site.DrainTranscodes() }
+// DrainTranscodes waits for every queued upload conversion to finish on
+// every frontend (no-op for synchronous sites).
+func (vc *VideoCloud) DrainTranscodes() {
+	for _, s := range vc.sites {
+		s.DrainTranscodes()
+	}
+}
 
-// Close disarms self-healing and shuts down the site's transcode pool after
-// draining queued jobs.
+// Close disarms self-healing and shuts down every frontend's transcode pool
+// after draining queued jobs.
 func (vc *VideoCloud) Close() {
 	vc.StopSelfHealing()
-	vc.site.Close()
+	for _, s := range vc.sites {
+		s.Close()
+	}
 }

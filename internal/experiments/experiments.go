@@ -91,5 +91,6 @@ func All() []*metrics.Table {
 		E10FullStack(),
 		E11AutoScaling(),
 		E13CriticalPath(),
+		E14ServingScale(),
 	}
 }

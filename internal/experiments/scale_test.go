@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestScaleBench runs the E14 fleet sweep and gates its scaling shape; with
+// SCALE_BENCH_OUT set (the `make scale` target), the rows land in
+// BENCH_scale.json for comparison across PRs.
+func TestScaleBench(t *testing.T) {
+	rows, flash := runServingScale()
+	for _, r := range rows {
+		t.Logf("frontends=%d viewers=%d requests=%d errors=%d %.1f MB/s (%.2fx) home_p99=%.1fms stream_p99=%.1fms",
+			r.Frontends, r.Viewers, r.Requests, r.Errors,
+			r.StreamMBps, r.ThroughputX, r.HomeP99Ms, r.StreamP99Ms)
+		if r.Errors != 0 {
+			t.Errorf("%d frontends: %d errors", r.Frontends, r.Errors)
+		}
+	}
+	base, mid, top := rows[0], rows[1], rows[2]
+	if mid.ThroughputX < 2 {
+		t.Errorf("4 frontends reached %.2fx the single-frontend throughput, want >= 2x", mid.ThroughputX)
+	}
+	if top.ThroughputX < 3 {
+		t.Errorf("8 frontends reached %.2fx the single-frontend throughput, want >= 3x", top.ThroughputX)
+	}
+	if top.HomeP99Ms > 2*base.HomeP99Ms {
+		t.Errorf("home p99 degraded from %.1fms to %.1fms scaling 1 -> 8 frontends", base.HomeP99Ms, top.HomeP99Ms)
+	}
+	if top.StreamP99Ms > 2*base.StreamP99Ms {
+		t.Errorf("stream p99 degraded from %.1fms to %.1fms scaling 1 -> 8 frontends", base.StreamP99Ms, top.StreamP99Ms)
+	}
+
+	t.Logf("flash: %d home requests, %d invalidations, %d rebuilds over %d replicas",
+		flash.HomeRequests, flash.Invalidations, flash.Rebuilds, flash.Frontends)
+	bound := int64(flash.Frontends) * (flash.Invalidations + 1)
+	if flash.Rebuilds > bound {
+		t.Errorf("flash crowd ran %d rebuilds for %d invalidations on %d replicas (bound %d)",
+			flash.Rebuilds, flash.Invalidations, flash.Frontends, bound)
+	}
+
+	if out := os.Getenv("SCALE_BENCH_OUT"); out != "" {
+		report := struct {
+			Rows  []ScaleRow `json:"rows"`
+			Flash FlashRow   `json:"flash"`
+		}{rows, flash}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("scale report: %s", out)
+	}
+}

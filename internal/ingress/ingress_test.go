@@ -1,0 +1,222 @@
+package ingress
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"videocloud/internal/metrics"
+)
+
+// tagHandler records which backend served each request.
+type tagHandler struct {
+	id    int
+	mu    sync.Mutex
+	paths []string
+	delay time.Duration
+}
+
+func (h *tagHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h.delay > 0 {
+		time.Sleep(h.delay)
+	}
+	h.mu.Lock()
+	h.paths = append(h.paths, r.URL.Path)
+	h.mu.Unlock()
+	fmt.Fprintf(w, "backend-%d", h.id)
+}
+
+func newTestBalancer(n int) (*Balancer, []*tagHandler) {
+	hs := make([]*tagHandler, n)
+	backends := make([]http.Handler, n)
+	for i := range hs {
+		hs[i] = &tagHandler{id: i}
+		backends[i] = hs[i]
+	}
+	return New(backends...), hs
+}
+
+func TestVideoID(t *testing.T) {
+	cases := []struct {
+		path string
+		id   uint64
+		ok   bool
+	}{
+		{"/watch/7", 7, true},
+		{"/stream/123456", 123456, true},
+		{"/watch/", 0, false},
+		{"/stream/", 0, false},
+		{"/watch/7x", 0, false},
+		{"/watch/-1", 0, false},
+		{"/stream/9999999999999999999", 0, false}, // 19 digits: rejected
+		{"/", 0, false},
+		{"/search", 0, false},
+		{"/watchlist/7", 0, false},
+	}
+	for _, c := range cases {
+		id, ok := videoID(c.path)
+		if id != c.id || ok != c.ok {
+			t.Errorf("videoID(%q) = (%d, %v), want (%d, %v)", c.path, id, ok, c.id, c.ok)
+		}
+	}
+}
+
+// TestVideoAffinity: every request for one video must land on the same
+// backend, and placement must be identical across balancer instances
+// (restart determinism — the warm cache survives an ingress bounce).
+func TestVideoAffinity(t *testing.T) {
+	b, hs := newTestBalancer(4)
+	for i := 0; i < 20; i++ {
+		rec := httptest.NewRecorder()
+		b.ServeHTTP(rec, httptest.NewRequest("GET", "/stream/42", nil))
+	}
+	for i := 0; i < 10; i++ {
+		rec := httptest.NewRecorder()
+		b.ServeHTTP(rec, httptest.NewRequest("GET", "/watch/42", nil))
+	}
+	nonEmpty := 0
+	for _, h := range hs {
+		if len(h.paths) > 0 {
+			nonEmpty++
+			if len(h.paths) != 30 {
+				t.Fatalf("affine backend served %d of 30 requests", len(h.paths))
+			}
+		}
+	}
+	if nonEmpty != 1 {
+		t.Fatalf("video 42 spread across %d backends, want 1", nonEmpty)
+	}
+
+	b2, _ := newTestBalancer(4)
+	for id := uint64(1); id <= 200; id++ {
+		p := fmt.Sprintf("/stream/%d", id)
+		i1, a1 := b.route(p)
+		i2, a2 := b2.route(p)
+		if !a1 || !a2 || i1 != i2 {
+			t.Fatalf("video %d routed to %d/%d (affine %v/%v); placement must be deterministic", id, i1, i2, a1, a2)
+		}
+	}
+}
+
+// TestJumpHashProperties: uniform-ish spread, and growing the fleet moves
+// only a fraction of keys (the consistent-hash contract that keeps most
+// warm caches warm through a scale-out).
+func TestJumpHashProperties(t *testing.T) {
+	const keys = 10000
+	counts := make([]int, 8)
+	moved := 0
+	for k := uint64(0); k < keys; k++ {
+		b8 := jumpHash(k, 8)
+		counts[b8]++
+		if jumpHash(k, 9) != b8 {
+			moved++
+		}
+	}
+	for i, c := range counts {
+		if c < keys/8/2 || c > keys/8*2 {
+			t.Fatalf("bucket %d holds %d of %d keys; want near %d", i, c, keys, keys/8)
+		}
+	}
+	// Ideal move fraction 8→9 is 1/9 ≈ 11%; allow slack but catch
+	// rehash-everything regressions.
+	if moved > keys/5 {
+		t.Fatalf("%d of %d keys moved growing 8→9 backends; want ~%d", moved, keys, keys/9)
+	}
+	if moved == 0 {
+		t.Fatal("no keys moved growing 8→9 backends; hash ignores n")
+	}
+}
+
+// TestLeastInFlight: with one backend stalled mid-request, non-affine
+// traffic must drain to the idle backends.
+func TestLeastInFlight(t *testing.T) {
+	b, hs := newTestBalancer(3)
+	hs[0].delay = 200 * time.Millisecond
+
+	// Occupy backend 0 with one slow request.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	started := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		close(started)
+		rec := httptest.NewRecorder()
+		b.ServeHTTP(rec, httptest.NewRequest("GET", "/search?q=x", nil))
+	}()
+	<-started
+	time.Sleep(20 * time.Millisecond) // let the slow request enter ServeHTTP
+
+	for i := 0; i < 10; i++ {
+		rec := httptest.NewRecorder()
+		b.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	}
+	wg.Wait()
+
+	hs[0].mu.Lock()
+	slow := len(hs[0].paths)
+	hs[0].mu.Unlock()
+	if slow != 1 {
+		t.Fatalf("stalled backend received %d requests, want only the initial slow one", slow)
+	}
+	if got := len(hs[1].paths) + len(hs[2].paths); got != 10 {
+		t.Fatalf("idle backends served %d of 10", got)
+	}
+}
+
+func TestStatsAndMetrics(t *testing.T) {
+	b, _ := newTestBalancer(2)
+	reg := metrics.NewRegistry()
+	b.SetMetrics(reg)
+	for i := 0; i < 6; i++ {
+		rec := httptest.NewRecorder()
+		b.ServeHTTP(rec, httptest.NewRequest("GET", fmt.Sprintf("/stream/%d", i), nil))
+	}
+	rec := httptest.NewRecorder()
+	b.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+
+	stats := b.Stats()
+	var total int64
+	for _, n := range stats {
+		total += n
+	}
+	if total != 7 {
+		t.Fatalf("Stats total %d, want 7 (%v)", total, stats)
+	}
+	if got := reg.Counter("ingress_affine_routes").Value(); got != 6 {
+		t.Fatalf("affine routes %d, want 6", got)
+	}
+	if got := reg.Counter("ingress_spread_routes").Value(); got != 1 {
+		t.Fatalf("spread routes %d, want 1", got)
+	}
+}
+
+func TestNewPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New() with no backends must panic")
+		}
+	}()
+	New()
+}
+
+// TestAllocRoute is the tier-1 alloccheck gate for the ingress hot path:
+// the routing decision (id parse + policy pick) must not allocate.
+func TestAllocRoute(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocation counts")
+	}
+	b, _ := newTestBalancer(8)
+	paths := []string{"/stream/123456", "/watch/42", "/", "/search?q=cats"}
+	for _, p := range paths {
+		p := p
+		got := testing.AllocsPerRun(100, func() {
+			b.route(p)
+		})
+		if got > 1 {
+			t.Fatalf("route(%q) allocates %.1f times per op, want <= 1", p, got)
+		}
+	}
+}

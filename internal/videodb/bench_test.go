@@ -62,3 +62,75 @@ func BenchmarkSubstringScan(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkScanLastVsScan contrasts the home page's two rebuild plans over a
+// 10k-row catalog: the full-table Scan (copy every row, then keep 10) against
+// ScanLast's bounded reverse scan (copy exactly 10). The gap is the per-request
+// cost PR 7 removed from the recent-uploads rebuild.
+func BenchmarkScanLastVsScan(b *testing.B) {
+	db := benchDB(b, 10_000)
+	b.Run("scan_all_keep_10", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rows, err := db.Scan("videos", func(Row) bool { return true })
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rows) < 10 {
+				b.Fatal("short scan")
+			}
+			rows = rows[len(rows)-10:]
+			_ = rows
+		}
+	})
+	b.Run("scanlast_10", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rows, err := db.ScanLast("videos", 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rows) != 10 {
+				b.Fatal("short scanlast")
+			}
+		}
+	})
+}
+
+// BenchmarkShardedScatter measures the bounded-concurrency fan-in paths the
+// frontend fleet rides: indexed select and bounded recent-list scan across
+// 4 shards.
+func BenchmarkShardedScatter(b *testing.B) {
+	s := NewSharded(4)
+	if err := s.CreateTable("videos",
+		Column{Name: "title", Type: TString},
+		Column{Name: "uploader", Type: TInt, Indexed: true},
+	); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10_000; i++ {
+		if _, err := s.Insert("videos", Row{
+			"title": fmt.Sprintf("video %d cloud dance", i), "uploader": int64(i % 100),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("select_indexed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rows, err := s.Select("videos", "uploader", int64(i%100))
+			if err != nil || len(rows) == 0 {
+				b.Fatalf("%d rows, %v", len(rows), err)
+			}
+		}
+	})
+	b.Run("scanlast_10", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rows, err := s.ScanLast("videos", 10)
+			if err != nil || len(rows) != 10 {
+				b.Fatalf("%d rows, %v", len(rows), err)
+			}
+		}
+	})
+}

@@ -57,6 +57,28 @@ type Column struct {
 // "id" (int64), assigned on insert.
 type Row map[string]any
 
+// Store is the metadata-store surface the serving tier programs against.
+// *DB implements it directly; *ShardedDB implements it by routing
+// id-addressed operations to one shard and fanning scans out across all of
+// them. Tests inject faults by wrapping a Store.
+type Store interface {
+	CreateTable(name string, cols ...Column) error
+	Insert(table string, row Row) (int64, error)
+	InsertAt(table string, id int64, row Row) error
+	RawPut(table string, row Row) (int64, error)
+	RawPutAt(table string, id int64, row Row) error
+	Get(table string, id int64) (Row, error)
+	Update(table string, id int64, changes Row) error
+	Delete(table string, id int64) error
+	Select(table, col string, value any) ([]Row, error)
+	SelectOne(table, col string, value any) (Row, error)
+	Scan(table string, pred func(Row) bool) ([]Row, error)
+	ScanLast(table string, n int) ([]Row, error)
+	ScanSubstring(table, col, needle string) ([]Row, error)
+	Count(table string) (int, error)
+	Tables() []string
+}
+
 // Errors returned by the store.
 var (
 	ErrNoTable      = errors.New("videodb: no such table")
@@ -65,6 +87,7 @@ var (
 	ErrBadColumn    = errors.New("videodb: unknown column")
 	ErrTypeMismatch = errors.New("videodb: value type mismatch")
 	ErrUnique       = errors.New("videodb: unique constraint violation")
+	ErrDupID        = errors.New("videodb: row id already taken")
 )
 
 type table struct {
@@ -151,19 +174,13 @@ func (t *table) checkValue(col string, v any) error {
 	return nil
 }
 
-// Insert adds a row and returns its assigned id. Missing columns default to
-// zero values; unknown columns or wrong types fail.
-func (db *DB) Insert(tableName string, row Row) (int64, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	t, err := db.table(tableName)
-	if err != nil {
-		return 0, err
-	}
+// validateFull type-checks row and returns a copy with zero-value defaults
+// for every undeclared column. Caller holds the write lock.
+func (t *table) validateFull(row Row) (Row, error) {
 	full := make(Row, len(t.cols))
 	for col, v := range row {
 		if err := t.checkValue(col, v); err != nil {
-			return 0, err
+			return nil, err
 		}
 		full[col] = v
 	}
@@ -182,21 +199,82 @@ func (db *DB) Insert(tableName string, row Row) (int64, error) {
 			full[col] = float64(0)
 		}
 	}
+	return full, nil
+}
+
+// checkUnique rejects the row when a unique column collides with an existing
+// row. Caller holds the write lock.
+func (t *table) checkUnique(full Row) error {
 	for col := range t.indexes {
 		if t.cols[col].Unique {
 			if ids := t.indexes[col][full[col]]; len(ids) > 0 {
-				return 0, fmt.Errorf("%w: %s.%s = %v", ErrUnique, t.name, col, full[col])
+				return fmt.Errorf("%w: %s.%s = %v", ErrUnique, t.name, col, full[col])
 			}
 		}
 	}
-	t.nextID++
-	id := t.nextID
+	return nil
+}
+
+// put stores full under id and maintains the indexes. Caller holds the write
+// lock and has validated the row.
+func (t *table) put(id int64, full Row) {
 	full["id"] = id
 	t.rows[id] = full
 	for col, idx := range t.indexes {
 		idx[full[col]] = append(idx[full[col]], id)
 	}
-	return id, nil
+}
+
+// Insert adds a row and returns its assigned id. Missing columns default to
+// zero values; unknown columns or wrong types fail.
+func (db *DB) Insert(tableName string, row Row) (int64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.table(tableName)
+	if err != nil {
+		return 0, err
+	}
+	full, err := t.validateFull(row)
+	if err != nil {
+		return 0, err
+	}
+	if err := t.checkUnique(full); err != nil {
+		return 0, err
+	}
+	t.nextID++
+	t.put(t.nextID, full)
+	return t.nextID, nil
+}
+
+// InsertAt adds a row under a caller-chosen primary key — the placement
+// primitive the sharding router uses to keep ids globally unique while each
+// shard stores only its hash bucket. The id must be positive and unused;
+// auto-increment continues past it.
+func (db *DB) InsertAt(tableName string, id int64, row Row) error {
+	if id <= 0 {
+		return fmt.Errorf("videodb: InsertAt id must be positive, got %d", id)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.table(tableName)
+	if err != nil {
+		return err
+	}
+	if _, taken := t.rows[id]; taken {
+		return fmt.Errorf("%w: %s[%d]", ErrDupID, tableName, id)
+	}
+	full, err := t.validateFull(row)
+	if err != nil {
+		return err
+	}
+	if err := t.checkUnique(full); err != nil {
+		return err
+	}
+	if id > t.nextID {
+		t.nextID = id
+	}
+	t.put(id, full)
+	return nil
 }
 
 // RawPut stores a row verbatim, bypassing column and type validation, and
@@ -220,6 +298,29 @@ func (db *DB) RawPut(tableName string, row Row) (int64, error) {
 		idx[full[col]] = append(idx[full[col]], id)
 	}
 	return id, nil
+}
+
+// RawPutAt is RawPut under a caller-chosen primary key (the sharding
+// router's fault-injection placement path). The id must be positive and
+// unused.
+func (db *DB) RawPutAt(tableName string, id int64, row Row) error {
+	if id <= 0 {
+		return fmt.Errorf("videodb: RawPutAt id must be positive, got %d", id)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.table(tableName)
+	if err != nil {
+		return err
+	}
+	if _, taken := t.rows[id]; taken {
+		return fmt.Errorf("%w: %s[%d]", ErrDupID, tableName, id)
+	}
+	if id > t.nextID {
+		t.nextID = id
+	}
+	t.put(id, copyRow(row))
+	return nil
 }
 
 // Get returns a copy of the row with the given id.
@@ -383,6 +484,41 @@ func (db *DB) Scan(tableName string, pred func(Row) bool) ([]Row, error) {
 		if pred(t.rows[id]) {
 			out = append(out, copyRow(t.rows[id]))
 		}
+	}
+	return out, nil
+}
+
+// ScanLast returns the n highest-id rows, newest first — the home page's
+// "recent uploads" query. Unlike Scan it never copies more than n rows:
+// candidate ids are selected with one pass over the key set (a bounded
+// insertion into an n-slot window), so rebuild cost is O(rows) id
+// comparisons plus O(n) row copies instead of a full-table materialisation.
+func (db *DB) ScanLast(tableName string, n int) ([]Row, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, err := db.table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, nil
+	}
+	// top holds the n largest ids seen so far, descending.
+	top := make([]int64, 0, n)
+	for id := range t.rows {
+		if len(top) == n && id <= top[n-1] {
+			continue
+		}
+		i := sort.Search(len(top), func(i int) bool { return top[i] < id })
+		if len(top) < n {
+			top = append(top, 0)
+		}
+		copy(top[i+1:], top[i:])
+		top[i] = id
+	}
+	out := make([]Row, 0, len(top))
+	for _, id := range top {
+		out = append(out, copyRow(t.rows[id]))
 	}
 	return out, nil
 }

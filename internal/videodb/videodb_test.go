@@ -300,3 +300,56 @@ func TestRawPutBypassesValidation(t *testing.T) {
 		t.Fatalf("count after delete = %d", n)
 	}
 }
+
+func TestScanLast(t *testing.T) {
+	db := New()
+	if err := db.CreateTable("videos", Column{Name: "title", Type: TString}); err != nil {
+		t.Fatal(err)
+	}
+	// Empty table and n <= 0 are clean no-ops.
+	if rows, err := db.ScanLast("videos", 10); err != nil || len(rows) != 0 {
+		t.Fatalf("empty ScanLast: %v, %v", rows, err)
+	}
+	if rows, err := db.ScanLast("videos", 0); err != nil || rows != nil {
+		t.Fatalf("ScanLast(0): %v, %v", rows, err)
+	}
+	if _, err := db.ScanLast("nope", 1); !errors.Is(err, ErrNoTable) {
+		t.Fatalf("missing table: %v", err)
+	}
+	for i := 1; i <= 25; i++ {
+		if _, err := db.Insert("videos", Row{"title": fmt.Sprintf("v%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, err := db.ScanLast("videos", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("ScanLast(10) = %d rows", len(rows))
+	}
+	for i, r := range rows {
+		if want := int64(25 - i); r["id"] != want {
+			t.Fatalf("rows[%d] id = %v, want %d (newest first)", i, r["id"], want)
+		}
+	}
+	// Deleting the newest row keeps the window correct.
+	if err := db.Delete("videos", 25); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ = db.ScanLast("videos", 3)
+	if len(rows) != 3 || rows[0]["id"] != int64(24) {
+		t.Fatalf("after delete: %v", rows)
+	}
+	// n larger than the table returns everything, newest first.
+	rows, _ = db.ScanLast("videos", 100)
+	if len(rows) != 24 || rows[23]["id"] != int64(1) {
+		t.Fatalf("oversized n: %d rows, tail %v", len(rows), rows[len(rows)-1])
+	}
+	// Returned rows are copies: mutation must not leak into the store.
+	rows[0]["title"] = "mutated"
+	orig, _ := db.Get("videos", 24)
+	if orig["title"] == "mutated" {
+		t.Fatal("ScanLast returned an aliased row")
+	}
+}

@@ -2,75 +2,113 @@ package web
 
 import (
 	"sync"
-
-	"videocloud/internal/videodb"
 )
 
 // homeRecent is how many recent uploads the home page lists.
 const homeRecent = 10
 
-// hotCache is the serving tier's read-through cache. It holds exactly two
-// things the hot path used to recompute per request: the home page's
-// recent-uploads list (previously a full videodb scan per GET /) and the
-// uploader-id → username map (previously an N+1 users lookup per rendered
-// video). Invalidation rules (see README "Serving-path metrics & caching"):
-// the recent list is dropped on upload, edit, delete, and block; a username
-// entry is dropped when the admin blocks that user. View-count drift in the
-// cached list is acceptable because the home page renders titles only.
+// hotCache is one replica's read-through cache. It holds exactly two things
+// the hot path used to recompute per request: the home page's recent-uploads
+// list (previously a full videodb scan per GET /) and the uploader-id →
+// username map (previously an N+1 users lookup per rendered video).
+//
+// The recent list is fleet- and shard-aware: instead of a local boolean it
+// is tagged with the fleetState.recentGen generation it was built at, so an
+// invalidation on any replica (upload, edit, delete, block) is one atomic
+// bump that stales every replica's copy at once. Rebuilds are single-flight:
+// concurrent misses after an invalidation wait for one scan instead of each
+// running their own — the thundering herd a viral upload used to trigger
+// collapses to exactly one ScanLast per invalidation per replica.
+//
+// View-count drift in the cached list is acceptable because the home page
+// renders titles only.
 type hotCache struct {
-	mu        sync.RWMutex
+	mu sync.Mutex
+	// recent is valid when it is non-nil and recentGen matches the fleet
+	// generation it was built at (scanRecent never returns nil).
 	recent    []videoView
-	recentOK  bool
+	recentGen int64
+	// filling marks an in-flight rebuild; fillDone is closed when it
+	// lands. Waiters re-check the generation on wake (the fill they
+	// waited on may itself already be stale).
+	filling  bool
+	fillDone chan struct{}
+
 	usernames map[int64]string
 }
 
-// recentVideos returns the home page's recent-uploads list, rebuilding it
-// from a table scan only after an invalidation. Callers must not mutate the
-// returned slice.
+// recentVideos returns the home page's recent-uploads list, rebuilding at
+// most once per invalidation generation regardless of how many requests miss
+// concurrently. Callers must not mutate the returned slice.
 func (s *Site) recentVideos() []videoView {
-	s.cache.mu.RLock()
-	if s.cache.recentOK {
-		out := s.cache.recent
-		s.cache.mu.RUnlock()
-		s.reg.Counter("cache_recent_hits").Inc()
-		return out
+	c := &s.cache
+	gen := s.state.recentGen.Load()
+	c.mu.Lock()
+	for {
+		if c.recent != nil && c.recentGen == gen {
+			out := c.recent
+			c.mu.Unlock()
+			s.reg.Counter("cache_recent_hits").Inc()
+			return out
+		}
+		if !c.filling {
+			break
+		}
+		// Another request is already rebuilding: wait for its result
+		// rather than scanning again.
+		done := c.fillDone
+		c.mu.Unlock()
+		s.reg.Counter("cache_recent_waits").Inc()
+		<-done
+		gen = s.state.recentGen.Load()
+		c.mu.Lock()
 	}
-	s.cache.mu.RUnlock()
+	c.filling = true
+	c.fillDone = make(chan struct{})
+	done := c.fillDone
+	c.mu.Unlock()
+
 	s.reg.Counter("cache_recent_misses").Inc()
 	out := s.scanRecent()
-	s.cache.mu.Lock()
-	s.cache.recent, s.cache.recentOK = out, true
-	s.cache.mu.Unlock()
+
+	c.mu.Lock()
+	c.recent, c.recentGen = out, gen
+	c.filling = false
+	c.mu.Unlock()
+	close(done)
 	return out
 }
 
-// scanRecent is the uncached path — the full table scan every GET / paid
-// before the cache existed. It remains the correctness reference and the
-// benchmark baseline.
+// scanRecent is the uncached rebuild: a bounded reverse scan returning only
+// the newest homeRecent rows (videodb.ScanLast), not the full-table
+// materialisation the pre-PR-7 path paid. It remains the correctness
+// reference and the benchmark baseline; cache_recent_scans counts every
+// execution so tests can assert single-flight behaviour.
 func (s *Site) scanRecent() []videoView {
-	rows, _ := s.db.Scan("videos", func(videodb.Row) bool { return true })
-	out := make([]videoView, 0, homeRecent)
-	for i := len(rows) - 1; i >= 0 && len(out) < homeRecent; i-- {
-		out = append(out, s.videoView(rows[i]))
+	s.reg.Counter("cache_recent_scans").Inc()
+	rows, _ := s.db.ScanLast("videos", homeRecent)
+	out := make([]videoView, 0, len(rows))
+	for _, row := range rows {
+		out = append(out, s.videoView(row))
 	}
 	return out
 }
 
-// invalidateRecent drops the cached recent list; the next home request
-// rebuilds it.
+// invalidateRecent stales every fleet replica's cached recent list with one
+// generation bump; each replica rebuilds lazily on its next home request.
 func (s *Site) invalidateRecent() {
-	s.cache.mu.Lock()
-	s.cache.recent, s.cache.recentOK = nil, false
-	s.cache.mu.Unlock()
+	s.state.recentGen.Add(1)
 	s.reg.Counter("cache_recent_invalidations").Inc()
 }
 
-// userName resolves a user id to its username through the cache. Lookup
-// failures (deleted user, malformed row) return fallback and are not cached.
+// userName resolves a user id to its username through the replica-local
+// cache. Lookup failures (deleted user, malformed row) return fallback and
+// are not cached.
 func (s *Site) userName(id int64, fallback string) string {
-	s.cache.mu.RLock()
-	name, ok := s.cache.usernames[id]
-	s.cache.mu.RUnlock()
+	c := &s.cache
+	c.mu.Lock()
+	name, ok := c.usernames[id]
+	c.mu.Unlock()
 	if ok {
 		s.reg.Counter("cache_username_hits").Inc()
 		return name
@@ -84,18 +122,24 @@ func (s *Site) userName(id int64, fallback string) string {
 	if name == "" {
 		return fallback
 	}
-	s.cache.mu.Lock()
-	if s.cache.usernames == nil {
-		s.cache.usernames = make(map[int64]string)
+	c.mu.Lock()
+	if c.usernames == nil {
+		c.usernames = make(map[int64]string)
 	}
-	s.cache.usernames[id] = name
-	s.cache.mu.Unlock()
+	c.usernames[id] = name
+	c.mu.Unlock()
 	return name
 }
 
-// invalidateUser drops one username cache entry (admin block path).
+// invalidateUser drops one username entry from every replica's cache (admin
+// block path — moderation must be visible fleet-wide immediately).
 func (s *Site) invalidateUser(id int64) {
-	s.cache.mu.Lock()
-	delete(s.cache.usernames, id)
-	s.cache.mu.Unlock()
+	s.state.cmu.Lock()
+	caches := s.state.caches
+	s.state.cmu.Unlock()
+	for _, c := range caches {
+		c.mu.Lock()
+		delete(c.usernames, id)
+		c.mu.Unlock()
+	}
 }

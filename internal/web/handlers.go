@@ -201,12 +201,12 @@ func (s *Site) handleRegister(w http.ResponseWriter, r *http.Request) {
 	// testbed the verification link is returned in a header (the
 	// simulated email) and the page tells the user to check mail.
 	token := randomToken()
-	s.mu.Lock()
-	if s.verifyTokens == nil {
-		s.verifyTokens = make(map[string]int64)
+	s.state.mu.Lock()
+	if s.state.verifyTokens == nil {
+		s.state.verifyTokens = make(map[string]int64)
 	}
-	s.verifyTokens[token] = id
-	s.mu.Unlock()
+	s.state.verifyTokens[token] = id
+	s.state.mu.Unlock()
 	w.Header().Set("X-Verification-Link", "/verify?token="+token)
 	s.render(w, r, view{Page: "login", Title: "Log in",
 		Error: "Registered. Check your email for the verification link."})
@@ -214,12 +214,12 @@ func (s *Site) handleRegister(w http.ResponseWriter, r *http.Request) {
 
 func (s *Site) handleVerify(w http.ResponseWriter, r *http.Request) {
 	token := r.FormValue("token")
-	s.mu.Lock()
-	id, ok := s.verifyTokens[token]
+	s.state.mu.Lock()
+	id, ok := s.state.verifyTokens[token]
 	if ok {
-		delete(s.verifyTokens, token)
+		delete(s.state.verifyTokens, token)
 	}
-	s.mu.Unlock()
+	s.state.mu.Unlock()
 	if !ok {
 		http.Error(w, "bad verification token", http.StatusBadRequest)
 		return
@@ -483,7 +483,12 @@ func (s *Site) handleStream(w http.ResponseWriter, r *http.Request) {
 	s.reg.Counter("stream_requests").Inc()
 	ssp := trace.FromContext(ctx).StartChild("stream.serve")
 	ssp.Annotate("path", path)
-	stream.Serve(w, r, path, rd)
+	if s.streamPacer != nil {
+		// Meter egress through the replica's NIC-model token bucket.
+		stream.Serve(pacedWriter{ResponseWriter: w, p: s.streamPacer}, r, path, rd)
+	} else {
+		stream.Serve(w, r, path, rd)
+	}
 	ssp.End()
 }
 
@@ -637,14 +642,14 @@ func (s *Site) handleBlock(w http.ResponseWriter, r *http.Request) {
 	s.invalidateUser(targetID)
 	s.invalidateRecent()
 	if blocked {
-		// Kill the blocked user's sessions.
-		s.mu.Lock()
-		for tok, uid := range s.sessions {
+		// Kill the blocked user's sessions fleet-wide.
+		s.state.mu.Lock()
+		for tok, uid := range s.state.sessions {
 			if uid == targetID {
-				delete(s.sessions, tok)
+				delete(s.state.sessions, tok)
 			}
 		}
-		s.mu.Unlock()
+		s.state.mu.Unlock()
 	}
 	http.Redirect(w, r, "/admin", http.StatusSeeOther)
 }

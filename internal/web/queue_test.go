@@ -76,7 +76,7 @@ func TestAsyncUploadLifecycle(t *testing.T) {
 		return nil
 	})
 
-	id, err := site.ProcessUpload(context.Background(), site.adminID, "held", "still converting", testUploadMedia(t, 12, 9))
+	id, err := site.ProcessUpload(context.Background(), site.AdminID(), "held", "still converting", testUploadMedia(t, 12, 9))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func TestAsyncUploadFailureMarksRow(t *testing.T) {
 	boom := errors.New("node lost mid-conversion")
 	site := asyncSite(t, 1, 4, func(string, int) error { return boom })
 
-	id, err := site.ProcessUpload(context.Background(), site.adminID, "doomed", "", testUploadMedia(t, 10, 10))
+	id, err := site.ProcessUpload(context.Background(), site.AdminID(), "doomed", "", testUploadMedia(t, 10, 10))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +162,7 @@ func TestConcurrentUploadsThroughSharedPool(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			id, err := site.ProcessUpload(context.Background(), site.adminID,
+			id, err := site.ProcessUpload(context.Background(), site.AdminID(),
 				fmt.Sprintf("clip %d", i), "concurrent", testUploadMedia(t, 8+2*i, uint64(i+1)))
 			if err != nil {
 				t.Error(err)
@@ -200,16 +200,16 @@ func TestQueueBackpressure(t *testing.T) {
 		return nil
 	})
 
-	first, err := site.ProcessUpload(context.Background(), site.adminID, "first", "", testUploadMedia(t, 8, 21))
+	first, err := site.ProcessUpload(context.Background(), site.AdminID(), "first", "", testUploadMedia(t, 8, 21))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := site.ProcessUpload(context.Background(), site.adminID, "second", "", testUploadMedia(t, 8, 22)); err != nil {
+	if _, err := site.ProcessUpload(context.Background(), site.AdminID(), "second", "", testUploadMedia(t, 8, 22)); err != nil {
 		t.Fatal(err) // fills the single queue slot
 	}
 	done := make(chan int64)
 	go func() {
-		id, uerr := site.ProcessUpload(context.Background(), site.adminID, "third", "", testUploadMedia(t, 8, 23))
+		id, uerr := site.ProcessUpload(context.Background(), site.AdminID(), "third", "", testUploadMedia(t, 8, 23))
 		if uerr != nil {
 			t.Error(uerr)
 		}
@@ -264,7 +264,7 @@ func TestTranscodeConfigValidation(t *testing.T) {
 // and a failed conversion leaves no row behind.
 func TestSyncModeUnchanged(t *testing.T) {
 	site, _ := newSite(t)
-	id, err := site.ProcessUpload(context.Background(), site.adminID, "inline", "", testUploadMedia(t, 10, 31))
+	id, err := site.ProcessUpload(context.Background(), site.AdminID(), "inline", "", testUploadMedia(t, 10, 31))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +285,7 @@ func TestSyncModeUnchanged(t *testing.T) {
 		t.Fatal(err)
 	}
 	before, _ := site.db.Count("videos")
-	if _, err := site.ProcessUpload(context.Background(), site.adminID, "bad cadence", "", mismatched); err == nil {
+	if _, err := site.ProcessUpload(context.Background(), site.AdminID(), "bad cadence", "", mismatched); err == nil {
 		t.Fatal("mismatched GOP cadence converted")
 	}
 	if after, _ := site.db.Count("videos"); after != before {
@@ -323,7 +323,7 @@ func TestUploadAfterCloseFailsCleanly(t *testing.T) {
 	site := asyncSite(t, 2, 4, nil)
 	site.Close()
 	before, _ := site.db.Count("videos")
-	if _, err := site.ProcessUpload(context.Background(), site.adminID, "late", "", testUploadMedia(t, 8, 41)); err == nil {
+	if _, err := site.ProcessUpload(context.Background(), site.AdminID(), "late", "", testUploadMedia(t, 8, 41)); err == nil {
 		t.Fatal("upload after Close succeeded")
 	}
 	if after, _ := site.db.Count("videos"); after != before {
@@ -341,13 +341,13 @@ func TestZeroGOPUploadRejected(t *testing.T) {
 	meta := []byte(`{"spec":{"codec":"mpeg4","res":{"W":854,"H":480},"fps":30,"gop_seconds":2,"bitrate_bps":80000},"duration_seconds":0,"gops":0}`)
 	crafted := append(binary.BigEndian.AppendUint32([]byte("VCF1"), uint32(len(meta))), meta...)
 	before, _ := site.db.Count("videos")
-	if _, err := site.ProcessUpload(context.Background(), site.adminID, "crafted", "", crafted); err == nil {
+	if _, err := site.ProcessUpload(context.Background(), site.AdminID(), "crafted", "", crafted); err == nil {
 		t.Fatal("zero-GOP upload accepted")
 	}
 	if after, _ := site.db.Count("videos"); after != before {
 		t.Fatalf("rejected upload left a row: %d -> %d", before, after)
 	}
-	id, err := site.ProcessUpload(context.Background(), site.adminID, "normal", "", testUploadMedia(t, 8, 51))
+	id, err := site.ProcessUpload(context.Background(), site.AdminID(), "normal", "", testUploadMedia(t, 8, 51))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -383,7 +383,7 @@ func TestPartialStoreFailureCleansUp(t *testing.T) {
 	if err := mount.Mkdir("videos/1-360p.vcf"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := site.ProcessUpload(context.Background(), site.adminID, "partial", "", testUploadMedia(t, 8, 61)); err == nil {
+	if _, err := site.ProcessUpload(context.Background(), site.AdminID(), "partial", "", testUploadMedia(t, 8, 61)); err == nil {
 		t.Fatal("upload with a blocked rendition path succeeded")
 	}
 	if mount.Exists("videos/1.vcf") {

@@ -31,6 +31,10 @@ import (
 type Config struct {
 	// Store is the FUSE mount where uploads land (required).
 	Store *fusebridge.Mount
+	// DB is the metadata store. Nil builds a private single-instance
+	// videodb.DB (the paper's one MySQL box); a serving fleet passes a
+	// shared videodb.ShardedDB so every replica sees the same catalog.
+	DB videodb.Store
 	// Farm performs distributed conversion of uploads (required: at
 	// least one node).
 	Farm video.Farm
@@ -64,16 +68,49 @@ type Config struct {
 	// the middleware and threads it through the upload/stream paths down
 	// to HDFS block I/O. Nil disables tracing at zero cost.
 	Tracer *trace.Tracer
+	// StreamRateBytesPerSec caps this replica's aggregate streaming egress
+	// (a per-frontend NIC model: the paper's web VM sits on one GbE port).
+	// Zero leaves streaming unpaced.
+	StreamRateBytesPerSec int64
 }
 
 // QualityLabel names a rendition by its vertical resolution ("720p").
 func QualityLabel(s video.Spec) string { return fmt.Sprintf("%dp", s.Res.H) }
 
-// Site is the running website.
+// fleetState is the metadata every replica of a serving fleet shares: the
+// (possibly sharded) database, the search index, the session and
+// verification-token tables, and the cache-invalidation fan-out. A
+// single-replica site owns a private instance; NewReplica hands additional
+// frontends the same one, so a login on replica 0 is valid on replica 7 and
+// an upload through any replica invalidates every replica's hot cache.
+type fleetState struct {
+	db videodb.Store
+
+	mu           sync.Mutex
+	index        *search.Index
+	sessions     map[string]int64 // token -> user id
+	verifyTokens map[string]int64 // emailed verification link -> user id
+	adminID      int64
+
+	// recentGen is bumped on every recent-list invalidation; each
+	// replica's hotCache tags its cached list with the generation it was
+	// built at, so one bump invalidates the whole fleet without touching
+	// per-replica locks.
+	recentGen atomic.Int64
+
+	// caches lists every replica's hotCache for targeted username
+	// invalidation (admin block fan-out).
+	cmu    sync.Mutex
+	caches []*hotCache
+}
+
+// Site is one running frontend replica of the website. Replicas built with
+// NewReplica share a fleetState; everything else — route metrics, hot
+// caches, transcode pool, circuit breaker, stream pacer — is per-replica.
 type Site struct {
-	db         *videodb.DB
+	state      *fleetState
+	db         videodb.Store // == state.db, cached for the hot paths
 	store      *fusebridge.Mount
-	index      *search.Index
 	farm       video.Farm
 	target     video.Spec
 	renditions []video.Spec
@@ -87,6 +124,9 @@ type Site struct {
 	maxInFlight  int64
 	cache        hotCache
 
+	// streamPacer caps this replica's streaming egress; nil = unpaced.
+	streamPacer *pacer
+
 	// queue is the async transcode pool (queue.go); nil in synchronous
 	// mode.
 	queue *transcodeQueue
@@ -94,56 +134,83 @@ type Site struct {
 	// hdfsBreaker fails streaming fast while the store is down
 	// (breaker.go).
 	hdfsBreaker *breaker
-
-	mu           sync.Mutex
-	sessions     map[string]int64 // token -> user id
-	verifyTokens map[string]int64 // emailed verification link -> user id
-	adminID      int64
 }
 
-// New builds the site, creating its database schema and admin account.
-func New(cfg Config) (*Site, error) {
+// validate normalises a Config and reports the first assembly error.
+func (cfg *Config) validate() error {
 	if cfg.Store == nil {
-		return nil, errors.New("web: config missing Store")
+		return errors.New("web: config missing Store")
 	}
 	if len(cfg.Farm.Nodes) == 0 {
-		return nil, errors.New("web: farm has no conversion nodes")
+		return errors.New("web: farm has no conversion nodes")
 	}
-	target := cfg.Target
-	if target.Codec == "" {
-		target = video.Spec{Codec: video.H264, Res: video.R720p, FPS: 30, GOPSeconds: 2, BitrateBps: 2_000_000}
+	if cfg.Target.Codec == "" {
+		cfg.Target = video.Spec{Codec: video.H264, Res: video.R720p, FPS: 30, GOPSeconds: 2, BitrateBps: 2_000_000}
 	}
 	if cfg.AdminUser == "" {
 		cfg.AdminUser = "admin"
 		cfg.AdminPassword = "admin"
 	}
 	for _, r := range cfg.Renditions {
-		if r.GOPSeconds != target.GOPSeconds {
-			return nil, fmt.Errorf("web: rendition %s GOP cadence differs from target", QualityLabel(r))
+		if r.GOPSeconds != cfg.Target.GOPSeconds {
+			return fmt.Errorf("web: rendition %s GOP cadence differs from target", QualityLabel(r))
 		}
 	}
 	if cfg.TranscodeWorkers < 0 {
-		return nil, fmt.Errorf("web: TranscodeWorkers must be >= 0, got %d", cfg.TranscodeWorkers)
+		return fmt.Errorf("web: TranscodeWorkers must be >= 0, got %d", cfg.TranscodeWorkers)
 	}
 	if cfg.TranscodeQueueCap < 0 {
-		return nil, fmt.Errorf("web: TranscodeQueueCap must be >= 0, got %d", cfg.TranscodeQueueCap)
+		return fmt.Errorf("web: TranscodeQueueCap must be >= 0, got %d", cfg.TranscodeQueueCap)
 	}
+	if cfg.StreamRateBytesPerSec < 0 {
+		return fmt.Errorf("web: StreamRateBytesPerSec must be >= 0, got %d", cfg.StreamRateBytesPerSec)
+	}
+	return nil
+}
+
+// assemble builds the per-replica half of a Site around shared fleet state.
+func assemble(cfg Config, state *fleetState) *Site {
 	s := &Site{
-		db:         videodb.New(),
-		store:      cfg.Store,
-		index:      search.NewIndex(),
-		farm:       cfg.Farm,
-		target:     target,
-		renditions: cfg.Renditions,
-		reg:        metrics.NewRegistry(),
-		tracer:     cfg.Tracer,
-		sessions:   make(map[string]int64),
+		state:       state,
+		db:          state.db,
+		store:       cfg.Store,
+		farm:        cfg.Farm,
+		target:      cfg.Target,
+		renditions:  cfg.Renditions,
+		reg:         metrics.NewRegistry(),
+		tracer:      cfg.Tracer,
+		streamPacer: newPacer(cfg.StreamRateBytesPerSec),
 	}
 	s.maxInFlight = int64(cfg.MaxInFlight)
 	if s.maxInFlight == 0 {
 		s.maxInFlight = defaultMaxInFlight
 	}
 	s.hdfsBreaker = newBreaker(s.reg, cfg.BreakerThreshold, cfg.BreakerCooldown)
+	state.cmu.Lock()
+	state.caches = append(state.caches, &s.cache)
+	state.cmu.Unlock()
+	s.mux = s.routes()
+	s.startTranscoders(cfg.TranscodeWorkers, cfg.TranscodeQueueCap)
+	return s
+}
+
+// New builds the site, creating its database schema and admin account. The
+// result is the fleet's primary replica; pass it to NewReplica to add more
+// frontends over the same metadata.
+func New(cfg Config) (*Site, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	db := cfg.DB
+	if db == nil {
+		db = videodb.New()
+	}
+	state := &fleetState{
+		db:       db,
+		index:    search.NewIndex(),
+		sessions: make(map[string]int64),
+	}
+	s := assemble(cfg, state)
 	if err := s.createSchema(); err != nil {
 		return nil, err
 	}
@@ -151,10 +218,28 @@ func New(cfg Config) (*Site, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.adminID = adminID
-	s.mux = s.routes()
-	s.startTranscoders(cfg.TranscodeWorkers, cfg.TranscodeQueueCap)
+	state.mu.Lock()
+	state.adminID = adminID
+	state.mu.Unlock()
 	return s, nil
+}
+
+// NewReplica builds an additional frontend over primary's fleet state: same
+// database, index, sessions, and admin account, but its own hot caches,
+// metrics, transcode pool, circuit breaker, and stream pacer. cfg must name
+// the same Store mount; schema creation and admin registration are skipped
+// (the primary already did both).
+func NewReplica(cfg Config, primary *Site) (*Site, error) {
+	if primary == nil {
+		return nil, errors.New("web: NewReplica needs a primary site")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.DB != nil && cfg.DB != primary.state.db {
+		return nil, errors.New("web: replica config names a different DB than the fleet's")
+	}
+	return assemble(cfg, primary.state), nil
 }
 
 func (s *Site) createSchema() error {
@@ -190,26 +275,26 @@ func (s *Site) createSchema() error {
 }
 
 // DB exposes the underlying database (experiments query it directly).
-func (s *Site) DB() *videodb.DB { return s.db }
+func (s *Site) DB() videodb.Store { return s.db }
 
-// Index returns the live search index (the core re-indexes it via
-// MapReduce).
+// Index returns the live search index, shared by every fleet replica (the
+// core re-indexes it via MapReduce).
 func (s *Site) Index() *search.Index {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.index
+	s.state.mu.Lock()
+	defer s.state.mu.Unlock()
+	return s.state.index
 }
 
 // ReplaceIndex swaps in a freshly built index — the paper's "set Nutch
 // searching engine [to] renew indexed material every certain time" (§III).
-// In-flight queries finish on the old index.
+// In-flight queries finish on the old index; every replica sees the new one.
 func (s *Site) ReplaceIndex(ix *search.Index) {
 	if ix == nil {
 		return
 	}
-	s.mu.Lock()
-	s.index = ix
-	s.mu.Unlock()
+	s.state.mu.Lock()
+	s.state.index = ix
+	s.state.mu.Unlock()
 	s.reg.Counter("index_refreshes").Inc()
 }
 
@@ -230,7 +315,15 @@ func (s *Site) Documents() []search.Document {
 	return docs
 }
 
-// Metrics exposes site counters.
+// AdminID returns the administrator account's user id (shared fleet-wide).
+func (s *Site) AdminID() int64 {
+	s.state.mu.Lock()
+	defer s.state.mu.Unlock()
+	return s.state.adminID
+}
+
+// Metrics exposes this replica's counters (each fleet frontend keeps its
+// own registry — per-replica latency is the scaling experiment's signal).
 func (s *Site) Metrics() *metrics.Registry { return s.reg }
 
 // Tracer exposes the site's tracer (nil when tracing is not configured).
@@ -299,28 +392,30 @@ func (s *Site) login(username, password string) (string, error) {
 		return "", errors.New("web: account blocked by the administrator")
 	}
 	token := randomToken()
-	s.mu.Lock()
-	s.sessions[token] = rowInt(row, "id")
-	s.mu.Unlock()
+	s.state.mu.Lock()
+	s.state.sessions[token] = rowInt(row, "id")
+	s.state.mu.Unlock()
 	s.reg.Counter("logins").Inc()
 	return token, nil
 }
 
 func (s *Site) logout(token string) {
-	s.mu.Lock()
-	delete(s.sessions, token)
-	s.mu.Unlock()
+	s.state.mu.Lock()
+	delete(s.state.sessions, token)
+	s.state.mu.Unlock()
 }
 
 // currentUser resolves the request's session cookie to a user row, or nil.
+// Sessions live in the fleet state: a token minted by any replica
+// authenticates on every replica.
 func (s *Site) currentUser(r *http.Request) videodb.Row {
 	c, err := r.Cookie("session")
 	if err != nil {
 		return nil
 	}
-	s.mu.Lock()
-	id, ok := s.sessions[c.Value]
-	s.mu.Unlock()
+	s.state.mu.Lock()
+	id, ok := s.state.sessions[c.Value]
+	s.state.mu.Unlock()
 	if !ok {
 		return nil
 	}

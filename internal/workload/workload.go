@@ -76,7 +76,8 @@ func Interarrival(rng *rand.Rand, ratePerSec float64) time.Duration {
 }
 
 // Diurnal describes a 24-hour demand wave: rate(t) swings sinusoidally
-// between Base and Base*PeakFactor, peaking at PeakHour.
+// between Base and Base*PeakFactor, peaking at PeakHour. Bursts layer
+// instantaneous flash crowds on top of the wave.
 type Diurnal struct {
 	// Base is the trough arrival rate (sessions/second).
 	Base float64
@@ -84,9 +85,27 @@ type Diurnal struct {
 	PeakFactor float64
 	// PeakHour is the local hour of maximum demand (e.g. 21).
 	PeakHour float64
+	// Bursts are flash-crowd overlays: while raw t (not time-of-day) is
+	// inside a burst window the diurnal rate is multiplied by its Factor.
+	// Overlapping bursts compound. The step is instantaneous on both
+	// edges — a viral link does not ramp.
+	Bursts []Burst
 }
 
-// Rate returns the arrival rate at time-of-day t (wraps every 24h).
+// Burst is one flash-crowd window overlaid on the diurnal wave.
+type Burst struct {
+	// Start is the absolute offset at which the burst begins.
+	Start time.Duration
+	// Duration is how long the burst lasts.
+	Duration time.Duration
+	// Factor multiplies the diurnal rate inside the window (> 0;
+	// typically 5-50 for a viral event).
+	Factor float64
+}
+
+// Rate returns the arrival rate at time t. The sinusoidal component wraps
+// every 24h; burst windows are matched against the raw offset, so a burst at
+// Start=30h fires on day two, not every day.
 func (d Diurnal) Rate(t time.Duration) float64 {
 	if d.Base <= 0 || d.PeakFactor < 1 {
 		panic(fmt.Sprintf("workload: bad diurnal %+v", d))
@@ -96,7 +115,16 @@ func (d Diurnal) Rate(t time.Duration) float64 {
 	// cos(phase)=1 at the peak hour, -1 twelve hours away.
 	mid := (1 + d.PeakFactor) / 2
 	amp := (d.PeakFactor - 1) / 2
-	return d.Base * (mid + amp*math.Cos(phase))
+	rate := d.Base * (mid + amp*math.Cos(phase))
+	for _, b := range d.Bursts {
+		if b.Factor <= 0 || b.Duration < 0 {
+			panic(fmt.Sprintf("workload: bad burst %+v", b))
+		}
+		if t >= b.Start && t < b.Start+b.Duration {
+			rate *= b.Factor
+		}
+	}
+	return rate
 }
 
 // Session is one generated viewing session.
