@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test race alloccheck chaosshort chaos bench benchall trace scale
+.PHONY: tier1 vet build test race alloccheck chaosshort chaos bench benchall trace scale edge
 
 tier1: vet build race alloccheck chaosshort
 
@@ -23,7 +23,7 @@ race:
 	$(GO) test -race ./...
 
 alloccheck:
-	$(GO) test -run 'TestAlloc' ./internal/video/ ./internal/hdfs/ ./internal/trace/ ./internal/ingress/
+	$(GO) test -run 'TestAlloc' ./internal/video/ ./internal/hdfs/ ./internal/trace/ ./internal/ingress/ ./internal/edge/
 
 # Short-mode chaos soak: the seeded fault-injection run (host crash,
 # DataNode crash, block corruption, tracker death mid-job) at reduced
@@ -46,6 +46,14 @@ scale:
 	SCALE_BENCH_OUT=$(CURDIR)/BENCH_scale.json \
 		$(GO) test -short -count=1 -run 'TestScaleBench' ./internal/experiments/
 	@echo "wrote BENCH_scale.json ($$(grep -c '"throughput_x"' BENCH_scale.json) fleet rows + flash report)"
+
+# Edge-cache delivery sweep: segmented ABR viewers against one persistent
+# 4-frontend fleet plus the live-ingest phase; origin-offload rows and the
+# live staleness report land in BENCH_edge.json for comparison across PRs.
+edge:
+	EDGE_BENCH_OUT=$(CURDIR)/BENCH_edge.json \
+		$(GO) test -count=1 -run 'TestEdgeBench' ./internal/experiments/
+	@echo "wrote BENCH_edge.json ($$(grep -c '"offload_pct"' BENCH_edge.json) sweep rows + live report)"
 
 # Hot-path benchmarks: -cpu 1,4 shows how the conversion worker pool and
 # the HDFS block fan-out scale with real cores; results land in

@@ -208,6 +208,15 @@ func BenchmarkE14ServingScale(b *testing.B) {
 	b.ReportMetric(cell(tbl, 2, "vs_1fe"), "throughput_x/8-frontends")
 }
 
+// BenchmarkE15EdgeDelivery — segmented ABR fan-out against one persistent
+// 4-frontend fleet: the edge tier must absorb >= 90% of segment requests at
+// peak fan-out (row 2 is the 64-viewer level), and the live phase must keep
+// every viewer within a bounded lag of the newest segment.
+func BenchmarkE15EdgeDelivery(b *testing.B) {
+	tbl := runE(b, experiments.E15EdgeDelivery)
+	b.ReportMetric(cell(tbl, 2, "offload_pct"), "offload_pct/64-viewers")
+}
+
 // ---- substrate micro-benchmarks ----
 
 // BenchmarkIndexSearch measures ranked query latency on a 10k-video index.

@@ -44,6 +44,12 @@ func main() {
 		"metadata store shards hashed by id (1 = single embedded DB)")
 	streamRate := flag.Int64("stream-rate", 0,
 		"per-frontend streaming egress cap in bytes/sec (0 = unpaced)")
+	segmentSeconds := flag.Int("segment-seconds", 0,
+		"segmented-delivery segment duration in seconds (0 = twice the target GOP)")
+	edgeCache := flag.Int64("edge-cache", 0,
+		"per-frontend edge cache budget in bytes for playlists+segments (0 = 64 MiB default)")
+	liveTTL := flag.Duration("live-edge-ttl", 0,
+		"bound on cached playlist staleness — live segment-discovery latency (0 = 200ms default)")
 	selfheal := flag.Bool("selfheal", true,
 		"arm failure detection + automatic recovery (host heartbeats, HDFS healer)")
 	traceMode := flag.String("trace", "off",
@@ -71,6 +77,9 @@ func main() {
 		TranscodeWorkers: *transcodeWorkers,
 		Frontends:        *frontends, MetadataShards: *dbShards,
 		StreamRateBytesPerSec: *streamRate,
+		SegmentSeconds:        *segmentSeconds,
+		EdgeCacheBytes:        *edgeCache,
+		LiveEdgeTTL:           *liveTTL,
 		Trace:                 topts,
 	})
 	if err != nil {
@@ -179,6 +188,11 @@ func logRouteDashboard(vc *core.VideoCloud) {
 	if fl.Frontends > 1 {
 		log.Printf("fleet frontends=%d shards=%d routes affine/spread=%d/%d backend_requests=%v",
 			fl.Frontends, fl.MetadataShards, fl.AffineRoutes, fl.SpreadRoutes, fl.BackendRequests)
+	}
+	if eg := st.Edge; eg.Hits+eg.Fills > 0 {
+		log.Printf("edge hits=%d misses=%d joins=%d fills=%d evict=%d expire=%d rejects=%d entries=%d used=%dMB/%dMB",
+			eg.Hits, eg.Misses, eg.Joins, eg.Fills, eg.Evictions, eg.Expirations,
+			eg.AdmitRejects, eg.Entries, eg.UsedBytes>>20, eg.CapBytes>>20)
 	}
 }
 

@@ -133,6 +133,22 @@ func TestChaosSoak(t *testing.T) {
 			t.Fatalf("read back %s: %v", path, err)
 		}
 		files = append(files, upload{id, path, data})
+		// Publishing also segments the rendition; track those objects too so
+		// a corruption landing in a segment block is attributable (and the
+		// end-of-soak sweep verifies their integrity as well).
+		segs := 0
+		for k := 0; ; k++ {
+			sp := fmt.Sprintf("/videocloud/segments/%d-720p-%d.vcf", id, k)
+			sdata, serr := vc.HDFS().Client("").ReadFile(sp)
+			if serr != nil {
+				break
+			}
+			files = append(files, upload{id, sp, sdata})
+			segs++
+		}
+		if segs == 0 {
+			t.Fatalf("upload %d published no segment objects", id)
+		}
 	}
 
 	vc.StartSelfHealing(hdfs.HealerConfig{

@@ -19,6 +19,7 @@ import (
 	"net/http"
 	"time"
 
+	"videocloud/internal/edge"
 	"videocloud/internal/fusebridge"
 	"videocloud/internal/hdfs"
 	"videocloud/internal/ingress"
@@ -79,6 +80,15 @@ type Config struct {
 	// StreamRateBytesPerSec caps each frontend's aggregate streaming
 	// egress — the per-web-VM NIC model. Zero leaves replicas unpaced.
 	StreamRateBytesPerSec int64
+	// SegmentSeconds is the segmented-delivery segment duration (default
+	// twice the target GOP; must be a GOP multiple).
+	SegmentSeconds int
+	// EdgeCacheBytes budgets each frontend's in-memory edge cache for
+	// playlists and segments (default 64 MiB).
+	EdgeCacheBytes int64
+	// LiveEdgeTTL bounds how stale a cached playlist may be — the live
+	// viewer's segment-discovery latency (default 200ms).
+	LiveEdgeTTL time.Duration
 	// Recovery tunes host failure detection and VM auto-restart (zero
 	// values select the nebula defaults; arm detection with
 	// StartSelfHealing).
@@ -255,6 +265,9 @@ func New(cfg Config) (*VideoCloud, error) {
 		TranscodeWorkers:      cfg.TranscodeWorkers,
 		TranscodeQueueCap:     cfg.TranscodeQueueCap,
 		StreamRateBytesPerSec: cfg.StreamRateBytesPerSec,
+		SegmentSeconds:        cfg.SegmentSeconds,
+		EdgeCacheBytes:        cfg.EdgeCacheBytes,
+		LiveEdgeTTL:           cfg.LiveEdgeTTL,
 		Tracer:                vc.tracer,
 	}
 	if cfg.MetadataShards > 1 {
@@ -530,6 +543,9 @@ type Status struct {
 	// Fleet reports the serving tier's shape and per-frontend request
 	// distribution.
 	Fleet FleetStatus
+	// Edge aggregates every frontend's edge-cache counters (segmented
+	// delivery: hits, origin fills, admissions, evictions).
+	Edge edge.Stats
 }
 
 // FleetStatus summarises the scale-out serving tier.
@@ -593,7 +609,28 @@ func (vc *VideoCloud) Status() Status {
 		st.Fleet.AffineRoutes = vc.reg.Counter("ingress_affine_routes").Value()
 		st.Fleet.SpreadRoutes = vc.reg.Counter("ingress_spread_routes").Value()
 	}
+	st.Edge = vc.edgeStats()
 	return st
+}
+
+// edgeStats sums the edge-cache counters across the frontend fleet.
+// Capacity is summed too: the result reads as "the tier's cache".
+func (vc *VideoCloud) edgeStats() edge.Stats {
+	var agg edge.Stats
+	for _, s := range vc.sites {
+		es := s.EdgeStats()
+		agg.Hits += es.Hits
+		agg.Misses += es.Misses
+		agg.Joins += es.Joins
+		agg.Fills += es.Fills
+		agg.Evictions += es.Evictions
+		agg.Expirations += es.Expirations
+		agg.AdmitRejects += es.AdmitRejects
+		agg.Entries += es.Entries
+		agg.UsedBytes += es.UsedBytes
+		agg.CapBytes += es.CapBytes
+	}
+	return agg
 }
 
 // recoveryStatus snapshots the orchestrator's self-healing counters.

@@ -1,0 +1,269 @@
+// Package edge is the per-frontend edge cache of the delivery tier: a
+// size-bounded in-memory cache for playlists and media segments, so that
+// under fan-out the many viewers of a popular title are served from frontend
+// memory and origin HDFS sees roughly one read per object instead of one
+// per viewer.
+//
+// Admission is popularity-based (TinyLFU): every request feeds a count-min
+// frequency sketch, and when the cache is full a new object only displaces
+// the LRU victim if the sketch says it is at least as hot — one-hit wonders
+// at the Zipf tail cannot wash the working set out of the cache. Concurrent
+// misses on one key are collapsed to a single origin fill (single-flight),
+// so a flash crowd arriving at an uncached object costs one HDFS read, not
+// thousands. Entries may carry a TTL for live-edge objects (a live channel's
+// playlist changes as segments are published); entries without a TTL are
+// immutable, which published VOD segments are by construction.
+package edge
+
+import (
+	"sync"
+	"time"
+)
+
+// Source says how GetOrFill satisfied a request.
+type Source int
+
+const (
+	// SourceHit: served from cache memory.
+	SourceHit Source = iota
+	// SourceFill: this call went to origin and (maybe) populated the cache.
+	SourceFill
+	// SourceJoin: another in-flight fill for the same key was joined.
+	SourceJoin
+)
+
+func (s Source) String() string {
+	switch s {
+	case SourceHit:
+		return "hit"
+	case SourceFill:
+		return "fill"
+	case SourceJoin:
+		return "join"
+	}
+	return "unknown"
+}
+
+// Config sizes a Cache.
+type Config struct {
+	// CapacityBytes bounds resident cached bytes (keys and bookkeeping are
+	// not counted; entries dominate).
+	CapacityBytes int64
+	// SketchCounters sizes the frequency sketch (default CapacityBytes/4096,
+	// minimum 1024 — roughly one counter per cacheable object).
+	SketchCounters int
+	// Now is a clock hook for TTL tests; defaults to time.Now.
+	Now func() time.Time
+}
+
+// Stats is a point-in-time snapshot of cache behaviour.
+type Stats struct {
+	Hits, Misses, Joins  uint64
+	Fills                uint64 // origin reads that completed
+	Evictions            uint64 // entries displaced for space
+	Expirations          uint64 // TTL entries that lapsed
+	AdmitRejects         uint64 // candidates colder than the LRU victim
+	Entries              int
+	UsedBytes, CapBytes  int64
+}
+
+// entry is one cached object on the intrusive LRU list.
+type entry struct {
+	key        string
+	data       []byte
+	expire     time.Time // zero: immutable, never expires
+	prev, next *entry
+}
+
+// flight is one in-progress origin fill that later arrivals join.
+type flight struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// Cache is a size-bounded, popularity-admission, single-flight cache.
+// All methods are safe for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int64
+	used    int64
+	entries map[string]*entry
+	head    entry // sentinel: head.next is MRU, head.prev is LRU
+	sketch  *cmSketch
+	flights map[string]*flight
+	now     func() time.Time
+	stats   Stats
+}
+
+// New builds a cache; a non-positive capacity yields a cache that admits
+// nothing (every request fills from origin), which keeps callers branchless.
+func New(cfg Config) *Cache {
+	counters := cfg.SketchCounters
+	if counters <= 0 {
+		counters = int(cfg.CapacityBytes / 4096)
+	}
+	c := &Cache{
+		cap:     cfg.CapacityBytes,
+		entries: make(map[string]*entry),
+		sketch:  newSketch(counters),
+		flights: make(map[string]*flight),
+		now:     cfg.Now,
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	c.head.next = &c.head
+	c.head.prev = &c.head
+	return c
+}
+
+// Get returns the cached bytes for key, if resident and fresh. The returned
+// slice is shared cache memory: callers must treat it as read-only. The warm
+// path performs no allocations.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	h := hashKey(key)
+	c.mu.Lock()
+	c.sketch.increment(h)
+	e, ok := c.entries[key]
+	if ok && c.expired(e) {
+		c.removeLocked(e)
+		c.stats.Expirations++
+		ok = false
+	}
+	if !ok {
+		c.stats.Misses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.moveFrontLocked(e)
+	c.stats.Hits++
+	data := e.data
+	c.mu.Unlock()
+	return data, true
+}
+
+// GetOrFill returns the bytes for key, going to origin via fill on a miss.
+// Concurrent misses on one key share a single fill. ttl > 0 marks the entry
+// as expiring (live-edge objects); ttl == 0 marks it immutable. The returned
+// Source says which path served this call. Like Get, the returned bytes are
+// shared and read-only.
+func (c *Cache) GetOrFill(key string, ttl time.Duration, fill func() ([]byte, error)) ([]byte, Source, error) {
+	h := hashKey(key)
+	c.mu.Lock()
+	c.sketch.increment(h)
+	if e, ok := c.entries[key]; ok {
+		if !c.expired(e) {
+			c.moveFrontLocked(e)
+			c.stats.Hits++
+			data := e.data
+			c.mu.Unlock()
+			return data, SourceHit, nil
+		}
+		c.removeLocked(e)
+		c.stats.Expirations++
+	}
+	if f, ok := c.flights[key]; ok {
+		c.stats.Joins++
+		c.mu.Unlock()
+		<-f.done
+		return f.data, SourceJoin, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	f.data, f.err = fill()
+
+	c.mu.Lock()
+	delete(c.flights, key)
+	if f.err == nil {
+		c.stats.Fills++
+		c.admitLocked(key, h, f.data, ttl)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.data, SourceFill, f.err
+}
+
+// Invalidate drops key if resident (used when a cached object is replaced
+// out of band; the normal live path relies on TTL instead).
+func (c *Cache) Invalidate(key string) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.removeLocked(e)
+	}
+	c.mu.Unlock()
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	s := c.stats
+	s.Entries = len(c.entries)
+	s.UsedBytes = c.used
+	s.CapBytes = c.cap
+	c.mu.Unlock()
+	return s
+}
+
+func (c *Cache) expired(e *entry) bool {
+	return !e.expire.IsZero() && !c.now().Before(e.expire)
+}
+
+// admitLocked decides whether the filled object earns cache residency.
+// With free space it always enters (a fill already cost an origin read;
+// caching it is free offload). Under pressure, TinyLFU arbitration: the
+// candidate must be at least as hot as each LRU victim it displaces.
+func (c *Cache) admitLocked(key string, h uint64, data []byte, ttl time.Duration) {
+	size := int64(len(data))
+	if size == 0 || size > c.cap {
+		return
+	}
+	for c.used+size > c.cap {
+		victim := c.head.prev
+		if c.expired(victim) {
+			c.removeLocked(victim)
+			c.stats.Expirations++
+			continue
+		}
+		if c.sketch.estimate(h) < c.sketch.estimate(hashKey(victim.key)) {
+			c.stats.AdmitRejects++
+			return
+		}
+		c.removeLocked(victim)
+		c.stats.Evictions++
+	}
+	e := &entry{key: key, data: data}
+	if ttl > 0 {
+		e.expire = c.now().Add(ttl)
+	}
+	c.entries[key] = e
+	c.used += size
+	c.pushFrontLocked(e)
+}
+
+func (c *Cache) removeLocked(e *entry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+	delete(c.entries, e.key)
+	c.used -= int64(len(e.data))
+}
+
+func (c *Cache) pushFrontLocked(e *entry) {
+	e.next = c.head.next
+	e.prev = &c.head
+	e.next.prev = e
+	c.head.next = e
+}
+
+func (c *Cache) moveFrontLocked(e *entry) {
+	if c.head.next == e {
+		return
+	}
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	c.pushFrontLocked(e)
+}

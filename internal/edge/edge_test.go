@@ -1,0 +1,237 @@
+package edge
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func fillWith(data []byte) func() ([]byte, error) {
+	return func() ([]byte, error) { return data, nil }
+}
+
+func TestGetOrFillCachesAndHits(t *testing.T) {
+	c := New(Config{CapacityBytes: 1 << 20})
+	data, src, err := c.GetOrFill("a", 0, fillWith(make([]byte, 100)))
+	if err != nil || src != SourceFill || len(data) != 100 {
+		t.Fatalf("first access: src=%v err=%v len=%d", src, err, len(data))
+	}
+	data, src, err = c.GetOrFill("a", 0, func() ([]byte, error) {
+		t.Fatal("second access went to origin")
+		return nil, nil
+	})
+	if err != nil || src != SourceHit || len(data) != 100 {
+		t.Fatalf("second access: src=%v err=%v len=%d", src, err, len(data))
+	}
+	if got, ok := c.Get("a"); !ok || len(got) != 100 {
+		t.Fatalf("Get after fill: ok=%v len=%d", ok, len(got))
+	}
+	s := c.Stats()
+	if s.Fills != 1 || s.Hits != 2 || s.UsedBytes != 100 || s.Entries != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestFillErrorNotCached(t *testing.T) {
+	c := New(Config{CapacityBytes: 1 << 20})
+	boom := fmt.Errorf("origin down")
+	if _, _, err := c.GetOrFill("a", 0, func() ([]byte, error) { return nil, boom }); err != boom {
+		t.Fatalf("err = %v, want origin error", err)
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("failed fill left an entry behind")
+	}
+}
+
+func TestSingleFlightCollapsesConcurrentMisses(t *testing.T) {
+	c := New(Config{CapacityBytes: 1 << 20})
+	var fills atomic.Int64
+	gate := make(chan struct{})
+	const viewers = 32
+	var wg sync.WaitGroup
+	srcs := make([]Source, viewers)
+	for i := 0; i < viewers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, src, err := c.GetOrFill("hot", 0, func() ([]byte, error) {
+				fills.Add(1)
+				<-gate // hold every concurrent miss open
+				return make([]byte, 64), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			srcs[i] = src
+		}(i)
+	}
+	// Wait until the one fill is in flight, then give stragglers a moment
+	// to pile up before releasing it.
+	for fills.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(5 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	if fills.Load() != 1 {
+		t.Fatalf("%d origin fills for one key, want 1", fills.Load())
+	}
+	nFill := 0
+	for _, s := range srcs {
+		if s == SourceFill {
+			nFill++
+		}
+	}
+	if nFill != 1 {
+		t.Fatalf("%d callers report SourceFill, want 1", nFill)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	clock := time.Unix(0, 0)
+	c := New(Config{CapacityBytes: 1 << 20, Now: func() time.Time { return clock }})
+	c.GetOrFill("live", 50*time.Millisecond, fillWith(make([]byte, 10)))
+	if _, ok := c.Get("live"); !ok {
+		t.Fatal("fresh TTL entry missing")
+	}
+	clock = clock.Add(49 * time.Millisecond)
+	if _, ok := c.Get("live"); !ok {
+		t.Fatal("entry expired early")
+	}
+	clock = clock.Add(2 * time.Millisecond)
+	if _, ok := c.Get("live"); ok {
+		t.Fatal("entry served past its TTL")
+	}
+	var refilled bool
+	_, src, _ := c.GetOrFill("live", 50*time.Millisecond, func() ([]byte, error) {
+		refilled = true
+		return make([]byte, 10), nil
+	})
+	if !refilled || src != SourceFill {
+		t.Fatalf("stale entry not refilled: src=%v", src)
+	}
+	if c.Stats().Expirations == 0 {
+		t.Fatal("no expirations counted")
+	}
+}
+
+func TestEvictionIsLRUUnderPressure(t *testing.T) {
+	// Room for exactly two 100-byte objects.
+	c := New(Config{CapacityBytes: 200})
+	c.GetOrFill("a", 0, fillWith(make([]byte, 100)))
+	c.GetOrFill("b", 0, fillWith(make([]byte, 100)))
+	// Touch "a" so "b" is the LRU victim; then make "c" hotter than "b".
+	c.Get("a")
+	for i := 0; i < 3; i++ {
+		c.GetOrFill("c", 0, fillWith(make([]byte, 100)))
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("LRU victim survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("recently used entry was evicted")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("hot candidate was not admitted")
+	}
+}
+
+func TestColdCandidateRejectedByTinyLFU(t *testing.T) {
+	c := New(Config{CapacityBytes: 200})
+	// Make "a" and "b" hot via repeated requests.
+	for i := 0; i < 10; i++ {
+		c.GetOrFill("a", 0, fillWith(make([]byte, 100)))
+		c.GetOrFill("b", 0, fillWith(make([]byte, 100)))
+	}
+	// A one-hit wonder must not displace them.
+	if _, src, _ := c.GetOrFill("cold", 0, fillWith(make([]byte, 100))); src != SourceFill {
+		t.Fatalf("cold miss src=%v", src)
+	}
+	if _, ok := c.Get("cold"); ok {
+		t.Fatal("one-hit wonder displaced the working set")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("hot entry evicted by a cold candidate")
+	}
+	if c.Stats().AdmitRejects == 0 {
+		t.Fatal("no admission rejects counted")
+	}
+}
+
+func TestOversizeObjectBypassesCache(t *testing.T) {
+	c := New(Config{CapacityBytes: 100})
+	data, src, err := c.GetOrFill("big", 0, fillWith(make([]byte, 1000)))
+	if err != nil || src != SourceFill || len(data) != 1000 {
+		t.Fatalf("oversize fill: src=%v err=%v", src, err)
+	}
+	if s := c.Stats(); s.Entries != 0 || s.UsedBytes != 0 {
+		t.Fatalf("oversize object was admitted: %+v", s)
+	}
+}
+
+func TestZeroCapacityCacheStillServes(t *testing.T) {
+	c := New(Config{})
+	for i := 0; i < 3; i++ {
+		data, src, err := c.GetOrFill("a", 0, fillWith(make([]byte, 10)))
+		if err != nil || src != SourceFill || len(data) != 10 {
+			t.Fatalf("access %d: src=%v err=%v", i, src, err)
+		}
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(Config{CapacityBytes: 1 << 20})
+	c.GetOrFill("a", 0, fillWith(make([]byte, 10)))
+	c.Invalidate("a")
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("entry survived Invalidate")
+	}
+}
+
+func TestSketchAging(t *testing.T) {
+	s := newSketch(1024)
+	h := hashKey("k")
+	for i := 0; i < 100; i++ {
+		s.increment(h)
+	}
+	if got := s.estimate(h); got != 15 {
+		t.Fatalf("estimate after 100 increments = %d, want saturation at 15", got)
+	}
+	s.age()
+	if got := s.estimate(h); got != 7 {
+		t.Fatalf("estimate after aging = %d, want 7", got)
+	}
+}
+
+func TestContentRangeSlices(t *testing.T) {
+	data := []byte("0123456789")
+	c := NewContent(data)
+	if c.Size() != 10 {
+		t.Fatalf("Size = %d", c.Size())
+	}
+	dst, err := c.AppendRangeSlices(nil, 2, 5)
+	if err != nil || len(dst) != 1 || string(dst[0]) != "23456" {
+		t.Fatalf("interior: %q, %v", dst, err)
+	}
+	dst, err = c.AppendRangeSlices(dst[:0], 8, 100)
+	if err != nil || len(dst) != 1 || string(dst[0]) != "89" {
+		t.Fatalf("clamped: %q, %v", dst, err)
+	}
+	if _, err = c.AppendRangeSlices(nil, 11, 1); err == nil {
+		t.Fatal("offset past EOF accepted")
+	}
+	buf := make([]byte, 4)
+	n, _ := c.Read(buf)
+	if n != 4 || string(buf) != "0123" {
+		t.Fatalf("Read: %d %q", n, buf)
+	}
+	if pos, _ := c.Seek(-2, 2); pos != 8 {
+		t.Fatalf("SeekEnd: %d", pos)
+	}
+	c.Reset([]byte("ab"))
+	if c.Size() != 2 {
+		t.Fatal("Reset did not swap data")
+	}
+}

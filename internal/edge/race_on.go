@@ -1,0 +1,8 @@
+//go:build race
+
+package edge
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// regression tests skip under -race because instrumentation inflates
+// allocation counts.
+const raceEnabled = true

@@ -1,0 +1,99 @@
+package edge
+
+// cmSketch is a TinyLFU-style count-min sketch: a tiny, fixed-size frequency
+// estimator over the full request stream, so admission can compare how hot a
+// candidate object is against the eviction victim without keeping per-object
+// state for the whole catalog. Counters are 4 bits (two per byte) across
+// four rows; estimates take the minimum across rows. After a sample window
+// of increments every counter is halved, so the sketch tracks recent
+// popularity rather than all-time counts.
+type cmSketch struct {
+	rows    [sketchDepth][]byte
+	mask    uint64
+	samples int
+	window  int
+}
+
+const sketchDepth = 4
+
+// newSketch sizes the sketch for roughly `counters` tracked slots per row
+// (rounded up to a power of two, minimum 1024).
+func newSketch(counters int) *cmSketch {
+	width := 1024
+	for width < counters {
+		width *= 2
+	}
+	s := &cmSketch{mask: uint64(width - 1), window: width * 8}
+	for i := range s.rows {
+		s.rows[i] = make([]byte, width/2)
+	}
+	return s
+}
+
+// hashKey is FNV-1a over the key string, inlined so the hot path never
+// allocates a hash.Hash or a []byte conversion.
+func hashKey(key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
+// rowIndex derives row i's slot from one 64-bit hash by double hashing.
+func (s *cmSketch) rowIndex(h uint64, i int) uint64 {
+	h2 := (h >> 32) | 1
+	return (h + uint64(i)*h2) & s.mask
+}
+
+func (s *cmSketch) get(row int, idx uint64) byte {
+	return (s.rows[row][idx/2] >> (4 * (idx & 1))) & 0x0f
+}
+
+func (s *cmSketch) set(row int, idx uint64, v byte) {
+	shift := 4 * (idx & 1)
+	b := s.rows[row][idx/2]
+	s.rows[row][idx/2] = (b &^ (0x0f << shift)) | (v << shift)
+}
+
+// increment bumps the key's counters (saturating at 15) and ages the sketch
+// when the sample window closes.
+func (s *cmSketch) increment(h uint64) {
+	for i := 0; i < sketchDepth; i++ {
+		idx := s.rowIndex(h, i)
+		if v := s.get(i, idx); v < 15 {
+			s.set(i, idx, v+1)
+		}
+	}
+	if s.samples++; s.samples >= s.window {
+		s.age()
+	}
+}
+
+// estimate is the count-min estimate for the key.
+func (s *cmSketch) estimate(h uint64) byte {
+	est := byte(15)
+	for i := 0; i < sketchDepth; i++ {
+		if v := s.get(i, s.rowIndex(h, i)); v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// age halves every counter so old popularity decays.
+func (s *cmSketch) age() {
+	for i := range s.rows {
+		row := s.rows[i]
+		for j := range row {
+			// Halve both nibbles in place.
+			row[j] = (row[j] >> 1) & 0x77
+		}
+	}
+	s.samples = 0
+}

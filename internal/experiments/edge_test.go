@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestEdgeBench runs the E15 viewer sweep and live phase and gates the
+// offload and staleness shape; with EDGE_BENCH_OUT set (the `make edge`
+// target), the rows land in BENCH_edge.json for comparison across PRs.
+func TestEdgeBench(t *testing.T) {
+	rows, live := runEdgeDelivery()
+	for _, r := range rows {
+		t.Logf("viewers=%d sessions=%d segments=%d errors=%d seg_req=%d origin=%d offload=%.1f%% rebuffer=%.2f%% switches=%d",
+			r.Viewers, r.Sessions, r.Segments, r.Errors, r.SegRequests,
+			r.SegOrigin, r.OffloadPct, r.RebufferPct, r.Switches)
+		if r.Errors != 0 {
+			t.Errorf("%d viewers: %d errors", r.Viewers, r.Errors)
+		}
+		if r.Segments != 12*r.Sessions {
+			t.Errorf("%d viewers: %d segments over %d sessions, want %d",
+				r.Viewers, r.Segments, r.Sessions, 12*r.Sessions)
+		}
+	}
+	top := rows[len(rows)-1]
+	if top.OffloadPct < 90 {
+		t.Errorf("edge tier absorbed %.1f%% of segment requests at peak fan-out, want >= 90%%", top.OffloadPct)
+	}
+	if top.SegOrigin > rows[0].SegOrigin {
+		t.Errorf("origin reads grew with fan-out: %d cold -> %d warm", rows[0].SegOrigin, top.SegOrigin)
+	}
+
+	t.Logf("live: viewers=%d pushed=%d segments=%d errors=%d max_lag=%d end_reached=%d",
+		live.Viewers, live.Pushed, live.Segments, live.Errors, live.MaxLiveLag, live.EndReached)
+	if live.Errors != 0 {
+		t.Errorf("live phase: %d errors", live.Errors)
+	}
+	if live.EndReached != live.Viewers {
+		t.Errorf("only %d of %d live viewers reached the end marker", live.EndReached, live.Viewers)
+	}
+	if live.MaxLiveLag > 6 {
+		t.Errorf("a live viewer fell %d segments behind the edge, want <= 6", live.MaxLiveLag)
+	}
+
+	if out := os.Getenv("EDGE_BENCH_OUT"); out != "" {
+		report := struct {
+			Rows []EdgeRow `json:"rows"`
+			Live LiveRow   `json:"live"`
+		}{rows, live}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("edge report: %s", out)
+	}
+}

@@ -92,5 +92,6 @@ func All() []*metrics.Table {
 		E11AutoScaling(),
 		E13CriticalPath(),
 		E14ServingScale(),
+		E15EdgeDelivery(),
 	}
 }

@@ -82,10 +82,14 @@ func jumpHash(key uint64, n int) int {
 	return int(bucket)
 }
 
-// videoID extracts the numeric id from /watch/{id} or /stream/{id} paths
-// without allocating. ok is false for every other path (including malformed
-// or overflowing ids, which then fall through to least-in-flight and get the
-// backend's own 404/400 handling).
+// videoID extracts the numeric id from /watch/{id}, /stream/{id},
+// /playlist/{id}[/...], or /segment/{id}/... paths without allocating. The
+// segmented-delivery routes must be video-affine for the same reason
+// /stream is — all of one title's segment requests should land on the
+// replica whose edge cache holds them — so the digit walk stops at the
+// first '/' instead of requiring digits to the end. ok is false for every
+// other path (including malformed or overflowing ids, which then fall
+// through to least-in-flight and get the backend's own 404/400 handling).
 func videoID(path string) (id uint64, ok bool) {
 	var rest string
 	switch {
@@ -93,18 +97,29 @@ func videoID(path string) (id uint64, ok bool) {
 		rest = path[7:]
 	case len(path) > 8 && path[:8] == "/stream/":
 		rest = path[8:]
+	case len(path) > 10 && path[:10] == "/playlist/":
+		rest = path[10:]
+	case len(path) > 9 && path[:9] == "/segment/":
+		rest = path[9:]
 	default:
 		return 0, false
 	}
-	if len(rest) == 0 || len(rest) > 18 { // 18 digits always fit in uint64
-		return 0, false
-	}
+	digits := 0
 	for i := 0; i < len(rest); i++ {
 		d := rest[i]
+		if d == '/' {
+			break
+		}
 		if d < '0' || d > '9' {
 			return 0, false
 		}
+		if digits++; digits > 18 { // 18 digits always fit in uint64
+			return 0, false
+		}
 		id = id*10 + uint64(d-'0')
+	}
+	if digits == 0 {
+		return 0, false
 	}
 	return id, true
 }

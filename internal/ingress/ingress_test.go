@@ -55,6 +55,16 @@ func TestVideoID(t *testing.T) {
 		{"/", 0, false},
 		{"/search", 0, false},
 		{"/watchlist/7", 0, false},
+		// Segmented-delivery routes carry the id before a sub-path.
+		{"/playlist/42", 42, true},
+		{"/playlist/42/720p", 42, true},
+		{"/segment/42/720p/3", 42, true},
+		{"/segment/9001/360p/0", 9001, true},
+		{"/playlist/", 0, false},
+		{"/segment/", 0, false},
+		{"/playlist//720p", 0, false},
+		{"/segment/x/720p/0", 0, false},
+		{"/segment/9999999999999999999/720p/0", 0, false}, // 19 digits
 	}
 	for _, c := range cases {
 		id, ok := videoID(c.path)
@@ -127,6 +137,47 @@ func TestJumpHashProperties(t *testing.T) {
 	}
 	if moved == 0 {
 		t.Fatal("no keys moved growing 8→9 backends; hash ignores n")
+	}
+}
+
+// TestFleetGrowthRehoming pins the router-level consequence of jump
+// consistent hashing that the scaling work relies on: growing the fleet
+// from M to M+1 frontends re-homes at most ~1/(M+1) of video ids (plus
+// statistical slack), and every id that does move lands on the NEW
+// frontend — an existing replica never inherits another's videos, so no
+// warm cache is invalidated except by the fair share the newcomer takes.
+func TestFleetGrowthRehoming(t *testing.T) {
+	const ids = 20000
+	for _, m := range []int{2, 4, 8} {
+		small, _ := newTestBalancer(m)
+		grown, _ := newTestBalancer(m + 1)
+		moved := 0
+		for id := 0; id < ids; id++ {
+			// Route realistic segmented-delivery paths, not bare keys: the
+			// digit walk and the hash must agree end to end.
+			p := fmt.Sprintf("/segment/%d/720p/3", id)
+			before, a1 := small.route(p)
+			after, a2 := grown.route(p)
+			if !a1 || !a2 {
+				t.Fatalf("path %q not video-affine", p)
+			}
+			if before != after {
+				moved++
+				if after != m {
+					t.Fatalf("id %d moved %d→%d growing %d→%d frontends; movers must land on the new frontend %d",
+						id, before, after, m, m+1, m)
+				}
+			}
+		}
+		// ~1/(M+1) of ids move; ε = 25% relative slack over the ideal.
+		limit := ids/(m+1) + ids/(m+1)/4
+		if moved > limit {
+			t.Fatalf("growing %d→%d frontends moved %d of %d ids; want <= ~%d",
+				m, m+1, moved, ids, limit)
+		}
+		if moved == 0 {
+			t.Fatalf("growing %d→%d frontends moved nothing; new frontend gets no traffic", m, m+1)
+		}
 	}
 }
 

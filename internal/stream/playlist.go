@@ -1,0 +1,154 @@
+package stream
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Playlists are the index files of segmented delivery, modelled on HLS but
+// kept to a line-oriented format the stdlib parses without a spec's worth of
+// edge cases. A master playlist lists the renditions of one title with their
+// bandwidths; a media playlist lists one rendition's time-indexed segments.
+// A media playlist without the "end" marker is live: the player re-fetches
+// it to discover segments published after it was built.
+
+// PlaylistContentType is the Content-Type playlist responses carry.
+const PlaylistContentType = "application/vnd.videocloud.playlist"
+
+const (
+	masterHeader = "#VCPL:MASTER:1"
+	mediaHeader  = "#VCPL:MEDIA:1"
+)
+
+// Rendition is one row of a master playlist.
+type Rendition struct {
+	Label        string // e.g. "720p"
+	BandwidthBps int64
+	URL          string // media playlist location (absolute path)
+}
+
+// MasterPlaylist lists a title's renditions, in the publisher's order.
+type MasterPlaylist struct {
+	Renditions []Rendition
+}
+
+// SegmentRef is one row of a media playlist.
+type SegmentRef struct {
+	Index           int
+	DurationSeconds int
+	URL             string // segment location (absolute path)
+}
+
+// MediaPlaylist lists one rendition's segments. Live reports whether more
+// segments may still be published (no end marker was written).
+type MediaPlaylist struct {
+	TargetDuration int // nominal segment play length in seconds
+	Live           bool
+	Segments       []SegmentRef
+}
+
+// Marshal renders the master playlist.
+func (m MasterPlaylist) Marshal() []byte {
+	var b strings.Builder
+	b.WriteString(masterHeader)
+	b.WriteByte('\n')
+	for _, r := range m.Renditions {
+		fmt.Fprintf(&b, "rendition %s %d %s\n", r.Label, r.BandwidthBps, r.URL)
+	}
+	return []byte(b.String())
+}
+
+// Marshal renders the media playlist.
+func (m MediaPlaylist) Marshal() []byte {
+	var b strings.Builder
+	b.WriteString(mediaHeader)
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "target %d\n", m.TargetDuration)
+	for _, s := range m.Segments {
+		fmt.Fprintf(&b, "seg %d %d %s\n", s.Index, s.DurationSeconds, s.URL)
+	}
+	if !m.Live {
+		b.WriteString("end\n")
+	}
+	return []byte(b.String())
+}
+
+// ParseMaster parses a master playlist.
+func ParseMaster(data []byte) (MasterPlaylist, error) {
+	var m MasterPlaylist
+	lines, err := playlistLines(data, masterHeader)
+	if err != nil {
+		return m, err
+	}
+	for _, line := range lines {
+		f := strings.Fields(line)
+		if len(f) != 4 || f[0] != "rendition" {
+			return m, fmt.Errorf("stream: bad master playlist line %q", line)
+		}
+		bw, err := strconv.ParseInt(f[2], 10, 64)
+		if err != nil || bw < 0 {
+			return m, fmt.Errorf("stream: bad bandwidth in %q", line)
+		}
+		m.Renditions = append(m.Renditions, Rendition{Label: f[1], BandwidthBps: bw, URL: f[3]})
+	}
+	if len(m.Renditions) == 0 {
+		return m, fmt.Errorf("stream: master playlist has no renditions")
+	}
+	return m, nil
+}
+
+// ParseMedia parses a media playlist.
+func ParseMedia(data []byte) (MediaPlaylist, error) {
+	m := MediaPlaylist{Live: true}
+	lines, err := playlistLines(data, mediaHeader)
+	if err != nil {
+		return m, err
+	}
+	for _, line := range lines {
+		f := strings.Fields(line)
+		switch {
+		case len(f) == 2 && f[0] == "target":
+			d, err := strconv.Atoi(f[1])
+			if err != nil || d <= 0 {
+				return m, fmt.Errorf("stream: bad target duration %q", line)
+			}
+			m.TargetDuration = d
+		case len(f) == 1 && f[0] == "end":
+			m.Live = false
+		case len(f) == 4 && f[0] == "seg":
+			idx, err1 := strconv.Atoi(f[1])
+			dur, err2 := strconv.Atoi(f[2])
+			if err1 != nil || err2 != nil || idx < 0 || dur < 0 {
+				return m, fmt.Errorf("stream: bad segment line %q", line)
+			}
+			if n := len(m.Segments); n > 0 && idx != m.Segments[n-1].Index+1 {
+				return m, fmt.Errorf("stream: non-contiguous segment index %d after %d",
+					idx, m.Segments[n-1].Index)
+			}
+			m.Segments = append(m.Segments, SegmentRef{Index: idx, DurationSeconds: dur, URL: f[3]})
+		default:
+			return m, fmt.Errorf("stream: bad media playlist line %q", line)
+		}
+	}
+	if m.TargetDuration == 0 {
+		return m, fmt.Errorf("stream: media playlist missing target duration")
+	}
+	return m, nil
+}
+
+// playlistLines validates the header line and returns the remaining
+// non-empty lines.
+func playlistLines(data []byte, header string) ([]string, error) {
+	lines := strings.Split(string(data), "\n")
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) != header {
+		return nil, fmt.Errorf("stream: not a %s playlist", header)
+	}
+	out := make([]string, 0, len(lines)-1)
+	for _, line := range lines[1:] {
+		if s := strings.TrimSpace(line); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}

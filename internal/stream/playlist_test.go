@@ -1,0 +1,63 @@
+package stream
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMasterPlaylistRoundTrip(t *testing.T) {
+	m := MasterPlaylist{Renditions: []Rendition{
+		{Label: "720p", BandwidthBps: 200_000, URL: "/playlist/12/720p"},
+		{Label: "360p", BandwidthBps: 80_000, URL: "/playlist/12/360p"},
+	}}
+	got, err := ParseMaster(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("round trip: got %+v, want %+v", got, m)
+	}
+}
+
+func TestMediaPlaylistRoundTrip(t *testing.T) {
+	for _, live := range []bool{false, true} {
+		m := MediaPlaylist{TargetDuration: 4, Live: live, Segments: []SegmentRef{
+			{Index: 0, DurationSeconds: 4, URL: "/segment/12/720p/0"},
+			{Index: 1, DurationSeconds: 4, URL: "/segment/12/720p/1"},
+			{Index: 2, DurationSeconds: 2, URL: "/segment/12/720p/2"},
+		}}
+		got, err := ParseMedia(m.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("round trip (live=%v): got %+v, want %+v", live, got, m)
+		}
+	}
+}
+
+func TestPlaylistParseRejects(t *testing.T) {
+	cases := []struct {
+		name  string
+		parse func([]byte) error
+		data  string
+	}{
+		{"master wrong header", masterErr, "#VCPL:MEDIA:1\n"},
+		{"master no renditions", masterErr, "#VCPL:MASTER:1\n"},
+		{"master bad bandwidth", masterErr, "#VCPL:MASTER:1\nrendition 720p x /u\n"},
+		{"master bad line", masterErr, "#VCPL:MASTER:1\nseg 0 4 /u\n"},
+		{"media wrong header", mediaErr, "#VCPL:MASTER:1\n"},
+		{"media no target", mediaErr, "#VCPL:MEDIA:1\nseg 0 4 /u\nend\n"},
+		{"media gap in indices", mediaErr, "#VCPL:MEDIA:1\ntarget 4\nseg 0 4 /u\nseg 2 4 /u\nend\n"},
+		{"media bad segment", mediaErr, "#VCPL:MEDIA:1\ntarget 4\nseg x 4 /u\nend\n"},
+		{"media junk line", mediaErr, "#VCPL:MEDIA:1\ntarget 4\nwhat is this\n"},
+	}
+	for _, c := range cases {
+		if err := c.parse([]byte(c.data)); err == nil {
+			t.Errorf("%s: parse accepted %q", c.name, c.data)
+		}
+	}
+}
+
+func masterErr(data []byte) error { _, err := ParseMaster(data); return err }
+func mediaErr(data []byte) error  { _, err := ParseMedia(data); return err }

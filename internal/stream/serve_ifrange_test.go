@@ -1,0 +1,151 @@
+package stream
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestIfRangeStaysOnSlicePath(t *testing.T) {
+	data := payload(100000)
+	var reasons []string
+	srv := serveWithHook(t, data, &reasons)
+
+	// First request learns the validator.
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	etag := resp.Header.Get("ETag")
+	if etag == "" || !strings.HasPrefix(etag, "\"") {
+		t.Fatalf("no strong ETag on sliced content, got %q", etag)
+	}
+
+	// Matching If-Range: the Range is honoured, zero-copy, no fallback.
+	req, _ := http.NewRequest(http.MethodGet, srv.URL, nil)
+	req.Header.Set("Range", "bytes=100-299")
+	req.Header.Set("If-Range", etag)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusPartialContent {
+		t.Fatalf("matching If-Range: status %d, want 206", resp.StatusCode)
+	}
+	if !bytes.Equal(body, data[100:300]) {
+		t.Fatal("matching If-Range: body mismatch")
+	}
+
+	// Stale If-Range: Range ignored, full 200 — still no fallback.
+	req, _ = http.NewRequest(http.MethodGet, srv.URL, nil)
+	req.Header.Set("Range", "bytes=100-299")
+	req.Header.Set("If-Range", "\"deadbeefdeadbeef\"")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stale If-Range: status %d, want 200", resp.StatusCode)
+	}
+	if !bytes.Equal(body, data) {
+		t.Fatal("stale If-Range: expected the full representation")
+	}
+	if len(reasons) != 0 {
+		t.Fatalf("If-Range requests fell back: %v", reasons)
+	}
+
+	// Multi-range still falls back, and the hook sees it.
+	req, _ = http.NewRequest(http.MethodGet, srv.URL, nil)
+	req.Header.Set("Range", "bytes=0-9,20-29")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusPartialContent {
+		t.Fatalf("multi-range: status %d", resp.StatusCode)
+	}
+	if len(reasons) != 1 || reasons[0] != "range-spec" {
+		t.Fatalf("fallback reasons = %v, want [range-spec]", reasons)
+	}
+}
+
+// serveWithHook serves data from an in-memory slicer through
+// ServeWithFallback, appending fallback reasons to out.
+func serveWithHook(t *testing.T, data []byte, out *[]string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c := &memSlicer{data: data}
+		ServeWithFallback(w, r, "v.vcf", c, func(reason string) { *out = append(*out, reason) })
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// memSlicer is a minimal in-memory SliceRanger + ReadSeeker.
+type memSlicer struct {
+	data []byte
+	pos  int64
+}
+
+func (m *memSlicer) Size() int64 { return int64(len(m.data)) }
+
+func (m *memSlicer) AppendRangeSlices(dst [][]byte, off, length int64) ([][]byte, error) {
+	if off < 0 || off > int64(len(m.data)) {
+		return dst, io.EOF
+	}
+	end := off + length
+	if end > int64(len(m.data)) {
+		end = int64(len(m.data))
+	}
+	return append(dst, m.data[off:end]), nil
+}
+
+func (m *memSlicer) Read(p []byte) (int, error) {
+	if m.pos >= int64(len(m.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.data[m.pos:])
+	m.pos += int64(n)
+	return n, nil
+}
+
+func (m *memSlicer) Seek(off int64, whence int) (int64, error) {
+	switch whence {
+	case io.SeekStart:
+		m.pos = off
+	case io.SeekCurrent:
+		m.pos += off
+	case io.SeekEnd:
+		m.pos = int64(len(m.data)) + off
+	}
+	return m.pos, nil
+}
+
+func TestFallbackReasonNotSliceable(t *testing.T) {
+	var reasons []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ServeWithFallback(w, r, "v.vcf", bytes.NewReader(payload(1000)),
+			func(reason string) { reasons = append(reasons, reason) })
+	}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if len(reasons) != 1 || reasons[0] != "not-sliceable" {
+		t.Fatalf("reasons = %v, want [not-sliceable]", reasons)
+	}
+}

@@ -7,8 +7,10 @@
 package stream
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net"
 	"net/http"
@@ -35,45 +37,91 @@ type SliceRanger interface {
 // Content implementing SliceRanger takes the zero-copy path: the requested
 // window is resolved to views of cached block data and written with a
 // single readv-style vectored write (net.Buffers), so no serving buffer
-// ever holds a copy of the bytes. Everything else — multi-range requests,
-// If-Range, plain io.ReadSeeker content — falls back to the standard
-// library's ServeContent.
+// ever holds a copy of the bytes. Single-range If-Range requests stay on
+// that path: sliced content gets a strong ETag (derived from name and
+// size), a matching validator serves the range, a stale one serves the full
+// representation — both zero-copy, per RFC 7233. Only what the slice path
+// does not speak (multi-range requests, malformed specs, plain
+// io.ReadSeeker content) falls back to the standard library's ServeContent.
 func Serve(w http.ResponseWriter, r *http.Request, name string, content io.ReadSeeker) {
+	ServeWithFallback(w, r, name, content, nil)
+}
+
+// ServeWithFallback is Serve with a hook: onFallback (when non-nil) is
+// called with a short reason just before a request leaves the zero-copy
+// slice path for the copying ServeContent path, so servers can keep the
+// fallback rate visible in their stats.
+func ServeWithFallback(w http.ResponseWriter, r *http.Request, name string, content io.ReadSeeker, onFallback func(reason string)) {
 	// The paper streams H.264 in an MP4 container to Flowplayer, so the
 	// response carries the real media type (not the internal .vcf
 	// container extension).
 	w.Header().Set("Content-Type", "video/mp4")
-	if sr, ok := content.(SliceRanger); ok && r.Header.Get("If-Range") == "" {
-		if serveSlices(w, r, sr) {
-			return
+	fallback := func(reason string) {
+		if onFallback != nil {
+			onFallback(reason)
 		}
+		http.ServeContent(w, r, name, time.Time{}, content)
 	}
-	http.ServeContent(w, r, name, time.Time{}, content)
+	sr, ok := content.(SliceRanger)
+	if !ok {
+		fallback("not-sliceable")
+		return
+	}
+	etag := w.Header().Get("ETag")
+	if etag == "" {
+		etag = contentETag(name, sr.Size())
+		w.Header().Set("ETag", etag)
+	}
+	// RFC 7233 §3.2: a matching If-Range validator honours the Range; a
+	// stale one means the client's byte offsets refer to an old version, so
+	// the Range is ignored and the current full representation is sent.
+	// Both outcomes stay on the slice path.
+	ignoreRange := false
+	if ir := r.Header.Get("If-Range"); ir != "" && ir != etag {
+		ignoreRange = true
+	}
+	if reason := serveSlices(w, r, sr, ignoreRange); reason != "" {
+		fallback(reason)
+	}
+}
+
+// contentETag derives a strong validator from what identifies a stored
+// video's bytes: its path and size (content under videos/ and segments/ is
+// written once and never rewritten in place).
+func contentETag(name string, size int64) string {
+	h := fnv.New64a()
+	io.WriteString(h, name)
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(size))
+	h.Write(b[:])
+	return fmt.Sprintf("\"%016x\"", h.Sum64())
 }
 
 // serveSlices answers GET/HEAD with an optional single Range out of a
-// SliceRanger, reporting whether it handled the request. Requests it does
-// not speak (multi-range, malformed specs, non-bytes units) return false
-// and fall back to ServeContent.
-func serveSlices(w http.ResponseWriter, r *http.Request, sr SliceRanger) bool {
+// SliceRanger, returning "" when it handled the request. Requests it does
+// not speak (multi-range, malformed specs, non-bytes units) return a short
+// reason and fall back to ServeContent. ignoreRange serves the full
+// representation regardless of any Range header (the If-Range-mismatch
+// case).
+func serveSlices(w http.ResponseWriter, r *http.Request, sr SliceRanger, ignoreRange bool) string {
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
-		return false
+		return "method"
 	}
 	size := sr.Size()
 	off, length := int64(0), size
 	status := http.StatusOK
-	if spec := r.Header.Get("Range"); spec != "" {
+	if spec := r.Header.Get("Range"); spec != "" && !ignoreRange {
 		var ok bool
 		off, length, ok = parseRange(spec, size)
 		if !ok {
-			return false
+			return "range-spec"
 		}
 		if off < 0 {
 			// Syntactically valid but unsatisfiable (start past EOF, or
 			// any range against an empty file).
 			w.Header().Set("Content-Range", fmt.Sprintf("bytes */%d", size))
 			http.Error(w, "requested range not satisfiable", http.StatusRequestedRangeNotSatisfiable)
-			return true
+			return ""
 		}
 		status = http.StatusPartialContent
 		w.Header().Set("Content-Range", fmt.Sprintf("bytes %d-%d/%d", off, off+length-1, size))
@@ -82,7 +130,7 @@ func serveSlices(w http.ResponseWriter, r *http.Request, sr SliceRanger) bool {
 	w.Header().Set("Content-Length", strconv.FormatInt(length, 10))
 	w.WriteHeader(status)
 	if r.Method == http.MethodHead || length == 0 {
-		return true
+		return ""
 	}
 	slices, err := sr.AppendRangeSlices(nil, off, length)
 	if err != nil {
@@ -91,14 +139,14 @@ func serveSlices(w http.ResponseWriter, r *http.Request, sr SliceRanger) bool {
 		if f, ok := w.(http.Flusher); ok {
 			f.Flush()
 		}
-		return true
+		return ""
 	}
 	// One vectored write: on a TCP connection net.Buffers becomes writev,
 	// handing every cached block slice to the kernel without concatenating
 	// them into a response buffer.
 	bufs := net.Buffers(slices)
 	bufs.WriteTo(w)
-	return true
+	return ""
 }
 
 // parseRange parses a single-range "bytes=" spec against size, returning

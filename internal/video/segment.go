@@ -1,0 +1,101 @@
+package video
+
+import "fmt"
+
+// This file is the fixed-duration half of the Figure 16 splitter: where
+// Split cuts a file into N even pieces for parallel conversion, Segments
+// cuts it into time-indexed pieces of a constant play length — the unit of
+// HLS-style segmented delivery. Both produce self-contained containers that
+// keep their global GOP numbering, so segments remain Merge-able back into
+// the whole file.
+
+// validateSegmentLength checks that segSeconds cuts the spec's GOP cadence
+// exactly: segments must end on GOP boundaries or they are not independently
+// decodable.
+func validateSegmentLength(spec Spec, segSeconds int) (gopsPerSegment int, err error) {
+	if segSeconds <= 0 {
+		return 0, fmt.Errorf("video: non-positive segment length %ds", segSeconds)
+	}
+	if spec.GOPSeconds <= 0 || segSeconds%spec.GOPSeconds != 0 {
+		return 0, fmt.Errorf("video: segment length %ds is not a multiple of the %ds GOP cadence",
+			segSeconds, spec.GOPSeconds)
+	}
+	return segSeconds / spec.GOPSeconds, nil
+}
+
+// SegmentCount is the number of segSeconds-long segments covering a video of
+// the given duration (the final segment may be shorter). It needs only the
+// two integers a catalog row stores, so playlist builders never re-probe the
+// media. Zero for non-positive inputs.
+func SegmentCount(durationSeconds, segSeconds int) int {
+	if durationSeconds <= 0 || segSeconds <= 0 {
+		return 0
+	}
+	return (durationSeconds + segSeconds - 1) / segSeconds
+}
+
+// SegmentPlaySeconds is the play time of segment k: segSeconds for every
+// segment but the last, which covers the remainder.
+func SegmentPlaySeconds(durationSeconds, segSeconds, k int) int {
+	count := SegmentCount(durationSeconds, segSeconds)
+	if k < 0 || k >= count {
+		return 0
+	}
+	if k == count-1 {
+		return durationSeconds - (count-1)*segSeconds
+	}
+	return segSeconds
+}
+
+// Segments cuts a media file into consecutive segments of segSeconds play
+// time each (the last may be shorter). segSeconds must be a whole multiple
+// of the file's GOP cadence. Each segment is a self-contained container
+// preserving its global GOP indices, exactly like Split's output.
+func Segments(data []byte, segSeconds int) ([][]byte, error) {
+	info, gops, err := Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	per, err := validateSegmentLength(info.Spec, segSeconds)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, 0, (len(gops)+per-1)/per)
+	for start := 0; start < len(gops); start += per {
+		end := start + per
+		if end > len(gops) {
+			end = len(gops)
+		}
+		segInfo := segmentInfo(info, segBounds{start: start, end: end})
+		segInfo.FirstGOP = info.FirstGOP + start
+		seg := appendHeader(make([]byte, 0, segInfo.Size()), segInfo)
+		for _, g := range gops[start:end] {
+			seg = appendGOP(seg, g.index, data[g.payload:g.payload+g.length])
+		}
+		out = append(out, seg)
+	}
+	return out, nil
+}
+
+// Rebase renumbers a container's GOPs to start at firstGOP. Live publishing
+// uses it to stamp each freshly converted segment with its global position
+// in the channel's timeline, so live segments carry the same contiguous
+// numbering VOD segments get from Segments (and stay Merge-able).
+func Rebase(data []byte, firstGOP int) ([]byte, error) {
+	if firstGOP < 0 {
+		return nil, fmt.Errorf("video: negative first GOP %d", firstGOP)
+	}
+	info, gops, err := Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	if info.FirstGOP == firstGOP {
+		return data, nil
+	}
+	info.FirstGOP = firstGOP
+	out := appendHeader(make([]byte, 0, info.Size()), info)
+	for i, g := range gops {
+		out = appendGOP(out, uint32(firstGOP+i), data[g.payload:g.payload+g.length])
+	}
+	return out, nil
+}

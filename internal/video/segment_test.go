@@ -1,0 +1,106 @@
+package video
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSegmentsCutAndMerge(t *testing.T) {
+	spec := Spec{Codec: MPEG4, Res: R480p, FPS: 30, GOPSeconds: 2, BitrateBps: 100_000}
+	data, err := Generate(spec, 30, 7) // 15 GOPs
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, err := Segments(data, 4) // 2 GOPs per segment -> 8 segments, last short
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := SegmentCount(30, 4); len(segs) != want {
+		t.Fatalf("got %d segments, want %d", len(segs), want)
+	}
+	totalDur := 0
+	for k, seg := range segs {
+		info, err := Probe(seg)
+		if err != nil {
+			t.Fatalf("segment %d: %v", k, err)
+		}
+		if info.FirstGOP != k*2 {
+			t.Errorf("segment %d: FirstGOP %d, want %d", k, info.FirstGOP, k*2)
+		}
+		if want := SegmentPlaySeconds(30, 4, k); info.DurationSeconds != want {
+			t.Errorf("segment %d: duration %ds, want %ds", k, info.DurationSeconds, want)
+		}
+		totalDur += info.DurationSeconds
+	}
+	if totalDur != 30 {
+		t.Errorf("segment durations sum to %ds, want 30s", totalDur)
+	}
+	merged, err := Merge(segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(merged, data) {
+		t.Error("merging segments did not restore the original container")
+	}
+}
+
+func TestSegmentsRejectBadLength(t *testing.T) {
+	spec := Spec{Codec: MPEG4, Res: R480p, FPS: 30, GOPSeconds: 2, BitrateBps: 100_000}
+	data, err := Generate(spec, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, segSeconds := range []int{0, -4, 3} { // 3 is not a multiple of the 2s GOP
+		if _, err := Segments(data, segSeconds); err == nil {
+			t.Errorf("Segments(%d) accepted a bad segment length", segSeconds)
+		}
+	}
+}
+
+func TestSegmentCountMath(t *testing.T) {
+	cases := []struct{ dur, seg, want int }{
+		{30, 4, 8}, {32, 4, 8}, {1, 4, 1}, {4, 4, 1}, {5, 4, 2},
+		{0, 4, 0}, {30, 0, 0},
+	}
+	for _, c := range cases {
+		if got := SegmentCount(c.dur, c.seg); got != c.want {
+			t.Errorf("SegmentCount(%d, %d) = %d, want %d", c.dur, c.seg, got, c.want)
+		}
+	}
+	if got := SegmentPlaySeconds(30, 4, 7); got != 2 {
+		t.Errorf("last segment of 30s/4s plays %ds, want 2", got)
+	}
+	if got := SegmentPlaySeconds(30, 4, 8); got != 0 {
+		t.Errorf("out-of-range segment plays %ds, want 0", got)
+	}
+}
+
+func TestRebaseRenumbersGOPs(t *testing.T) {
+	spec := Spec{Codec: H264, Res: R360p, FPS: 30, GOPSeconds: 2, BitrateBps: 80_000}
+	data, err := Generate(spec, 4, 3) // 2 GOPs starting at 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, err := Rebase(data, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := Probe(moved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.FirstGOP != 6 || info.GOPs != 2 {
+		t.Fatalf("rebased info = %+v, want FirstGOP 6, GOPs 2", info)
+	}
+	// Rebase to the current base is the identity.
+	same, err := Rebase(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(same, data) {
+		t.Error("Rebase to the existing FirstGOP changed bytes")
+	}
+	if _, err := Rebase(data, -1); err == nil {
+		t.Error("Rebase accepted a negative first GOP")
+	}
+}

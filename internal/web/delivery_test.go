@@ -1,0 +1,265 @@
+package web
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"videocloud/internal/stream"
+	"videocloud/internal/video"
+)
+
+// uploadVOD publishes one title through the full upload pipeline and
+// returns its id.
+func uploadVOD(t *testing.T, b *browser, seconds int) string {
+	t.Helper()
+	loc := b.upload("segmented title", "d", seconds, 11)
+	return strings.TrimPrefix(loc, "/watch/")
+}
+
+func TestSegmentedDeliveryVOD(t *testing.T) {
+	site, _ := newSite(t)
+	b := newBrowser(t, site)
+	b.registerAndLogin("seguser", "pw")
+	id := uploadVOD(t, b, 12) // 12s / 4s segments -> 3 segments
+
+	resp, body := b.get("/playlist/" + id)
+	if resp.StatusCode != 200 {
+		t.Fatalf("master playlist: %d %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != stream.PlaylistContentType {
+		t.Fatalf("master Content-Type %q", ct)
+	}
+	master, err := stream.ParseMaster([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(master.Renditions) != 1 || master.Renditions[0].Label != "720p" {
+		t.Fatalf("master renditions %+v", master.Renditions)
+	}
+
+	resp, body = b.get(master.Renditions[0].URL)
+	if resp.StatusCode != 200 {
+		t.Fatalf("media playlist: %d %s", resp.StatusCode, body)
+	}
+	media, err := stream.ParseMedia([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if media.Live || len(media.Segments) != 3 || media.TargetDuration != 4 {
+		t.Fatalf("media playlist %+v", media)
+	}
+
+	// Segments are valid containers, contiguous on the GOP timeline, and
+	// merge back into the published rendition byte for byte.
+	var pieces [][]byte
+	for _, seg := range media.Segments {
+		resp, segBody := b.get(seg.URL)
+		if resp.StatusCode != 200 {
+			t.Fatalf("segment %d: %d", seg.Index, resp.StatusCode)
+		}
+		info, err := video.Probe([]byte(segBody))
+		if err != nil {
+			t.Fatalf("segment %d: %v", seg.Index, err)
+		}
+		if info.DurationSeconds != seg.DurationSeconds {
+			t.Fatalf("segment %d plays %ds, playlist says %ds", seg.Index, info.DurationSeconds, seg.DurationSeconds)
+		}
+		pieces = append(pieces, []byte(segBody))
+	}
+	if _, err := video.Merge(pieces); err != nil {
+		t.Fatalf("segments do not merge: %v", err)
+	}
+
+	// A second pass over the same objects is served from edge memory: the
+	// origin counter must not move.
+	origin0 := site.reg.Counter("edge_segment_origin").Value()
+	for _, seg := range media.Segments {
+		if resp, _ := b.get(seg.URL); resp.StatusCode != 200 {
+			t.Fatalf("rewatch segment %d: %d", seg.Index, resp.StatusCode)
+		}
+	}
+	if d := site.reg.Counter("edge_segment_origin").Value() - origin0; d != 0 {
+		t.Fatalf("warm rewatch hit origin %d times", d)
+	}
+	if site.EdgeStats().Hits == 0 {
+		t.Fatal("edge cache reports no hits")
+	}
+}
+
+func TestSegmentRangeRequestsZeroCopy(t *testing.T) {
+	site, _ := newSite(t)
+	b := newBrowser(t, site)
+	b.registerAndLogin("ranger", "pw")
+	id := uploadVOD(t, b, 8)
+	url := fmt.Sprintf("/segment/%s/720p/0", id)
+
+	resp, full := b.get(url)
+	if resp.StatusCode != 200 {
+		t.Fatalf("segment: %d", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodGet, b.srv.URL+url, nil)
+	req.Header.Set("Range", "bytes=4-19")
+	rresp, err := b.c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, _ := io.ReadAll(rresp.Body)
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusPartialContent || string(part) != full[4:20] {
+		t.Fatalf("range on segment: %d, %d bytes", rresp.StatusCode, len(part))
+	}
+	if n := site.reg.Counter("stream_fallback_total").Value(); n != 0 {
+		t.Fatalf("segment serving fell off the slice path %d times", n)
+	}
+}
+
+func TestDeliveryRejectsUnknownObjects(t *testing.T) {
+	site, _ := newSite(t)
+	b := newBrowser(t, site)
+	b.registerAndLogin("u404", "pw")
+	id := uploadVOD(t, b, 8)
+
+	for _, path := range []string{
+		"/playlist/999999",
+		"/playlist/" + id + "/1080p",
+		"/segment/" + id + "/720p/99",
+		"/segment/" + id + "/720p/-1",
+		"/segment/" + id + "/720p/x",
+	} {
+		if resp, _ := b.get(path); resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+	_ = site
+}
+
+func TestLiveChannelLifecycle(t *testing.T) {
+	site, _ := newSite(t)
+	b := newBrowser(t, site)
+	ctx := context.Background()
+
+	id, err := site.CreateLiveChannel(ctx, site.AdminID(), "launch event", "live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No segments yet: the playlist has nothing to serve.
+	if resp, _ := b.get(fmt.Sprintf("/playlist/%d", id)); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("empty channel playlist: %d", resp.StatusCode)
+	}
+	// And the whole-file endpoint points at segmented delivery.
+	if resp, body := b.get(fmt.Sprintf("/stream/%d", id)); resp.StatusCode != http.StatusNotFound ||
+		!strings.Contains(body, "/playlist/") {
+		t.Fatalf("live /stream: %d %q", resp.StatusCode, body)
+	}
+
+	src := video.Spec{Codec: video.MPEG4, Res: video.R480p, FPS: 30, GOPSeconds: 2, BitrateBps: 64_000}
+	push := func(seconds int, seed uint64) {
+		t.Helper()
+		chunk, err := video.Generate(src, seconds, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := site.PushLiveSegment(ctx, id, chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	push(4, 1)
+	push(4, 2)
+
+	// The live playlist carries no end marker and grows with pushes. The
+	// edge cache may serve a copy up to LiveEdgeTTL stale, so poll past it.
+	_, ttl := site.DeliveryConfig()
+	deadline := time.Now().Add(50 * ttl)
+	var media stream.MediaPlaylist
+	for {
+		resp, body := b.get(fmt.Sprintf("/playlist/%d/720p", id))
+		if resp.StatusCode != 200 {
+			t.Fatalf("live media playlist: %d", resp.StatusCode)
+		}
+		if media, err = stream.ParseMedia([]byte(body)); err != nil {
+			t.Fatal(err)
+		}
+		if len(media.Segments) == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("playlist stuck at %d segments, want 2", len(media.Segments))
+		}
+		time.Sleep(ttl / 4)
+	}
+	if !media.Live {
+		t.Fatal("live playlist carries an end marker")
+	}
+
+	// A short final segment, then end: becomes watchable VOD.
+	push(2, 3)
+	if _, err := site.PushLiveSegment(ctx, id, mustGenerate(t, src, 4, 4)); err == nil {
+		t.Fatal("push after a short segment was accepted")
+	}
+	if err := site.EndLiveChannel(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	if err := site.EndLiveChannel(ctx, id); err == nil {
+		t.Fatal("double EndLiveChannel was accepted")
+	}
+
+	// Past the TTL the playlist shows the end marker; segments merge into
+	// one contiguous 10s container.
+	deadline = time.Now().Add(50 * ttl)
+	for {
+		_, body := b.get(fmt.Sprintf("/playlist/%d/720p", id))
+		if media, err = stream.ParseMedia([]byte(body)); err != nil {
+			t.Fatal(err)
+		}
+		if !media.Live && len(media.Segments) == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ended playlist: live=%v segments=%d", media.Live, len(media.Segments))
+		}
+		time.Sleep(ttl / 4)
+	}
+	var pieces [][]byte
+	for _, seg := range media.Segments {
+		_, segBody := b.get(seg.URL)
+		pieces = append(pieces, []byte(segBody))
+	}
+	merged, err := video.Merge(pieces)
+	if err != nil {
+		t.Fatalf("live segments do not merge: %v", err)
+	}
+	info, err := video.Probe(merged)
+	if err != nil || info.DurationSeconds != 10 {
+		t.Fatalf("merged live channel: %+v, %v (want 10s)", info, err)
+	}
+}
+
+func mustGenerate(t *testing.T, spec video.Spec, seconds int, seed uint64) []byte {
+	t.Helper()
+	data, err := video.Generate(spec, seconds, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestABRSessionAgainstSite(t *testing.T) {
+	site, _ := newSite(t)
+	b := newBrowser(t, site)
+	b.registerAndLogin("abr", "pw")
+	id := uploadVOD(t, b, 16)
+
+	p := &stream.ABRPlayer{}
+	rep, err := p.Play(b.srv.URL + "/playlist/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.EndReached || rep.Segments != 4 || rep.PlayedSeconds != 16 {
+		t.Fatalf("ABR session %+v", rep)
+	}
+}

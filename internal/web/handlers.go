@@ -38,6 +38,9 @@ func (s *Site) routes() *http.ServeMux {
 	mux.HandleFunc("POST /upload", s.instrument("upload", s.handleUpload))
 	mux.HandleFunc("GET /watch/{id}", s.instrument("watch", s.handleWatch))
 	mux.HandleFunc("GET /stream/{id}", s.instrument("stream", s.handleStream))
+	mux.HandleFunc("GET /playlist/{id}", s.instrument("playlist", s.handlePlaylistMaster))
+	mux.HandleFunc("GET /playlist/{id}/{quality}", s.instrument("playlist", s.handlePlaylistMedia))
+	mux.HandleFunc("GET /segment/{id}/{quality}/{k}", s.instrument("segment", s.handleSegment))
 	mux.HandleFunc("POST /watch/{id}/comment", s.instrument("comment", s.handleComment))
 	mux.HandleFunc("POST /watch/{id}/report", s.instrument("report", s.handleReport))
 	mux.HandleFunc("POST /watch/{id}/delete", s.instrument("delete", s.handleDelete))
@@ -414,9 +417,17 @@ func (s *Site) handleStream(w http.ResponseWriter, r *http.Request) {
 	path := rowString(row, "path")
 	if path == "" {
 		// Tolerant read: rows from older binaries carry no status column.
-		if status, _ := row["status"].(string); status == statusProcessing {
+		status, _ := row["status"].(string)
+		if status == statusProcessing {
 			w.Header().Set("Retry-After", "2")
 			http.Error(w, "video is still processing", http.StatusServiceUnavailable)
+			return
+		}
+		// A live channel has no whole file — its content exists only as
+		// segments. Point the client at the segmented entry point.
+		if segs, _ := row["segments"].(int64); segs > 0 || status == statusLive {
+			http.Error(w, fmt.Sprintf("segmented delivery only: use /playlist/%d", rowInt(row, "id")),
+				http.StatusNotFound)
 			return
 		}
 		// A failed conversion or a malformed row: nothing to stream.
@@ -483,11 +494,15 @@ func (s *Site) handleStream(w http.ResponseWriter, r *http.Request) {
 	s.reg.Counter("stream_requests").Inc()
 	ssp := trace.FromContext(ctx).StartChild("stream.serve")
 	ssp.Annotate("path", path)
+	// Fallbacks off the zero-copy slice path (multi-range requests, content
+	// that can't slice) go through the copying ServeContent path; the
+	// counter keeps that rate visible in stats.
+	onFallback := func(string) { s.reg.Counter("stream_fallback_total").Inc() }
 	if s.streamPacer != nil {
 		// Meter egress through the replica's NIC-model token bucket.
-		stream.Serve(pacedWriter{ResponseWriter: w, p: s.streamPacer}, r, path, rd)
+		stream.ServeWithFallback(pacedWriter{ResponseWriter: w, p: s.streamPacer}, r, path, rd, onFallback)
 	} else {
-		stream.Serve(w, r, path, rd)
+		stream.ServeWithFallback(w, r, path, rd, onFallback)
 	}
 	ssp.End()
 }

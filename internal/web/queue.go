@@ -19,10 +19,15 @@ import (
 // Video status lifecycle. Uploads are inserted as "processing"; the farm
 // conversion flips them to "ready" (streamable) or "failed". Rows written by
 // older binaries carry no status and are treated as ready.
+// Live channels (live.go) add two states: "live" while the channel is
+// publishing segments, "ended" once it has finished (still watchable as
+// segmented VOD).
 const (
 	statusProcessing = "processing"
 	statusReady      = "ready"
 	statusFailed     = "failed"
+	statusLive       = "live"
+	statusEnded      = "ended"
 )
 
 // defaultTranscodeQueueCap bounds the async intake when the config leaves
@@ -191,9 +196,37 @@ func (s *Site) transcodeAndPublish(ctx context.Context, id int64, title, descrip
 		written = append(written, rpath)
 		labels = append(labels, QualityLabel(spec))
 	}
+	// Segmented delivery (delivery.go): cut every rendition into
+	// time-indexed segments alongside the whole files, so the playlist and
+	// segment handlers have per-window objects to serve through the edge
+	// cache. Whole-file /stream stays available for progressive playback.
+	segs := 0
+	ssp := trace.FromContext(ctx).StartChild("store.segments")
+	for i, spec := range append([]video.Spec{s.target}, s.renditions...) {
+		pieces, serr := video.Segments(results[i].Output, s.segSeconds)
+		if serr != nil {
+			ssp.SetError(serr)
+			ssp.End()
+			unstore()
+			return fmt.Errorf("web: segmenting %s failed: %w", QualityLabel(spec), serr)
+		}
+		for k, piece := range pieces {
+			spath := segmentPath(id, QualityLabel(spec), k)
+			if werr := s.store.WriteFileCtx(ctx, spath, piece); werr != nil {
+				ssp.SetError(werr)
+				ssp.End()
+				unstore()
+				return fmt.Errorf("web: store %s failed: %w", spath, werr)
+			}
+			written = append(written, spath)
+		}
+		segs = len(pieces)
+	}
+	ssp.End()
 	psp := trace.FromContext(ctx).StartChild("db.publish")
 	if uerr := s.db.Update("videos", id, videodb.Row{
 		"path": path, "renditions": strings.Join(labels, ","), "status": statusReady,
+		"seg_seconds": int64(s.segSeconds), "segments": int64(segs),
 	}); uerr != nil {
 		psp.SetError(uerr)
 		psp.End()

@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"videocloud/internal/edge"
 	"videocloud/internal/fusebridge"
 	"videocloud/internal/metrics"
 	"videocloud/internal/search"
@@ -72,6 +73,19 @@ type Config struct {
 	// (a per-frontend NIC model: the paper's web VM sits on one GbE port).
 	// Zero leaves streaming unpaced.
 	StreamRateBytesPerSec int64
+	// SegmentSeconds is the play length of delivery segments cut from each
+	// rendition at publish time (default 4; must be a multiple of the
+	// target's GOP cadence so segments end on GOP boundaries).
+	SegmentSeconds int
+	// EdgeCacheBytes sizes this replica's in-memory edge cache for playlist
+	// and segment responses (default 64 MiB). The cache is per-frontend, so
+	// fleet capacity scales with replicas.
+	EdgeCacheBytes int64
+	// LiveEdgeTTL bounds how stale a cached playlist may be (default
+	// 200ms). Playlists change — live channels grow, titles get deleted —
+	// so they are cached with this TTL; published segments are immutable
+	// and cached without one.
+	LiveEdgeTTL time.Duration
 }
 
 // QualityLabel names a rendition by its vertical resolution ("720p").
@@ -127,6 +141,12 @@ type Site struct {
 	// streamPacer caps this replica's streaming egress; nil = unpaced.
 	streamPacer *pacer
 
+	// Segmented-delivery state (delivery.go, live.go): the per-replica edge
+	// cache and the publish-time segmentation parameters.
+	edge       *edge.Cache
+	segSeconds int
+	liveTTL    time.Duration
+
 	// queue is the async transcode pool (queue.go); nil in synchronous
 	// mode.
 	queue *transcodeQueue
@@ -165,6 +185,28 @@ func (cfg *Config) validate() error {
 	if cfg.StreamRateBytesPerSec < 0 {
 		return fmt.Errorf("web: StreamRateBytesPerSec must be >= 0, got %d", cfg.StreamRateBytesPerSec)
 	}
+	if cfg.SegmentSeconds < 0 {
+		return fmt.Errorf("web: SegmentSeconds must be >= 0, got %d", cfg.SegmentSeconds)
+	}
+	if cfg.SegmentSeconds == 0 {
+		cfg.SegmentSeconds = 2 * cfg.Target.GOPSeconds
+	}
+	if cfg.Target.GOPSeconds <= 0 || cfg.SegmentSeconds%cfg.Target.GOPSeconds != 0 {
+		return fmt.Errorf("web: SegmentSeconds %d is not a multiple of the target's %ds GOP cadence",
+			cfg.SegmentSeconds, cfg.Target.GOPSeconds)
+	}
+	if cfg.EdgeCacheBytes < 0 {
+		return fmt.Errorf("web: EdgeCacheBytes must be >= 0, got %d", cfg.EdgeCacheBytes)
+	}
+	if cfg.EdgeCacheBytes == 0 {
+		cfg.EdgeCacheBytes = 64 << 20
+	}
+	if cfg.LiveEdgeTTL < 0 {
+		return fmt.Errorf("web: LiveEdgeTTL must be >= 0, got %v", cfg.LiveEdgeTTL)
+	}
+	if cfg.LiveEdgeTTL == 0 {
+		cfg.LiveEdgeTTL = 200 * time.Millisecond
+	}
 	return nil
 }
 
@@ -180,6 +222,9 @@ func assemble(cfg Config, state *fleetState) *Site {
 		reg:         metrics.NewRegistry(),
 		tracer:      cfg.Tracer,
 		streamPacer: newPacer(cfg.StreamRateBytesPerSec),
+		edge:        edge.New(edge.Config{CapacityBytes: cfg.EdgeCacheBytes}),
+		segSeconds:  cfg.SegmentSeconds,
+		liveTTL:     cfg.LiveEdgeTTL,
 	}
 	s.maxInFlight = int64(cfg.MaxInFlight)
 	if s.maxInFlight == 0 {
@@ -264,6 +309,8 @@ func (s *Site) createSchema() error {
 		videodb.Column{Name: "reports", Type: videodb.TInt},
 		videodb.Column{Name: "renditions", Type: videodb.TString},
 		videodb.Column{Name: "status", Type: videodb.TString},
+		videodb.Column{Name: "seg_seconds", Type: videodb.TInt},
+		videodb.Column{Name: "segments", Type: videodb.TInt},
 	); err != nil {
 		return err
 	}
@@ -328,6 +375,10 @@ func (s *Site) Metrics() *metrics.Registry { return s.reg }
 
 // Tracer exposes the site's tracer (nil when tracing is not configured).
 func (s *Site) Tracer() *trace.Tracer { return s.tracer }
+
+// EdgeStats snapshots this replica's edge-cache behaviour (core.Status and
+// the delivery experiments read it).
+func (s *Site) EdgeStats() edge.Stats { return s.edge.Stats() }
 
 // Target returns the playback encoding spec.
 func (s *Site) Target() video.Spec { return s.target }
