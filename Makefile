@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test race alloccheck chaosshort chaos bench benchall trace scale edge
+.PHONY: tier1 vet build test race alloccheck chaosshort chaos bench benchall trace scale edge elastic
 
 tier1: vet build race alloccheck chaosshort
 
@@ -27,9 +27,10 @@ alloccheck:
 
 # Short-mode chaos soak: the seeded fault-injection run (host crash,
 # DataNode crash, block corruption, tracker death mid-job) at reduced
-# workload scale, under the race detector — part of the tier-1 gate.
+# workload scale, plus the elastic flash-crowd-while-host-crashes case,
+# under the race detector — part of the tier-1 gate.
 chaosshort:
-	$(GO) test -race -short -count=1 -run 'TestChaosSoak' ./internal/core/
+	$(GO) test -race -short -count=1 -run 'TestChaosSoak|TestElasticChaos' ./internal/core/
 
 # Full chaos soak with the recovery report: per-fault-class detection
 # latency and MTTR land in BENCH_recovery.json for comparison across PRs.
@@ -54,6 +55,15 @@ edge:
 	EDGE_BENCH_OUT=$(CURDIR)/BENCH_edge.json \
 		$(GO) test -count=1 -run 'TestEdgeBench' ./internal/experiments/
 	@echo "wrote BENCH_edge.json ($$(grep -c '"offload_pct"' BENCH_edge.json) sweep rows + live report)"
+
+# Elasticity + rebalance soak (E16): a diurnal transcode wave with a 6x
+# flash crowd and a mid-run host crash against the closed-loop elastic
+# controller, then hot-host rebalancing; the windows, job/drain ledgers,
+# and spread report land in BENCH_elastic.json for comparison across PRs.
+elastic:
+	ELASTIC_BENCH_OUT=$(CURDIR)/BENCH_elastic.json \
+		$(GO) test -count=1 -run 'TestElasticBench' ./internal/experiments/
+	@echo "wrote BENCH_elastic.json ($$(grep -c '"phase"' BENCH_elastic.json) windows + ledgers + spread report)"
 
 # Hot-path benchmarks: -cpu 1,4 shows how the conversion worker pool and
 # the HDFS block fan-out scale with real cores; results land in

@@ -52,6 +52,12 @@ func main() {
 		"bound on cached playlist staleness — live segment-discovery latency (0 = 200ms default)")
 	selfheal := flag.Bool("selfheal", true,
 		"arm failure detection + automatic recovery (host heartbeats, HDFS healer)")
+	elasticMax := flag.Int("elastic", 0,
+		"max elastic transcode-farm VMs booted on queue pressure (0 disables autoscaling)")
+	elasticMin := flag.Int("elastic-min", 0,
+		"farm VMs kept warm even when idle (with -elastic)")
+	rebalance := flag.Duration("rebalance", 0,
+		"host-load rebalancing pass period via live migration (0 disables; with -elastic)")
 	traceMode := flag.String("trace", "off",
 		"distributed tracing: off, sample (head-sampled roots), or all")
 	traceRate := flag.Float64("trace-rate", 0.1,
@@ -99,6 +105,25 @@ func main() {
 	if *selfheal {
 		vc.StartSelfHealing(hdfs.HealerConfig{})
 		log.Printf("videocloud: self-healing armed (host heartbeats + HDFS healer)")
+	}
+	if *elasticMax > 0 {
+		if err := vc.StartElastic(core.ElasticConfig{
+			MinFarmVMs: *elasticMin, MaxFarmVMs: *elasticMax,
+			RebalanceInterval: *rebalance,
+		}); err != nil {
+			log.Fatalf("elastic: %v", err)
+		}
+		log.Printf("videocloud: elastic transcode fleet armed (%d..%d farm VMs, rebalance %v)",
+			*elasticMin, *elasticMax, *rebalance)
+	}
+	if *selfheal || *elasticMax > 0 {
+		// The heartbeat monitor and elastic control loop run in virtual
+		// time; pump the simulated clock at wall speed so they tick.
+		go func() {
+			for range time.Tick(100 * time.Millisecond) {
+				vc.Cloud().RunFor(100 * time.Millisecond)
+			}
+		}()
 	}
 
 	seedCatalog(vc, *seed)
@@ -188,6 +213,16 @@ func logRouteDashboard(vc *core.VideoCloud) {
 	if fl.Frontends > 1 {
 		log.Printf("fleet frontends=%d shards=%d routes affine/spread=%d/%d backend_requests=%v",
 			fl.Frontends, fl.MetadataShards, fl.AffineRoutes, fl.SpreadRoutes, fl.BackendRequests)
+	}
+	if el := st.Elastic; el.Enabled {
+		log.Printf("elastic fleet=%d boot=%d drain=%d load=%.1f util=%.2f "+
+			"out/in/freeze/thrash=%d/%d/%d/%d queue=%d wait_p99=%.0fms requeues=%d "+
+			"rebal pass/mig/skip=%d/%d/%d spread=%.2f",
+			el.Controller.Instances, el.Controller.Booting, el.Controller.Draining,
+			el.Controller.LastLoad, el.Controller.LastUtil,
+			el.Controller.ScaleOuts, el.Controller.ScaleIns, el.Controller.Freezes,
+			el.Controller.Thrash, el.QueueDepth, el.WaitP99Seconds*1000, el.Requeues,
+			el.RebalancePasses, el.RebalanceMigrations, el.RebalanceSkipped, el.HostLoadSpread)
 	}
 	if eg := st.Edge; eg.Hits+eg.Fills > 0 {
 		log.Printf("edge hits=%d misses=%d joins=%d fills=%d evict=%d expire=%d rejects=%d entries=%d used=%dMB/%dMB",

@@ -149,6 +149,9 @@ type VideoCloud struct {
 	healer *hdfs.Healer
 	tracer *trace.Tracer
 
+	elastic    *nebula.ElasticController
+	rebalancer *nebula.Rebalancer
+
 	webVMID    int
 	nameVMID   int
 	dataVMIDs  []int
@@ -546,6 +549,9 @@ type Status struct {
 	// Edge aggregates every frontend's edge-cache counters (segmented
 	// delivery: hits, origin fills, admissions, evictions).
 	Edge edge.Stats
+	// Elastic reports the autoscaling/rebalancing subsystem: fleet size,
+	// scale decisions, drain outcomes, and host-load spread.
+	Elastic ElasticStatus
 }
 
 // FleetStatus summarises the scale-out serving tier.
@@ -610,6 +616,7 @@ func (vc *VideoCloud) Status() Status {
 		st.Fleet.SpreadRoutes = vc.reg.Counter("ingress_spread_routes").Value()
 	}
 	st.Edge = vc.edgeStats()
+	st.Elastic = vc.elasticStatus()
 	return st
 }
 
@@ -658,10 +665,11 @@ func (vc *VideoCloud) DrainTranscodes() {
 	}
 }
 
-// Close disarms self-healing and shuts down every frontend's transcode pool
-// after draining queued jobs.
+// Close disarms self-healing and elasticity, then shuts down every
+// frontend's transcode pool after draining queued jobs.
 func (vc *VideoCloud) Close() {
 	vc.StopSelfHealing()
+	vc.StopElastic()
 	for _, s := range vc.sites {
 		s.Close()
 	}

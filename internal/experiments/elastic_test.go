@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestElasticBench runs the E16 elasticity scenario and gates its robustness
+// contract; with ELASTIC_BENCH_OUT set (the `make elastic` target), the
+// report lands in BENCH_elastic.json for comparison across PRs.
+func TestElasticBench(t *testing.T) {
+	r := runElasticity()
+	for _, w := range r.Windows {
+		t.Logf("%-16s load=%6.1f fleet=%4.1f max=%2d out=%d in=%d freeze=%d",
+			w.Phase, w.AvgLoad, w.AvgFleet, w.MaxFleet, w.Outs, w.Ins, w.Freezes)
+	}
+	t.Logf("jobs: accepted=%.0f completed=%.0f requeued=%.1f leftover=%.3f",
+		r.AcceptedJobs, r.CompletedJobs, r.RequeuedJobs, r.LeftoverJobs)
+	t.Logf("drains: started=%d completed=%d expired=%d reclaims=%d",
+		r.DrainsStarted, r.DrainsCompleted, r.DrainsExpired, r.Reclaims)
+	t.Logf("control: absorb=%.0fs flips=%d thrash=%d freezes=%d",
+		r.SpikeAbsorbSecs, r.Flips, r.Thrash, r.Freezes)
+	t.Logf("rebalance: spread %.2f -> %.2f in %d moves / %d passes",
+		r.SpreadBefore, r.SpreadAfter, r.RebalanceMoves, r.RebalancePasses)
+
+	// Zero lost transcodes: the job ledger balances exactly, with at least
+	// five scale-down drains and a crash-requeue in the mix.
+	if math.Abs(r.AcceptedJobs-r.CompletedJobs) > 1e-3 || r.LeftoverJobs > 1e-3 {
+		t.Errorf("jobs lost: accepted=%.3f completed=%.3f leftover=%.3f",
+			r.AcceptedJobs, r.CompletedJobs, r.LeftoverJobs)
+	}
+	if r.DrainsStarted < 5 {
+		t.Errorf("only %d scale-down drains, want >= 5", r.DrainsStarted)
+	}
+	if r.DrainsCompleted+r.DrainsExpired < r.DrainsStarted {
+		t.Errorf("drain ledger: %d started, %d completed, %d expired",
+			r.DrainsStarted, r.DrainsCompleted, r.DrainsExpired)
+	}
+	if r.RequeuedJobs <= 0 {
+		t.Error("the host crash requeued nothing")
+	}
+	// Spike absorbed: utilization returns inside the band within 30 minutes
+	// of the flash crowd landing, with the fleet actually scaled out.
+	if r.SpikeAbsorbSecs < 0 || r.SpikeAbsorbSecs > (30*time.Minute).Seconds() {
+		t.Errorf("flash crowd not absorbed within 30min (absorb=%.0fs)", r.SpikeAbsorbSecs)
+	}
+	if r.PeakFleet < 8 {
+		t.Errorf("peak fleet = %d, want >= 8 under the burst", r.PeakFleet)
+	}
+	// Anti-thrash: zero thrash events and at most one direction flip per
+	// cooldown window; the controller froze during crash recovery.
+	if r.Thrash != 0 {
+		t.Errorf("fleet thrashed %d times", r.Thrash)
+	}
+	if float64(r.Flips) > r.FlipWindows {
+		t.Errorf("%d direction flips over %.0f cooldown windows", r.Flips, r.FlipWindows)
+	}
+	if r.Freezes < 1 {
+		t.Error("controller never froze during host-failure recovery")
+	}
+	// Rebalance: the fresh host absorbs load until the spread levels out.
+	if r.RebalanceMoves < 1 || r.SpreadAfter > 0.25 || r.SpreadAfter >= r.SpreadBefore {
+		t.Errorf("rebalance: spread %.2f -> %.2f in %d moves",
+			r.SpreadBefore, r.SpreadAfter, r.RebalanceMoves)
+	}
+
+	if out := os.Getenv("ELASTIC_BENCH_OUT"); out != "" {
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("elastic report: %s", out)
+	}
+}

@@ -93,5 +93,6 @@ func All() []*metrics.Table {
 		E13CriticalPath(),
 		E14ServingScale(),
 		E15EdgeDelivery(),
+		E16Elasticity(),
 	}
 }

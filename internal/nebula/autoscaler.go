@@ -35,6 +35,12 @@ type AutoScaler struct {
 	// the same units as InstanceCapacity. It runs inside the simulation
 	// tick (the cloud lock is held): it must not call Cloud methods.
 	Metric func(now time.Duration) float64
+	// Drain configures graceful scale-down (drain.go): the retired
+	// instance stops taking work (OnDrain), finishes its in-flight work
+	// (InFlight, bounded by Deadline, past which OnExpire requeues it),
+	// and only then shuts down. The zero value drains an idle instance at
+	// the first poll, preserving the old scaler's timing for idle fleets.
+	Drain DrainOptions
 
 	ticker    *simtime.Event
 	instances []int
@@ -111,8 +117,11 @@ func (a *AutoScaler) Stop() {
 // step runs with the cloud lock held (simulation callback).
 func (a *AutoScaler) step() {
 	c := a.cloud
-	// Count instances that are alive (anything before Shutdown/Done).
+	// Track instances that are alive (anything before Shutdown/Done).
+	// Draining instances stay tracked — they must not be retired twice —
+	// but provide no capacity.
 	alive := a.instances[:0]
+	n := 0
 	for _, id := range a.instances {
 		rec := c.vms[id]
 		if rec == nil {
@@ -121,12 +130,14 @@ func (a *AutoScaler) step() {
 		switch rec.State {
 		case Pending, Prolog, Boot, Running, Migrating, Suspended:
 			alive = append(alive, id)
+			n++
+		case Draining:
+			alive = append(alive, id)
 		}
 	}
 	a.instances = alive
 
 	load := a.Metric(c.sim.Now())
-	n := len(a.instances)
 	util := 0.0
 	if n > 0 {
 		util = load / (a.InstanceCapacity * float64(n))
@@ -142,11 +153,13 @@ func (a *AutoScaler) step() {
 			c.reg.Counter("autoscale_out").Inc()
 		}
 	case util < a.LoLoad && n > a.Min:
-		// Retire the newest running instance (oldest-first stability).
+		// Retire the newest running instance (oldest-first stability) —
+		// gracefully: drain first, shut down only once its in-flight work
+		// completes (or the drain deadline requeues the remainder).
 		for i := len(a.instances) - 1; i >= 0; i-- {
 			id := a.instances[i]
 			if rec := c.vms[id]; rec != nil && rec.State == Running {
-				if err := c.shutdownLocked(id); err == nil {
+				if err := c.drainLocked(rec, a.Drain); err == nil {
 					c.reg.Counter("autoscale_in").Inc()
 					break
 				}

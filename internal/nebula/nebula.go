@@ -114,9 +114,10 @@ type VMRecord struct {
 	// Restarts counts automatic recoveries after host failures.
 	Restarts int
 
-	migRetries int           // consecutive rescheduled-migration attempts
-	recovering bool          // requeued by recovery; next Running closes MTTR
-	failedAt   time.Duration // virtual time of the host failure that requeued it
+	migRetries  int           // consecutive rescheduled-migration attempts
+	recovering  bool          // requeued by recovery; next Running closes MTTR
+	failedAt    time.Duration // virtual time of the host failure that requeued it
+	rebalancing bool          // current migration was started by the Rebalancer
 
 	// span is the open lifecycle trace (nebula.vm for provisioning,
 	// nebula.migration / nebula.recovery / ... for later episodes); it is
@@ -152,6 +153,10 @@ type Cloud struct {
 	schedKick  bool
 	stuckEvac  map[int]string // record ID → host an evacuation left it on
 	tracer     *trace.Tracer  // nil disables lifecycle tracing
+
+	draining      map[int]*drainJob // record ID → in-progress graceful drain
+	lastFailureAt time.Duration     // virtual time of the most recent host failure
+	sawFailure    bool              // lastFailureAt is meaningful (failures at t=0 count)
 }
 
 // New creates a cloud with a front-end node and an empty host pool.
@@ -175,6 +180,7 @@ func New(opts Options) *Cloud {
 		groups:     make(map[string][]int),
 		ipNext:     1,
 		stuckEvac:  make(map[int]string),
+		draining:   make(map[int]*drainJob),
 	}
 	if opts.Recovery.MigrationDeadline > 0 {
 		if dd, ok := c.driver.(interface{ SetMigrationDeadline(time.Duration) }); ok {
@@ -439,6 +445,10 @@ func episodeName(rec *VMRecord, to VMState) string {
 	switch {
 	case to == Pending && rec.recovering:
 		return "nebula.recovery"
+	case to == Draining:
+		return "vm.drain"
+	case to == Migrating && rec.rebalancing:
+		return "vm.rebalance"
 	case to == Migrating:
 		return "nebula.migration"
 	case to == Suspended:
@@ -495,7 +505,7 @@ func (c *Cloud) candidateHosts(rec *VMRecord, pool []*virt.Host) []*virt.Host {
 			continue
 		}
 		switch other.State {
-		case Prolog, Boot, Running, Migrating, Suspended:
+		case Prolog, Boot, Running, Migrating, Suspended, Draining:
 			taken[other.HostName] = true
 		}
 	}
@@ -706,6 +716,8 @@ func (c *Cloud) liveMigrateLocked(rec *VMRecord, dst *virt.Host) error {
 	err := c.driver.Migrate(rec.VM, dst, func(rep migrate.Report) {
 		r := rep
 		rec.LastMigration = &r
+		wasRebalance := rec.rebalancing
+		rec.rebalancing = false
 		if rep.Success {
 			rec.HostName = dst.Name
 			rec.migRetries = 0
@@ -720,7 +732,11 @@ func (c *Cloud) liveMigrateLocked(rec *VMRecord, dst *virt.Host) error {
 			rec.span.SetError(fmt.Errorf("migration failed: %s", rep.Reason))
 			c.setState(rec, Running) // still live on the source
 			c.reg.Counter("migrations_failed").Inc()
-			c.rescheduleMigrationLocked(rec, dst)
+			if wasRebalance {
+				c.reg.Counter("rebalance_migrations_failed").Inc()
+			} else {
+				c.rescheduleMigrationLocked(rec, dst)
+			}
 		}
 	})
 	if err != nil {
@@ -809,6 +825,13 @@ func (c *Cloud) shutdownLocked(id int) error {
 	if rec.State != Running {
 		return fmt.Errorf("%w: shutdown from %v", ErrBadState, rec.State)
 	}
+	return c.beginShutdownLocked(rec)
+}
+
+// beginShutdownLocked stops the guest and schedules the epilog. It is the
+// shared tail of operator shutdown (from Running) and graceful drain
+// completion (from Draining).
+func (c *Cloud) beginShutdownLocked(rec *VMRecord) error {
 	if err := c.driver.Shutdown(rec.VM); err != nil {
 		return err
 	}

@@ -87,6 +87,8 @@ func (c *Cloud) handleHostFailureLocked(h *virt.Host) {
 		h.Fail() // fence: a hung host must not keep running guests
 	}
 	c.reg.Counter("hosts_failed").Inc()
+	c.lastFailureAt = c.sim.Now()
+	c.sawFailure = true
 	ids := make([]int, 0, len(c.vms))
 	for id := range c.vms {
 		ids = append(ids, id)
@@ -100,6 +102,13 @@ func (c *Cloud) handleHostFailureLocked(h *virt.Host) {
 		if rec.State == Done || rec.State == Failed {
 			continue
 		}
+		if rec.State == Draining {
+			// A retiring VM is never resubmitted; its in-flight work is
+			// requeued through the drain's expiry hook instead.
+			c.expireDrainOnFailureLocked(rec)
+			c.fail(rec, "host failure while draining")
+			continue
+		}
 		if rec.Template.Requeue {
 			c.requeueWithBackoffLocked(rec, "host failure")
 		} else {
@@ -107,6 +116,40 @@ func (c *Cloud) handleHostFailureLocked(h *virt.Host) {
 		}
 	}
 	c.kickScheduler()
+}
+
+// recoveryActiveLocked reports whether failure handling is in progress (or a
+// failure was handled within the last hold window): heartbeat detection is
+// mid-count on some host, a requeued VM has not come back Running, an
+// evacuation is stuck waiting for capacity, or a host failure fired recently.
+// Elastic scaling and rebalancing freeze while this holds — a host crash
+// must never masquerade as a load drop.
+func (c *Cloud) recoveryActiveLocked(hold time.Duration) bool {
+	if c.sawFailure && c.sim.Now()-c.lastFailureAt < hold {
+		return true
+	}
+	if len(c.stuckEvac) > 0 {
+		return true
+	}
+	for host, n := range c.monitor.missed {
+		if n > 0 && !c.monitor.handled[host] {
+			return true // detection mid-count: a host has gone quiet
+		}
+	}
+	for _, rec := range c.vms {
+		if rec.recovering {
+			return true
+		}
+	}
+	return false
+}
+
+// RecoveryActive reports the chaos-guard predicate under the lock — whether
+// scale decisions are currently frozen for a given hold window.
+func (c *Cloud) RecoveryActive(hold time.Duration) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.recoveryActiveLocked(hold)
 }
 
 // requeueWithBackoffLocked resubmits a VM whose host died. The Nth restart

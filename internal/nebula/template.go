@@ -63,7 +63,9 @@ func (t Template) validate() error {
 // Shutdown, Done, Failed.
 type VMState int
 
-// Orchestrator VM states.
+// Orchestrator VM states. Draining is an elastic-scale-down extension: the
+// instance still runs but takes no new work; it moves to Shutdown once its
+// in-flight work completes (or its drain deadline expires).
 const (
 	Pending VMState = iota
 	Prolog
@@ -74,6 +76,7 @@ const (
 	Shutdown
 	Done
 	Failed
+	Draining
 )
 
 // String implements fmt.Stringer.
@@ -97,6 +100,8 @@ func (s VMState) String() string {
 		return "done"
 	case Failed:
 		return "failed"
+	case Draining:
+		return "draining"
 	default:
 		return fmt.Sprintf("VMState(%d)", int(s))
 	}

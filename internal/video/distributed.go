@@ -49,6 +49,14 @@ type Farm struct {
 // so callers can distinguish misconfiguration from conversion failure.
 var ErrNoNodes = errors.New("video: farm has no conversion nodes")
 
+// WithNodes returns a copy of the farm over a different node set, keeping
+// every other parameter. Farm is a value type, so callers that manage a
+// dynamic node pool (elastic scaling) snapshot a farm per conversion.
+func (f Farm) WithNodes(nodes []string) Farm {
+	f.Nodes = append([]string(nil), nodes...)
+	return f
+}
+
 func (f Farm) nodeSpeed() float64 {
 	if f.NodeSpeed <= 0 {
 		return 1.0

@@ -76,7 +76,7 @@ func (s *Site) PushLiveSegment(ctx context.Context, id int64, chunk []byte) (int
 			info.DurationSeconds, s.segSeconds)
 	}
 	specs := append([]video.Spec{s.target}, s.renditions...)
-	results, err := s.farm.ConvertMultiContext(ctx, chunk, specs...)
+	results, err := s.convertPooled(ctx, chunk, specs)
 	if err != nil {
 		return 0, fmt.Errorf("web: live conversion failed: %w", err)
 	}

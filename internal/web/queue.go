@@ -166,7 +166,7 @@ func (s *Site) runTranscodeJob(job transcodeJob) {
 // status=ready, search index, recent-list invalidation, metrics.
 func (s *Site) transcodeAndPublish(ctx context.Context, id int64, title, description string, data []byte) error {
 	specs := append([]video.Spec{s.target}, s.renditions...)
-	results, err := s.farm.ConvertMultiContext(ctx, data, specs...)
+	results, err := s.convertPooled(ctx, data, specs)
 	if err != nil {
 		return fmt.Errorf("web: conversion failed: %w", err)
 	}
@@ -245,6 +245,30 @@ func (s *Site) transcodeAndPublish(ctx context.Context, id int64, title, descrip
 	return nil
 }
 
+// convertPooled runs a farm conversion over the pool's current node set.
+// If the conversion is cancelled because a node was expelled mid-flight
+// (drain-deadline expiry or a host crash), the work is requeued: it retries
+// on a fresh node snapshot instead of failing the upload. The caller's own
+// cancellation (site shutdown) still fails it.
+func (s *Site) convertPooled(ctx context.Context, data []byte, specs []video.Spec) ([]*video.FarmResult, error) {
+	for attempt := 0; ; attempt++ {
+		cctx, farm, release := s.pool.acquire(ctx)
+		results, err := farm.ConvertMultiContext(cctx, data, specs...)
+		cause := context.Cause(cctx)
+		release()
+		if err == nil {
+			return results, nil
+		}
+		if errors.Is(cause, errFarmNodeExpelled) && ctx.Err() == nil && attempt < 3 {
+			s.reg.Counter("transcode_requeues").Inc()
+			trace.FromContext(ctx).Annotate("requeue",
+				fmt.Sprintf("farm node expelled mid-conversion (attempt %d)", attempt+1))
+			continue
+		}
+		return nil, err
+	}
+}
+
 // DrainTranscodes blocks until every job accepted so far has been published
 // or marked failed. Experiments and tests call it to observe the steady
 // state; a synchronous site returns immediately.
@@ -287,8 +311,18 @@ type TranscodeStats struct {
 	QueueDepth int
 	// Enqueued / Completed / Failed count jobs over the site's lifetime.
 	Enqueued, Completed, Failed int64
-	// WaitSeconds is the distribution of time jobs spent queued.
-	WaitSeconds float64
+	// WaitSeconds is the mean time jobs spent queued; WaitP99Seconds is the
+	// tail — the elasticity controller's latency-side gauge.
+	WaitSeconds    float64
+	WaitP99Seconds float64
+	// ActiveConversions counts farm conversions executing right now;
+	// Requeues counts conversions retried after a node was expelled
+	// mid-flight (drain-deadline expiry or host crash).
+	ActiveConversions int
+	Requeues          int64
+	// Nodes is the conversion pool's per-node view: in-flight count and
+	// draining flag for each node currently registered.
+	Nodes []FarmNodeStat
 	// WallSeconds is the mean measured wall-clock conversion time.
 	WallSeconds float64
 	// ModelledSpeedup is the mean modelled farm speedup of conversions.
@@ -297,11 +331,15 @@ type TranscodeStats struct {
 
 // TranscodeStats reports the pool's current state.
 func (s *Site) TranscodeStats() TranscodeStats {
+	wait := s.reg.Histogram("transcode_wait_seconds").Snapshot()
 	st := TranscodeStats{
-		WaitSeconds:     s.reg.Histogram("transcode_wait_seconds").Mean(),
+		WaitSeconds:     wait.Mean,
+		WaitP99Seconds:  wait.P99,
 		WallSeconds:     s.reg.Histogram("conversion_wall_seconds").Mean(),
 		ModelledSpeedup: s.reg.Histogram("conversion_speedup").Mean(),
+		Requeues:        s.reg.Counter("transcode_requeues").Value(),
 	}
+	st.Nodes, st.ActiveConversions = s.pool.snapshot()
 	if q := s.queue; q != nil {
 		st.Workers = q.nworkers
 		st.QueueCap = cap(q.jobs)

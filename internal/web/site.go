@@ -125,7 +125,8 @@ type Site struct {
 	state      *fleetState
 	db         videodb.Store // == state.db, cached for the hot paths
 	store      *fusebridge.Mount
-	farm       video.Farm
+	farm       video.Farm // static config; conversions snapshot via pool
+	pool       *farmPool  // runtime node set (elastic add/drain/remove)
 	target     video.Spec
 	renditions []video.Spec
 	reg        *metrics.Registry
@@ -217,6 +218,7 @@ func assemble(cfg Config, state *fleetState) *Site {
 		db:          state.db,
 		store:       cfg.Store,
 		farm:        cfg.Farm,
+		pool:        newFarmPool(cfg.Farm),
 		target:      cfg.Target,
 		renditions:  cfg.Renditions,
 		reg:         metrics.NewRegistry(),
