@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test race alloccheck chaosshort chaos bench benchall trace scale edge elastic
+.PHONY: tier1 vet build test race alloccheck chaosshort chaos bench benchall trace scale edge elastic tenant
 
 tier1: vet build race alloccheck chaosshort
 
@@ -23,7 +23,7 @@ race:
 	$(GO) test -race ./...
 
 alloccheck:
-	$(GO) test -run 'TestAlloc' ./internal/video/ ./internal/hdfs/ ./internal/trace/ ./internal/ingress/ ./internal/edge/
+	$(GO) test -run 'TestAlloc' ./internal/video/ ./internal/hdfs/ ./internal/trace/ ./internal/ingress/ ./internal/edge/ ./internal/tenant/
 
 # Short-mode chaos soak: the seeded fault-injection run (host crash,
 # DataNode crash, block corruption, tracker death mid-job) at reduced
@@ -64,6 +64,16 @@ elastic:
 	ELASTIC_BENCH_OUT=$(CURDIR)/BENCH_elastic.json \
 		$(GO) test -count=1 -run 'TestElasticBench' ./internal/experiments/
 	@echo "wrote BENCH_elastic.json ($$(grep -c '"phase"' BENCH_elastic.json) windows + ledgers + spread report)"
+
+# Multi-tenancy bench (E17): a bulk tenant floods the transcode intake
+# while a victim tenant streams; the isolation ratio, throttle/quota
+# counters, and the exact ledger reconciliation (ledger == database ==
+# HDFS walk == reservation; vm-seconds == orchestrator state log) land in
+# BENCH_tenant.json for comparison across PRs.
+tenant:
+	TENANT_BENCH_OUT=$(CURDIR)/BENCH_tenant.json \
+		$(GO) test -count=1 -run 'TestTenantBench' ./internal/experiments/
+	@echo "wrote BENCH_tenant.json ($$(grep -c '"name"' BENCH_tenant.json) tenant ledgers + isolation report)"
 
 # Hot-path benchmarks: -cpu 1,4 shows how the conversion worker pool and
 # the HDFS block fan-out scale with real cores; results land in

@@ -19,10 +19,13 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"videocloud/internal/core"
 	"videocloud/internal/hdfs"
+	"videocloud/internal/tenant"
 	"videocloud/internal/trace"
 	"videocloud/internal/video"
 )
@@ -64,6 +67,8 @@ func main() {
 		"head-sampling probability for -trace sample")
 	traceExport := flag.String("trace-export", "",
 		"file that receives stored traces as Chrome trace-event JSON every -stats period (load in chrome://tracing)")
+	tenants := flag.String("tenants", "",
+		"comma-separated name:weight tenant list (e.g. acme:2,globex:1); each gets an API token printed at boot")
 	flag.Parse()
 
 	var topts trace.Options
@@ -90,6 +95,9 @@ func main() {
 	})
 	if err != nil {
 		log.Fatalf("boot: %v", err)
+	}
+	if err := seedTenants(vc, *tenants); err != nil {
+		log.Fatalf("tenants: %v", err)
 	}
 	st := vc.Status()
 	log.Printf("videocloud: %d hosts, %d VMs running, datanodes %v",
@@ -229,6 +237,49 @@ func logRouteDashboard(vc *core.VideoCloud) {
 			eg.Hits, eg.Misses, eg.Joins, eg.Fills, eg.Evictions, eg.Expirations,
 			eg.AdmitRejects, eg.Entries, eg.UsedBytes>>20, eg.CapBytes>>20)
 	}
+	for _, ts := range st.Tenants {
+		if ts.Usage.Events == 0 && ts.Res.Requests == 0 {
+			continue
+		}
+		log.Printf("tenant %-12s w=%d vms=%d stored=%dMB vm_s=%.0f xcode_s=%.0f egress=%dMB denied=%d throttled=%d",
+			ts.Name, ts.Weight, ts.Res.VMs, ts.Res.StorageBytes>>20,
+			ts.Usage.VMSeconds, ts.Usage.TranscodeSeconds,
+			int64(ts.Usage.BytesEgressed)>>20, ts.Res.QuotaDenials, ts.Res.Throttles)
+	}
+}
+
+// seedTenants creates the -tenants list in the registry the cloud booted
+// with and prints each tenant's writer API token exactly once — the only
+// time the plaintext token exists outside the caller's hands.
+func seedTenants(vc *core.VideoCloud, spec string) error {
+	if spec == "" {
+		return nil
+	}
+	reg := vc.Tenants()
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weight := part, 1
+		if i := strings.IndexByte(part, ':'); i >= 0 {
+			name = part[:i]
+			w, err := strconv.Atoi(part[i+1:])
+			if err != nil || w < 1 {
+				return fmt.Errorf("bad -tenants entry %q: weight must be a positive integer", part)
+			}
+			weight = w
+		}
+		if _, err := reg.Create(name, weight, tenant.Quota{}); err != nil {
+			return fmt.Errorf("create %q: %w", name, err)
+		}
+		tok, err := reg.IssueToken(name, tenant.RoleWriter)
+		if err != nil {
+			return fmt.Errorf("token for %q: %w", name, err)
+		}
+		log.Printf("tenant %-12s weight=%d api-token=%s", name, weight, tok)
+	}
+	return nil
 }
 
 // exportTraces writes every stored trace (error/slow retained first) as

@@ -15,6 +15,7 @@ import (
 	"videocloud/internal/mapred"
 	"videocloud/internal/nebula"
 	"videocloud/internal/stream"
+	"videocloud/internal/tenant"
 	"videocloud/internal/trace"
 )
 
@@ -89,6 +90,18 @@ func TestChaosSoak(t *testing.T) {
 		uploads, seconds = 3, 8
 	}
 
+	// Two paying tenants own the soak's catalog; after every fault below the
+	// usage ledger must still balance to the byte for both of them.
+	tenants := tenant.NewRegistry()
+	tenA, err := tenants.Create("soak-a", 2, tenant.Quota{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenB, err := tenants.Create("soak-b", 1, tenant.Quota{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
 	// The injector is created after boot (it needs the assembled stack), but
 	// the MapReduce engine's fault knobs are boot-time config — so the
 	// oracle and hook late-bind through these variables.
@@ -96,6 +109,7 @@ func TestChaosSoak(t *testing.T) {
 	var taskHook func(phase, tracker string, taskID, attempt int) error
 	vc := boot(t, Config{
 		PhysicalHosts: 5, DataVMs: 4, Replication: 3,
+		Tenants: tenants,
 		// Always-on tracing: every failed-then-recovered operation below must
 		// come out of the soak as a stored trace carrying its fault story.
 		Trace: trace.Options{Enabled: true},
@@ -125,8 +139,16 @@ func TestChaosSoak(t *testing.T) {
 		want []byte
 	}
 	var files []upload
+	secsByTenant := map[string]float64{}
 	for i := 0; i < uploads; i++ {
-		id := s.uploadDirect(vc, fmt.Sprintf("soak clip %d topic%d", i, i%3), seconds, uint64(100+i))
+		// Alternate uploads between the two tenants so every later fault
+		// lands on a catalog with mixed ownership.
+		owner := tenA
+		if i%2 == 1 {
+			owner = tenB
+		}
+		secsByTenant[owner.Name()] += float64(seconds)
+		id := s.uploadAs(vc, owner, fmt.Sprintf("soak clip %d topic%d", i, i%3), seconds, uint64(100+i))
 		path := fmt.Sprintf("/videocloud/videos/%d.vcf", id)
 		data, err := vc.HDFS().Client("").ReadFile(path)
 		if err != nil {
@@ -369,6 +391,46 @@ func TestChaosSoak(t *testing.T) {
 		if !fresh.Detected || !fresh.Healed {
 			t.Errorf("fault %d (%s on %s): detected=%v healed=%v",
 				fresh.ID, fresh.Class, fresh.Target, fresh.Detected, fresh.Healed)
+		}
+	}
+
+	// ---- per-tenant ledger balance ----
+	// After a host crash with requeue, a DataNode loss, a corruption, and a
+	// chaotic MapReduce job, each tenant's books must balance EXACTLY: the
+	// ledger's transcode seconds are the source seconds they uploaded, the
+	// ledger's stored bytes equal both the live reservation and the sum of
+	// the database's per-video stored_bytes, and no quota ever overshot.
+	// Streaming during verification above also means both tenants show
+	// attributed egress.
+	for _, ten := range []*tenant.Tenant{tenA, tenB} {
+		name := ten.Name()
+		u := vc.Tenants().Ledger().Usage(name)
+		if u.TranscodeSeconds != secsByTenant[name] {
+			t.Errorf("tenant %s: ledger transcode seconds = %v, want exactly %v",
+				name, u.TranscodeSeconds, secsByTenant[name])
+		}
+		var dbBytes int64
+		rows, err := vc.Site().DB().Select("videos", "tenant", name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range rows {
+			sb, _ := row["stored_bytes"].(int64)
+			dbBytes += sb
+		}
+		res := ten.Reservations()
+		if int64(u.BytesStored) != dbBytes || res.StorageBytes != dbBytes {
+			t.Errorf("tenant %s: ledger stored=%v reserved=%d db=%d, want all equal",
+				name, u.BytesStored, res.StorageBytes, dbBytes)
+		}
+		if dbBytes == 0 {
+			t.Errorf("tenant %s stored nothing during the soak", name)
+		}
+		if ov, ob, ot := ten.Overshoot(); ov != 0 || ob != 0 || ot != 0 {
+			t.Errorf("tenant %s: quota overshoot vms=%d bytes=%d xcode=%v, want exactly 0", name, ov, ob, ot)
+		}
+		if u.BytesEgressed == 0 {
+			t.Errorf("tenant %s: no egress attributed despite post-soak streaming", name)
 		}
 	}
 

@@ -28,6 +28,7 @@ import (
 	"videocloud/internal/migrate"
 	"videocloud/internal/nebula"
 	"videocloud/internal/search"
+	"videocloud/internal/tenant"
 	"videocloud/internal/trace"
 	"videocloud/internal/video"
 	"videocloud/internal/videodb"
@@ -102,6 +103,13 @@ type Config struct {
 	// attempts, VM lifecycles). The zero value builds a disabled tracer
 	// that costs nothing until Tracer().SetEnabled(true).
 	Trace trace.Options
+	// Tenants is the multi-tenant control plane: API tokens, quotas,
+	// weighted-fair shares, and the usage ledger. Nil builds a fresh
+	// registry holding only the default (unlimited) tenant, so a
+	// single-tenant deployment pays nothing. The registry is threaded
+	// through every layer: web admission and WFQ, HDFS write metering,
+	// and VM quota gating in the orchestrator.
+	Tenants *tenant.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -131,6 +139,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MetadataShards == 0 {
 		c.MetadataShards = 1
+	}
+	if c.Tenants == nil {
+		c.Tenants = tenant.NewRegistry()
 	}
 	return c
 }
@@ -180,6 +191,10 @@ func New(cfg Config) (*VideoCloud, error) {
 	// Attach the tracer before the service group is submitted so the boot
 	// of every service VM is captured as a nebula.vm trace.
 	vc.cloud.SetTracer(vc.tracer)
+	// Owned VM submissions (Template.Owner != "") pass quota admission and
+	// meter vm-seconds into the tenant ledger. The stack's own service
+	// group is unowned infrastructure and bypasses the gate.
+	vc.cloud.SetTenantGate(tenant.VMGate{Reg: cfg.Tenants})
 	for i := 1; i <= cfg.PhysicalHosts; i++ {
 		name := fmt.Sprintf("node%d", i)
 		if _, err := vc.cloud.AddHost(name, cfg.HostCores, 1e9, cfg.HostMemoryBytes, 500*gb); err != nil {
@@ -233,6 +248,16 @@ func New(cfg Config) (*VideoCloud, error) {
 	// per-request data copies. Standalone clusters leave it off so every
 	// read exercises replica checksums.
 	vc.hdfs.SetBlockCacheCapacity(cfg.BlockCacheBytes)
+	// Every HDFS write is attributed to the writing context's tenant in
+	// the ledger (uploads thread the tenant through web → queue → store).
+	reg := cfg.Tenants
+	vc.hdfs.SetWriteMeter(func(ctx context.Context, path string, n int64) {
+		name := ""
+		if ten, _, ok := tenant.FromContext(ctx); ok {
+			name = ten.Name()
+		}
+		reg.Meter(name, tenant.KindHDFSBytesWritten, float64(n))
+	})
 	var trackers []string
 	for _, id := range vc.dataVMIDs {
 		rec, rerr := vc.cloud.VM(id)
@@ -260,6 +285,7 @@ func New(cfg Config) (*VideoCloud, error) {
 	// (per-shard latency lands in the stack registry); Frontends > 1 builds
 	// replica Sites over the shared fleet state behind an ingress balancer.
 	webCfg := web.Config{
+		Tenants:               cfg.Tenants,
 		Store:                 vc.mount,
 		Farm:                  video.Farm{Nodes: trackers},
 		Target:                cfg.Target,
@@ -335,6 +361,9 @@ func (vc *VideoCloud) Handler() http.Handler {
 
 // Metrics returns stack-level counters.
 func (vc *VideoCloud) Metrics() *metrics.Registry { return vc.reg }
+
+// Tenants returns the multi-tenant control plane (tokens, quotas, ledger).
+func (vc *VideoCloud) Tenants() *tenant.Registry { return vc.cfg.Tenants }
 
 // Tracer returns the stack-wide distributed tracer.
 func (vc *VideoCloud) Tracer() *trace.Tracer { return vc.tracer }
@@ -552,6 +581,9 @@ type Status struct {
 	// Elastic reports the autoscaling/rebalancing subsystem: fleet size,
 	// scale decisions, drain outcomes, and host-load spread.
 	Elastic ElasticStatus
+	// Tenants reports every tenant's quota, live reservations, and
+	// accumulated ledger usage, in creation order.
+	Tenants []tenant.Status
 }
 
 // FleetStatus summarises the scale-out serving tier.
@@ -617,6 +649,7 @@ func (vc *VideoCloud) Status() Status {
 	}
 	st.Edge = vc.edgeStats()
 	st.Elastic = vc.elasticStatus()
+	st.Tenants = vc.cfg.Tenants.StatusAll()
 	return st
 }
 

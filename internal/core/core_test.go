@@ -14,6 +14,7 @@ import (
 	"videocloud/internal/nebula"
 	"videocloud/internal/search"
 	"videocloud/internal/stream"
+	"videocloud/internal/tenant"
 	"videocloud/internal/video"
 )
 
@@ -97,12 +98,24 @@ func (s *session) loginAdmin() {
 
 func (s *session) uploadDirect(vc *VideoCloud, title string, seconds int, seed uint64) int64 {
 	s.t.Helper()
+	return s.uploadAs(vc, nil, title, seconds, seed)
+}
+
+// uploadAs uploads on behalf of a tenant (nil = the default tenant): the
+// context carries the tenant identity exactly as the web middleware would
+// attach it for a Bearer-token request.
+func (s *session) uploadAs(vc *VideoCloud, ten *tenant.Tenant, title string, seconds int, seed uint64) int64 {
+	s.t.Helper()
 	src := video.Spec{Codec: video.MPEG4, Res: video.R480p, FPS: 30, GOPSeconds: 2, BitrateBps: 64_000}
 	data, err := video.Generate(src, seconds, seed)
 	if err != nil {
 		s.t.Fatal(err)
 	}
-	id, err := vc.Site().ProcessUpload(context.Background(), 1, title, "uploaded in test", data)
+	ctx := context.Background()
+	if ten != nil {
+		ctx = tenant.WithContext(ctx, ten, tenant.RoleWriter)
+	}
+	id, err := vc.Site().ProcessUpload(ctx, 1, title, "uploaded in test", data)
 	if err != nil {
 		s.t.Fatal(err)
 	}

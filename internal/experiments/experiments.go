@@ -94,5 +94,6 @@ func All() []*metrics.Table {
 		E14ServingScale(),
 		E15EdgeDelivery(),
 		E16Elasticity(),
+		E17Tenancy(),
 	}
 }

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestTenantBench runs the E17 multi-tenancy scenario and gates the
+// noisy-neighbor isolation and exact-accounting contract; with
+// TENANT_BENCH_OUT set (the `make tenant` target), the report lands in
+// BENCH_tenant.json for comparison across PRs.
+func TestTenantBench(t *testing.T) {
+	r := runTenancy()
+	t.Logf("victim stream p99: solo=%.1fms loaded=%.1fms ratio=%.2f (errors=%d over %d requests)",
+		r.SoloStreamP99Ms, r.LoadedStreamP99Ms, r.P99Ratio, r.VictimErrors, r.VictimRequests)
+	t.Logf("bulk flood: published=%d hard_failures=%d throttle_429s=%d retries=%d probe_denied=%v",
+		r.BulkPublished, r.BulkHardFailures, r.BulkThrottles, r.BulkRetries, r.BulkProbeDenied)
+	for _, row := range r.Tenants {
+		t.Logf("ledger %-8s xcode=%.0f/%.0fs stored ledger/db/hdfs/reserved=%d/%d/%d/%d egress=%.0fB denied=%d throttled=%d",
+			row.Name, row.XcodeSecondsLedger, row.XcodeSecondsExpected,
+			row.StoredBytesLedger, row.StoredBytesDB, row.StoredBytesHDFS, row.StoredBytesReserved,
+			row.EgressBytes, row.QuotaDenials, row.Throttles)
+	}
+	t.Logf("vm-seconds: ledger=%.2f state_log=%.2f", r.VMSecondsLedger, r.VMSecondsStateLog)
+
+	// Noisy-neighbor isolation: the victim's client-observed stream p99
+	// under the bulk flood stays within 25% of its solo baseline, with zero
+	// request errors.
+	if r.VictimErrors != 0 {
+		t.Errorf("victim saw %d request errors", r.VictimErrors)
+	}
+	if r.P99Ratio > 1.25 {
+		t.Errorf("victim stream p99 degraded %.2fx (%.1fms -> %.1fms), want <= 1.25x",
+			r.P99Ratio, r.SoloStreamP99Ms, r.LoadedStreamP99Ms)
+	}
+	// The abuser is throttled, not errored: every flood clip eventually
+	// publishes after 429 backoff, and the past-quota probe is refused.
+	if r.BulkThrottles < 1 {
+		t.Error("the bulk flood was never throttled")
+	}
+	if r.BulkHardFailures != 0 || r.BulkPublished != e17BulkUploads {
+		t.Errorf("bulk flood: %d published, %d hard failures, want %d / 0",
+			r.BulkPublished, r.BulkHardFailures, e17BulkUploads)
+	}
+	if !r.BulkProbeDenied {
+		t.Error("the past-quota probe upload was not refused with ErrQuotaExceeded")
+	}
+	// Exact accounting: ledger == database == HDFS walk == live
+	// reservation, expected transcode seconds, zero overshoot.
+	for _, row := range r.Tenants {
+		if row.XcodeSecondsLedger != row.XcodeSecondsExpected {
+			t.Errorf("%s: transcode seconds %v != expected %v",
+				row.Name, row.XcodeSecondsLedger, row.XcodeSecondsExpected)
+		}
+		if row.StoredBytesLedger != row.StoredBytesDB ||
+			row.StoredBytesLedger != row.StoredBytesHDFS ||
+			row.StoredBytesLedger != row.StoredBytesReserved ||
+			row.StoredBytesLedger == 0 {
+			t.Errorf("%s: stored bytes do not reconcile: ledger=%d db=%d hdfs=%d reserved=%d",
+				row.Name, row.StoredBytesLedger, row.StoredBytesDB, row.StoredBytesHDFS, row.StoredBytesReserved)
+		}
+		if row.OvershootVMs != 0 || row.OvershootBytes != 0 || row.OvershootXcode != 0 {
+			t.Errorf("%s: quota overshoot vms=%d bytes=%d xcode=%v, want exactly 0",
+				row.Name, row.OvershootVMs, row.OvershootBytes, row.OvershootXcode)
+		}
+	}
+	if r.Tenants[0].EgressBytes == 0 {
+		t.Error("no egress attributed to the victim's streams")
+	}
+	if r.VMSecondsLedger != r.VMSecondsStateLog || r.VMSecondsLedger == 0 {
+		t.Errorf("vm-seconds ledger %v != state log %v", r.VMSecondsLedger, r.VMSecondsStateLog)
+	}
+
+	if out := os.Getenv("TENANT_BENCH_OUT"); out != "" {
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("tenant report: %s", out)
+	}
+}

@@ -231,6 +231,9 @@ func (c *Client) WriteFileCtx(ctx context.Context, path string, data []byte, rep
 		sp.SetError(err)
 	}
 	sp.End()
+	if fn := c.cluster.writeMeter.Load(); fn != nil && err == nil {
+		(*fn)(ctx, path, int64(len(data)))
+	}
 	return err
 }
 

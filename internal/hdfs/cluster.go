@@ -1,6 +1,7 @@
 package hdfs
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -32,6 +33,11 @@ type Cluster struct {
 	// tests exercise the replica path; the core stack enables it.
 	cache atomic.Pointer[BlockCache]
 
+	// writeMeter, when set, observes every successful whole-file write on
+	// the data path (SetWriteMeter) — the usage-accounting tap: core wires
+	// it to the tenant ledger, attributing by the writer's context.
+	writeMeter atomic.Pointer[func(ctx context.Context, path string, n int64)]
+
 	mu       sync.RWMutex
 	nodes    map[string]*DataNode
 	inflight map[string]*atomic.Int64
@@ -59,6 +65,17 @@ func (c *Cluster) SetBlockCacheCapacity(budget int64) {
 
 // BlockCache returns the shared block cache, or nil when disabled.
 func (c *Cluster) BlockCache() *BlockCache { return c.cache.Load() }
+
+// SetWriteMeter installs fn to observe every successful whole-file write
+// with the writer's context, the path, and the byte count; nil removes it.
+// The hook must be cheap and must not call back into the cluster.
+func (c *Cluster) SetWriteMeter(fn func(ctx context.Context, path string, n int64)) {
+	if fn == nil {
+		c.writeMeter.Store(nil)
+		return
+	}
+	c.writeMeter.Store(&fn)
+}
 
 // NewCluster creates a cluster with n datanodes named "dn0".."dn<n-1>".
 // blockSize 0 selects the 64 MiB default.

@@ -4,9 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"strconv"
 	"time"
 
+	"videocloud/internal/tenant"
 	"videocloud/internal/virt"
 )
 
@@ -25,6 +25,7 @@ import (
 type API struct {
 	cloud *Cloud
 	mux   *http.ServeMux
+	auth  *tenant.Registry // nil = open API (apiauth.go)
 }
 
 // NewAPI returns the management API for cloud.
@@ -93,14 +94,22 @@ type VMWire struct {
 	Host  string `json:"host"`
 	IP    string `json:"ip"`
 	Group string `json:"group,omitempty"`
+	Owner string `json:"owner,omitempty"`
 }
 
 func (a *API) vms(w http.ResponseWriter, r *http.Request) {
+	id, ok := a.authenticate(w, r)
+	if !ok {
+		return
+	}
 	var out []VMWire
 	for _, info := range a.cloud.Snapshot() {
+		if !id.sees(info.Owner) {
+			continue // another tenant's instance: invisible, not 403
+		}
 		out = append(out, VMWire{
 			ID: info.ID, Name: info.Name, State: info.State.String(),
-			Host: info.Host, IP: info.IP, Group: info.Group,
+			Host: info.Host, IP: info.IP, Group: info.Group, Owner: info.Owner,
 		})
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -133,9 +142,12 @@ type MigrationWire struct {
 }
 
 func (a *API) vm(w http.ResponseWriter, r *http.Request) {
-	id, err := strconv.Atoi(r.PathValue("id"))
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad id: %v", err))
+	ident, ok := a.authenticate(w, r)
+	if !ok {
+		return
+	}
+	id, ok := a.authorizeVM(w, r, ident)
+	if !ok {
 		return
 	}
 	rec, err := a.cloud.VM(id)
@@ -148,6 +160,7 @@ func (a *API) vm(w http.ResponseWriter, r *http.Request) {
 		VMWire: VMWire{
 			ID: rec.ID, Name: rec.Name(), State: rec.State.String(),
 			Host: rec.HostName, IP: rec.IP, Group: rec.Template.Group,
+			Owner: rec.Template.Owner,
 		},
 		FailReason: rec.FailReason,
 	}
@@ -181,6 +194,9 @@ type TemplateRequest struct {
 	Workload  string            `json:"workload,omitempty"`  // idle|uniform|hotspot|streaming
 	RateMBps  int64             `json:"rate_mbps,omitempty"` // dirty/stream rate for the workload
 	Context   map[string]string `json:"context,omitempty"`
+	// Owner is honoured only for the operator; tenant tokens always get
+	// their own tenant stamped regardless of what they send.
+	Owner string `json:"owner,omitempty"`
 }
 
 // workloadByName builds the named guest workload.
@@ -201,6 +217,10 @@ func workloadByName(name string, rateMBps int64) (virt.Workload, error) {
 }
 
 func (a *API) submit(w http.ResponseWriter, r *http.Request) {
+	ident, ok := a.authenticate(w, r)
+	if !ok || !a.requireWriter(w, ident) {
+		return
+	}
 	var req TemplateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -211,24 +231,33 @@ func (a *API) submit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	owner := req.Owner
+	if !ident.operator() {
+		owner = ident.ten.Name() // tenants can't submit as someone else
+	}
 	id, err := a.cloud.Submit(Template{
 		Name: req.Name, VCPUs: req.VCPUs,
 		MemoryBytes: req.MemoryMB << 20, DiskBytes: req.DiskGB << 30,
 		Image: req.Image, FullClone: req.FullClone,
 		Group: req.Group, Requeue: req.Requeue,
-		Workload: wl, Context: req.Context,
+		Workload: wl, Context: req.Context, Owner: owner,
 	})
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		if !writeQuotaErr(w, err) {
+			writeErr(w, http.StatusBadRequest, err)
+		}
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]int{"id": id})
 }
 
 func (a *API) migrate(w http.ResponseWriter, r *http.Request) {
-	id, err := strconv.Atoi(r.PathValue("id"))
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad id: %v", err))
+	ident, ok := a.authenticate(w, r)
+	if !ok || !a.requireWriter(w, ident) {
+		return
+	}
+	id, ok := a.authorizeVM(w, r, ident)
+	if !ok {
 		return
 	}
 	var body struct {
@@ -246,9 +275,12 @@ func (a *API) migrate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *API) shutdown(w http.ResponseWriter, r *http.Request) {
-	id, err := strconv.Atoi(r.PathValue("id"))
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad id: %v", err))
+	ident, ok := a.authenticate(w, r)
+	if !ok || !a.requireWriter(w, ident) {
+		return
+	}
+	id, ok := a.authorizeVM(w, r, ident)
+	if !ok {
 		return
 	}
 	if err := a.cloud.Shutdown(id); err != nil {
@@ -284,6 +316,10 @@ func (a *API) metrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *API) evacuate(w http.ResponseWriter, r *http.Request) {
+	ident, ok := a.authenticate(w, r)
+	if !ok || !a.requireOperator(w, ident) {
+		return
+	}
 	started, err := a.cloud.Evacuate(r.PathValue("name"))
 	if err != nil {
 		writeErr(w, http.StatusConflict, err)
@@ -293,6 +329,10 @@ func (a *API) evacuate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *API) enable(w http.ResponseWriter, r *http.Request) {
+	ident, ok := a.authenticate(w, r)
+	if !ok || !a.requireOperator(w, ident) {
+		return
+	}
 	if err := a.cloud.Enable(r.PathValue("name")); err != nil {
 		writeErr(w, http.StatusNotFound, err)
 		return
@@ -301,9 +341,12 @@ func (a *API) enable(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *API) suspend(w http.ResponseWriter, r *http.Request) {
-	id, err := strconv.Atoi(r.PathValue("id"))
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad id: %v", err))
+	ident, ok := a.authenticate(w, r)
+	if !ok || !a.requireWriter(w, ident) {
+		return
+	}
+	id, ok := a.authorizeVM(w, r, ident)
+	if !ok {
 		return
 	}
 	if err := a.cloud.Suspend(id); err != nil {
@@ -314,9 +357,12 @@ func (a *API) suspend(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *API) resume(w http.ResponseWriter, r *http.Request) {
-	id, err := strconv.Atoi(r.PathValue("id"))
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad id: %v", err))
+	ident, ok := a.authenticate(w, r)
+	if !ok || !a.requireWriter(w, ident) {
+		return
+	}
+	id, ok := a.authorizeVM(w, r, ident)
+	if !ok {
 		return
 	}
 	if err := a.cloud.Resume(id); err != nil {
@@ -327,6 +373,10 @@ func (a *API) resume(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *API) consolidate(w http.ResponseWriter, r *http.Request) {
+	ident, ok := a.authenticate(w, r)
+	if !ok || !a.requireOperator(w, ident) {
+		return
+	}
 	plan := a.cloud.Consolidate()
 	writeJSON(w, http.StatusAccepted, map[string]int{
 		"moves":           len(plan.Moves),

@@ -1,0 +1,132 @@
+package nebula
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"videocloud/internal/tenant"
+)
+
+// Token authentication for the management API. With SetAuth the API becomes
+// multi-tenant: every request needs a Bearer token, instances are scoped to
+// the token's tenant, submissions are stamped with it and pass quota
+// admission (429 + Retry-After when over), and infrastructure operations
+// (host maintenance, consolidation) need the operator — an admin token of
+// the default tenant. Without SetAuth the API stays open, single-tenant.
+
+// SetAuth enables Bearer-token authentication against reg. Call before
+// serving traffic; a nil registry keeps the API open.
+func (a *API) SetAuth(reg *tenant.Registry) { a.auth = reg }
+
+// apiIdentity is the resolved caller of one request.
+type apiIdentity struct {
+	ten  *tenant.Tenant
+	role tenant.Role
+	open bool // auth disabled: the caller is the implicit operator
+}
+
+// operator reports whether the caller runs the cloud itself.
+func (id apiIdentity) operator() bool {
+	return id.open || (id.role == tenant.RoleAdmin && id.ten.IsDefault())
+}
+
+// sees reports whether the caller may observe or act on a VM with the given
+// owner. Unowned instances belong to the default tenant.
+func (id apiIdentity) sees(owner string) bool {
+	if id.operator() {
+		return true
+	}
+	if owner == "" {
+		return id.ten.IsDefault()
+	}
+	return owner == id.ten.Name()
+}
+
+// authenticate resolves the request's identity. ok=false means a 401 was
+// written. With auth disabled every caller is the operator.
+func (a *API) authenticate(w http.ResponseWriter, r *http.Request) (apiIdentity, bool) {
+	if a.auth == nil {
+		return apiIdentity{open: true}, true
+	}
+	auth := r.Header.Get("Authorization")
+	tok, found := strings.CutPrefix(auth, "Bearer ")
+	if auth == "" || !found {
+		writeErr(w, http.StatusUnauthorized, errors.New("nebula: Bearer token required"))
+		return apiIdentity{}, false
+	}
+	ten, role, err := a.auth.Authenticate(tok)
+	if err != nil {
+		a.cloud.Metrics().Counter("api_auth_failures").Inc()
+		writeErr(w, http.StatusUnauthorized, errors.New("nebula: invalid or revoked token"))
+		return apiIdentity{}, false
+	}
+	return apiIdentity{ten: ten, role: role}, true
+}
+
+// requireWriter rejects read-only tokens on mutating endpoints (403).
+func (a *API) requireWriter(w http.ResponseWriter, id apiIdentity) bool {
+	if id.open || id.role.CanWrite() {
+		return true
+	}
+	writeErr(w, http.StatusForbidden, errors.New("nebula: token is read-only"))
+	return false
+}
+
+// requireOperator guards infrastructure endpoints (403 for tenant tokens).
+func (a *API) requireOperator(w http.ResponseWriter, id apiIdentity) bool {
+	if id.operator() {
+		return true
+	}
+	writeErr(w, http.StatusForbidden, errors.New("nebula: operator token required"))
+	return false
+}
+
+// authorizeVM checks that the caller may act on instance id (403 when it
+// belongs to another tenant; the usual not-found/bad-id errors otherwise).
+// ok=false means a response was written.
+func (a *API) authorizeVM(w http.ResponseWriter, r *http.Request, id apiIdentity) (int, bool) {
+	vmID, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad id: %v", err))
+		return 0, false
+	}
+	if !id.operator() {
+		owner, err := a.cloud.VMOwner(vmID)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return 0, false
+		}
+		if !id.sees(owner) {
+			writeErr(w, http.StatusForbidden, errors.New("nebula: VM belongs to another tenant"))
+			return 0, false
+		}
+	}
+	return vmID, true
+}
+
+// writeQuotaErr maps tenant admission failures to 429 + Retry-After; other
+// submission errors stay 400. Reports whether err was a quota rejection.
+func writeQuotaErr(w http.ResponseWriter, err error) bool {
+	if !errors.Is(err, tenant.ErrQuotaExceeded) {
+		return false
+	}
+	if secs, ok := tenant.RetryAfterSeconds(err); ok {
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	writeErr(w, http.StatusTooManyRequests, err)
+	return true
+}
+
+// VMOwner returns the owner of instance id.
+func (c *Cloud) VMOwner(id int) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.vms[id]
+	if !ok {
+		return "", fmt.Errorf("%w: %d", ErrNoSuchVM, id)
+	}
+	return rec.Template.Owner, nil
+}

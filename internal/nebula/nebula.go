@@ -119,6 +119,9 @@ type VMRecord struct {
 	failedAt    time.Duration // virtual time of the host failure that requeued it
 	rebalancing bool          // current migration was started by the Rebalancer
 
+	admitted     bool          // holds a TenantGate VM slot until terminal
+	runningSince time.Duration // start of the current Running interval
+
 	// span is the open lifecycle trace (nebula.vm for provisioning,
 	// nebula.migration / nebula.recovery / ... for later episodes); it is
 	// closed when the episode reaches a settled state (Running, Done,
@@ -157,6 +160,7 @@ type Cloud struct {
 	draining      map[int]*drainJob // record ID → in-progress graceful drain
 	lastFailureAt time.Duration     // virtual time of the most recent host failure
 	sawFailure    bool              // lastFailureAt is meaningful (failures at t=0 count)
+	gate          TenantGate        // nil = no tenant admission/metering
 }
 
 // New creates a cloud with a front-end node and an empty host pool.
@@ -309,8 +313,16 @@ func (c *Cloud) submitLocked(tpl Template) (int, error) {
 	if err := tpl.validate(); err != nil {
 		return 0, err
 	}
+	admitted := false
+	if c.gate != nil && tpl.Owner != "" {
+		if err := c.gate.AdmitVM(tpl.Owner); err != nil {
+			c.reg.Counter("vms_quota_rejected").Inc()
+			return 0, err
+		}
+		admitted = true
+	}
 	c.nextID++
-	rec := &VMRecord{ID: c.nextID, Template: tpl, State: Pending}
+	rec := &VMRecord{ID: c.nextID, Template: tpl, State: Pending, admitted: admitted}
 	rec.StateLog = append(rec.StateLog, Transition{At: c.sim.Now(), To: Pending})
 	c.traceTransition(rec, Pending)
 	c.vms[rec.ID] = rec
@@ -361,6 +373,7 @@ type VMInfo struct {
 	Host     string
 	IP       string
 	Group    string
+	Owner    string
 	MemBytes int64
 	VCPUs    int
 }
@@ -374,6 +387,7 @@ func (c *Cloud) Snapshot() []VMInfo {
 		out = append(out, VMInfo{
 			ID: rec.ID, Name: rec.Name(), State: rec.State,
 			Host: rec.HostName, IP: rec.IP, Group: rec.Template.Group,
+			Owner:    rec.Template.Owner,
 			MemBytes: rec.Template.MemoryBytes, VCPUs: rec.Template.VCPUs,
 		})
 	}
@@ -391,6 +405,7 @@ func (c *Cloud) PendingCount() int {
 // ---- internal state machine (all methods below run with c.mu held) ----
 
 func (c *Cloud) setState(rec *VMRecord, to VMState) {
+	c.accountTransition(rec, to)
 	rec.StateLog = append(rec.StateLog, Transition{At: c.sim.Now(), From: rec.State, To: to})
 	rec.State = to
 	c.traceTransition(rec, to)
@@ -538,7 +553,13 @@ func (c *Cloud) vmConfig(rec *VMRecord) virt.VMConfig {
 // pipeline. It reports whether the record left Pending.
 func (c *Cloud) deploy(rec *VMRecord) bool {
 	cfg := c.vmConfig(rec)
-	host := place(c.policy, c.candidateHosts(rec, c.hosts), cfg)
+	pool := c.candidateHosts(rec, c.hosts)
+	var host *virt.Host
+	if oa, ok := c.policy.(ownerAware); ok && rec.Template.Owner != "" {
+		host = placeOwned(oa, pool, cfg, c.ownerCountsLocked(rec.Template.Owner))
+	} else {
+		host = place(c.policy, pool, cfg)
+	}
 	if host == nil {
 		c.reg.Counter("placement_deferrals").Inc()
 		return false

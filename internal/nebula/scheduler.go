@@ -119,3 +119,22 @@ func place(policy Policy, hosts []*virt.Host, req virt.VMConfig) *virt.Host {
 	}
 	return ranked[0]
 }
+
+// placeOwned is place for owner-aware policies: the request's tenant
+// footprint (per-host VM counts) joins the ranking inputs.
+func placeOwned(policy ownerAware, hosts []*virt.Host, req virt.VMConfig, ownerVMs map[string]int) *virt.Host {
+	var candidates []*virt.Host
+	for _, h := range hosts {
+		if h.CanFit(req) {
+			candidates = append(candidates, h)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	ranked := policy.RankForOwner(candidates, req, ownerVMs)
+	if len(ranked) == 0 {
+		return nil
+	}
+	return ranked[0]
+}

@@ -37,6 +37,10 @@ type Template struct {
 	AntiAffinity bool
 	// Requeue resubmits the VM if its host fails.
 	Requeue bool
+	// Owner names the tenant the instance belongs to. Owned submissions
+	// pass the cloud's TenantGate (quota admission, vm-seconds metering);
+	// an empty Owner is unowned and bypasses the gate.
+	Owner string
 }
 
 func (t Template) validate() error {

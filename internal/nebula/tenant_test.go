@@ -1,0 +1,273 @@
+package nebula
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"videocloud/internal/tenant"
+)
+
+// tenantRig builds a cloud wired to a tenant registry via the VMGate
+// adapter, with one "acme" tenant at the given quota.
+func tenantRig(t *testing.T, hosts int, opts Options, q tenant.Quota) (*Cloud, *tenant.Registry, *tenant.Tenant) {
+	t.Helper()
+	c := testCloud(t, hosts, opts)
+	reg := tenant.NewRegistry()
+	acme, err := reg.Create("acme", 1, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetTenantGate(tenant.VMGate{Reg: reg})
+	return c, reg, acme
+}
+
+func ownedTemplate(name, owner string) Template {
+	tpl := webTemplate(name)
+	tpl.Owner = owner
+	return tpl
+}
+
+func TestTenantGateAdmission(t *testing.T) {
+	c, _, acme := tenantRig(t, 4, Options{}, tenant.Quota{MaxVMs: 2})
+	for i := 0; i < 2; i++ {
+		if _, err := c.Submit(ownedTemplate("web", "acme")); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	_, err := c.Submit(ownedTemplate("web", "acme"))
+	if !errors.Is(err, tenant.ErrQuotaExceeded) {
+		t.Fatalf("third submit err = %v, want quota exceeded", err)
+	}
+	if got := c.Metrics().Counter("vms_quota_rejected").Value(); got != 1 {
+		t.Fatalf("vms_quota_rejected = %d", got)
+	}
+	// Unowned submissions bypass the gate entirely.
+	if _, err := c.Submit(webTemplate("infra")); err != nil {
+		t.Fatalf("unowned submit: %v", err)
+	}
+	c.WaitIdle()
+	// Retiring an instance returns its slot.
+	if err := c.Shutdown(1); err != nil {
+		t.Fatal(err)
+	}
+	c.WaitIdle()
+	if got := acme.Reservations().VMs; got != 1 {
+		t.Fatalf("reserved VMs after shutdown = %d, want 1", got)
+	}
+	if _, err := c.Submit(ownedTemplate("web", "acme")); err != nil {
+		t.Fatalf("submit after release: %v", err)
+	}
+	// Unknown owners are rejected outright, not admitted unmetered.
+	if _, err := c.Submit(ownedTemplate("web", "ghost")); err == nil {
+		t.Fatal("submit for unknown tenant succeeded")
+	}
+}
+
+// TestTenantVMSeconds checks the metered Running time equals what the state
+// log records — the ledger's vm_seconds must reconcile exactly.
+func TestTenantVMSeconds(t *testing.T) {
+	c, reg, _ := tenantRig(t, 2, Options{}, tenant.Quota{})
+	id, err := c.Submit(ownedTemplate("web", "acme"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.WaitIdle()
+	c.RunFor(90 * time.Second)
+	if err := c.Shutdown(id); err != nil {
+		t.Fatal(err)
+	}
+	c.WaitIdle()
+	rec, _ := c.VM(id)
+	var want float64
+	var runningAt time.Duration
+	running := false
+	for _, tr := range rec.StateLog {
+		if !running && tr.To == Running {
+			running, runningAt = true, tr.At
+		} else if running && tr.To != Running {
+			running = false
+			want += (tr.At - runningAt).Seconds()
+		}
+	}
+	got := reg.Ledger().Usage("acme").VMSeconds
+	if got != want || got == 0 {
+		t.Fatalf("metered vm_seconds = %v, state log says %v", got, want)
+	}
+}
+
+// TestTenantCrashRequeueKeepsSlot: a host crash requeues the VM without
+// releasing and re-admitting its quota slot, so recovery can never push a
+// tenant over MaxVMs, and the interrupted Running interval is still metered.
+func TestTenantCrashRequeueKeepsSlot(t *testing.T) {
+	c, reg, acme := tenantRig(t, 2, Options{}, tenant.Quota{MaxVMs: 1})
+	tpl := ownedTemplate("web", "acme")
+	tpl.Requeue = true
+	id, err := c.Submit(tpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.WaitIdle()
+	rec, _ := c.VM(id)
+	c.RunFor(30 * time.Second)
+	if err := c.FailHost(rec.HostName); err != nil {
+		t.Fatal(err)
+	}
+	c.WaitIdle()
+	if rec.State != Running {
+		t.Fatalf("state after recovery = %v (%s)", rec.State, rec.FailReason)
+	}
+	if got := acme.Reservations().VMs; got != 1 {
+		t.Fatalf("reserved VMs after recovery = %d, want 1 (no double admission)", got)
+	}
+	if vms, _, _ := acme.Overshoot(); vms != 0 {
+		t.Fatalf("VM overshoot = %d", vms)
+	}
+	if secs := reg.Ledger().Usage("acme").VMSeconds; secs <= 0 {
+		t.Fatalf("interrupted running interval not metered: %v", secs)
+	}
+	if err := c.Shutdown(id); err != nil {
+		t.Fatal(err)
+	}
+	c.WaitIdle()
+	if got := acme.Reservations().VMs; got != 0 {
+		t.Fatalf("reserved VMs after final shutdown = %d", got)
+	}
+}
+
+// TestTenantSpreadPolicy: the policy places by the owner's per-host
+// footprint, not raw free memory — on a pool with one big host, a tenant's
+// second VM still lands on the other host instead of stacking.
+func TestTenantSpreadPolicy(t *testing.T) {
+	c := New(Options{Policy: TenantSpreadPolicy{}})
+	if _, err := c.Catalog().Register("ubuntu-10.04", 2*gb, 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddHost("small", 8, 1e9, 8*gb, 500*gb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddHost("big", 8, 1e9, 64*gb, 500*gb); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := c.Submit(ownedTemplate("web", "acme")); err != nil {
+			t.Fatal(err)
+		}
+		c.WaitIdle() // place one at a time so footprint is visible
+	}
+	hosts := map[string]bool{}
+	for _, info := range c.Snapshot() {
+		if info.State != Running {
+			t.Fatalf("vm %d state = %v", info.ID, info.State)
+		}
+		hosts[info.Host] = true
+	}
+	if len(hosts) != 2 {
+		t.Fatalf("tenant stacked on %v; want both hosts", hosts)
+	}
+}
+
+// authedJSON is doJSON plus a Bearer token.
+func authedJSON(t *testing.T, method, url, token, body string, out any) (int, http.Header) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s %s: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode, resp.Header
+}
+
+func TestAPIAuth(t *testing.T) {
+	c, reg, _ := tenantRig(t, 2, Options{}, tenant.Quota{MaxVMs: 1})
+	api := NewAPI(c)
+	api.SetAuth(reg)
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	operator, err := reg.IssueToken(tenant.DefaultName, tenant.RoleAdmin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writer, err := reg.IssueToken("acme", tenant.RoleWriter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader, err := reg.IssueToken("acme", tenant.RoleReader)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	submitBody := `{"name":"web","vcpus":2,"memory_mb":2048,"disk_gb":10,"image":"ubuntu-10.04"}`
+
+	// 401: no token, garbage token.
+	if code, _ := authedJSON(t, "GET", srv.URL+"/api/vms", "", "", nil); code != 401 {
+		t.Fatalf("no token: %d", code)
+	}
+	if code, _ := authedJSON(t, "POST", srv.URL+"/api/vms", "junk", submitBody, nil); code != 401 {
+		t.Fatalf("bad token: %d", code)
+	}
+	// 403: read-only token on a mutating route; tenant token on host ops.
+	if code, _ := authedJSON(t, "POST", srv.URL+"/api/vms", reader, submitBody, nil); code != 403 {
+		t.Fatalf("reader submit: %d", code)
+	}
+	if code, _ := authedJSON(t, "POST", srv.URL+"/api/hosts/node1/evacuate", writer, "", nil); code != 403 {
+		t.Fatalf("tenant evacuate: %d", code)
+	}
+	// Submissions are stamped with the token's tenant even if it lies.
+	var created map[string]int
+	code, _ := authedJSON(t, "POST", srv.URL+"/api/vms", writer,
+		`{"name":"web","vcpus":2,"memory_mb":2048,"disk_gb":10,"image":"ubuntu-10.04","owner":"default"}`, &created)
+	if code != http.StatusCreated {
+		t.Fatalf("writer submit: %d", code)
+	}
+	if owner, _ := c.VMOwner(created["id"]); owner != "acme" {
+		t.Fatalf("submitted owner = %q, want acme", owner)
+	}
+	// 429 + Retry-After past the VM quota.
+	code, hdr := authedJSON(t, "POST", srv.URL+"/api/vms", writer, submitBody, nil)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit: %d", code)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	c.WaitIdle()
+	// Operator submits an unscoped VM; acme's token must not see or touch it.
+	code, _ = authedJSON(t, "POST", srv.URL+"/api/vms", operator, submitBody, &created)
+	if code != http.StatusCreated {
+		t.Fatalf("operator submit: %d", code)
+	}
+	c.WaitIdle()
+	var mine []VMWire
+	if code, _ := authedJSON(t, "GET", srv.URL+"/api/vms", writer, "", &mine); code != 200 {
+		t.Fatalf("scoped list: %d", code)
+	}
+	if len(mine) != 1 || mine[0].Owner != "acme" {
+		t.Fatalf("scoped list = %+v, want only acme's VM", mine)
+	}
+	foreign := strconv.Itoa(created["id"])
+	if code, _ := authedJSON(t, "POST", srv.URL+"/api/vms/"+foreign+"/shutdown", writer, "", nil); code != 403 {
+		t.Fatalf("cross-tenant shutdown: %d", code)
+	}
+	if code, _ := authedJSON(t, "POST", srv.URL+"/api/vms/"+foreign+"/shutdown", operator, "", nil); code != http.StatusAccepted {
+		t.Fatalf("operator shutdown: %d", code)
+	}
+}

@@ -1,0 +1,48 @@
+package tenant
+
+import (
+	"testing"
+)
+
+// TestAllocAuthenticate gates the token-verify + tenant-lookup hot path —
+// this runs inside the web middleware on every authenticated request — at
+// <= 2 allocs/op (the hash's []byte conversion is the only unavoidable
+// one). Wired into `make alloccheck`.
+func TestAllocAuthenticate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc counting is unreliable in short/race runs")
+	}
+	r := NewRegistry()
+	if _, err := r.Create("acme", 1, Quota{}); err != nil {
+		t.Fatal(err)
+	}
+	tok, err := r.IssueToken("acme", RoleWriter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, _, err := r.Authenticate(tok); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("Authenticate = %.1f allocs/op, want <= 2", allocs)
+	}
+}
+
+// TestAllocHashToken keeps the shared digest helper allocation-bounded;
+// session-cookie lookups in the web tier hash on every request.
+func TestAllocHashToken(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc counting is unreliable in short/race runs")
+	}
+	tok := NewToken()
+	var sink [32]byte
+	allocs := testing.AllocsPerRun(1000, func() {
+		sink = HashToken(tok)
+	})
+	_ = sink
+	if allocs > 1 {
+		t.Fatalf("HashToken = %.1f allocs/op, want <= 1", allocs)
+	}
+}

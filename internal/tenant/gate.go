@@ -1,0 +1,31 @@
+package tenant
+
+import "fmt"
+
+// VMGate adapts a Registry to the orchestrator's admission seam
+// (nebula.TenantGate): VM slots are check-and-reserved against the owner's
+// quota at submit, returned when the instance retires, and Running time
+// lands in the ledger as vm_seconds. Defined here so the wiring layer and
+// tests share one adapter without nebula importing any of them.
+type VMGate struct{ Reg *Registry }
+
+// AdmitVM reserves one VM slot for owner (ErrQuotaExceeded when full).
+func (g VMGate) AdmitVM(owner string) error {
+	t := g.Reg.Get(owner)
+	if t == nil {
+		return fmt.Errorf("tenant: unknown tenant %q", owner)
+	}
+	return t.ReserveVM()
+}
+
+// ReleaseVM returns owner's slot.
+func (g VMGate) ReleaseVM(owner string) {
+	if t := g.Reg.Get(owner); t != nil {
+		t.ReleaseVM()
+	}
+}
+
+// MeterVMSeconds appends one completed Running interval to the ledger.
+func (g VMGate) MeterVMSeconds(owner string, secs float64) {
+	g.Reg.Meter(owner, KindVMSeconds, secs)
+}

@@ -1,0 +1,328 @@
+package tenant
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTokenLifecycle(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Create("acme", 2, Quota{MaxVMs: 3}); err != nil {
+		t.Fatal(err)
+	}
+	tok, err := r.IssueToken("acme", RoleWriter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tok) != 64 {
+		t.Fatalf("token length = %d, want 64 hex chars", len(tok))
+	}
+	ten, role, err := r.Authenticate(tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ten.Name() != "acme" || role != RoleWriter {
+		t.Fatalf("authenticated as %s/%v", ten.Name(), role)
+	}
+	if !role.CanWrite() {
+		t.Fatal("writer role cannot write")
+	}
+	if _, _, err := r.Authenticate("deadbeef"); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("bad token err = %v", err)
+	}
+	if !r.Revoke(tok) {
+		t.Fatal("revoke of live token reported false")
+	}
+	if _, _, err := r.Authenticate(tok); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("revoked token authenticated: %v", err)
+	}
+	if r.Revoke(tok) {
+		t.Fatal("double revoke reported true")
+	}
+	if _, err := r.IssueToken("ghost", RoleReader); err == nil {
+		t.Fatal("token issued for unknown tenant")
+	}
+	if _, err := r.IssueToken("acme", Role(99)); err == nil {
+		t.Fatal("token issued with invalid role")
+	}
+}
+
+func TestTokensAreUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 256; i++ {
+		tok := NewToken()
+		if seen[tok] {
+			t.Fatal("duplicate token from NewToken")
+		}
+		seen[tok] = true
+	}
+}
+
+func TestRegistryCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Default() == nil || !r.Default().IsDefault() {
+		t.Fatal("registry has no default tenant")
+	}
+	if r.Get("") != r.Default() {
+		t.Fatal("empty name does not resolve to default")
+	}
+	if _, err := r.Create("", 1, Quota{}); err == nil {
+		t.Fatal("created tenant with empty name")
+	}
+	if _, err := r.Create("dup", 1, Quota{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Create("dup", 1, Quota{}); err == nil {
+		t.Fatal("created duplicate tenant")
+	}
+	ten, _ := r.Create("weighted", -5, Quota{})
+	if ten.Weight() != 1 {
+		t.Fatalf("weight normalised to %d, want 1", ten.Weight())
+	}
+	if got := len(r.Tenants()); got != 3 {
+		t.Fatalf("Tenants() = %d entries, want 3", got)
+	}
+}
+
+func TestRegistryCap(t *testing.T) {
+	r := NewRegistry()
+	var err error
+	for i := 0; err == nil; i++ {
+		_, err = r.Create(string(rune('a'+i%26))+string(rune('0'+i/26)), 1, Quota{})
+	}
+	if n := len(r.Tenants()); n != maxTenants {
+		t.Fatalf("registry grew to %d tenants, want cap at %d", n, maxTenants)
+	}
+}
+
+func TestQuotaVMs(t *testing.T) {
+	r := NewRegistry()
+	ten, _ := r.Create("a", 1, Quota{MaxVMs: 2})
+	if err := ten.ReserveVM(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ten.ReserveVM(); err != nil {
+		t.Fatal(err)
+	}
+	err := ten.ReserveVM()
+	if !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("third VM err = %v", err)
+	}
+	var qe *QuotaError
+	if !errors.As(err, &qe) || qe.Resource != "vms" {
+		t.Fatalf("quota error detail: %+v", err)
+	}
+	if secs, ok := RetryAfterSeconds(err); !ok || secs < 1 {
+		t.Fatalf("RetryAfterSeconds = %d,%v", secs, ok)
+	}
+	ten.ReleaseVM()
+	if err := ten.ReserveVM(); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	if res := ten.Reservations(); res.QuotaDenials != 1 || res.PeakVMs != 2 {
+		t.Fatalf("reservations = %+v", res)
+	}
+}
+
+func TestQuotaBytesAdjust(t *testing.T) {
+	r := NewRegistry()
+	ten, _ := r.Create("a", 1, Quota{MaxStorageBytes: 1000})
+	if err := ten.ReserveBytes(600); err != nil {
+		t.Fatal(err)
+	}
+	if err := ten.ReserveBytes(600); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("overshoot admitted: %v", err)
+	}
+	// Publish-time correction down: 600-byte estimate became 400 actual.
+	if err := ten.AdjustBytes(600, 400); err != nil {
+		t.Fatal(err)
+	}
+	if res := ten.Reservations(); res.StorageBytes != 400 {
+		t.Fatalf("after adjust: %d bytes reserved", res.StorageBytes)
+	}
+	// Correction up past the limit must fail and keep the old reservation.
+	if err := ten.AdjustBytes(400, 1200); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("over-limit adjust admitted: %v", err)
+	}
+	if res := ten.Reservations(); res.StorageBytes != 400 {
+		t.Fatalf("failed adjust changed reservation to %d", res.StorageBytes)
+	}
+	ten.ReleaseBytes(9999) // over-release clamps at zero
+	if res := ten.Reservations(); res.StorageBytes != 0 {
+		t.Fatalf("after release: %d", res.StorageBytes)
+	}
+}
+
+func TestQuotaTranscodeWindow(t *testing.T) {
+	r := NewRegistry()
+	now := time.Unix(1000, 0)
+	r.SetClock(func() time.Time { return now })
+	ten, _ := r.Create("a", 1, Quota{TranscodeSecondsPerHour: 100})
+	if err := ten.ReserveTranscode(80); err != nil {
+		t.Fatal(err)
+	}
+	err := ten.ReserveTranscode(30)
+	if !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("window overshoot admitted: %v", err)
+	}
+	var qe *QuotaError
+	if !errors.As(err, &qe) || qe.RetryAfter != transcodeWindow {
+		t.Fatalf("retry-after = %v, want window remainder", qe.RetryAfter)
+	}
+	// A failed conversion returns its reservation.
+	ten.ReleaseTranscode(80)
+	if err := ten.ReserveTranscode(100); err != nil {
+		t.Fatal(err)
+	}
+	// The window rotates after an hour; the budget refills.
+	now = now.Add(time.Hour + time.Second)
+	if err := ten.ReserveTranscode(100); err != nil {
+		t.Fatalf("after window rotation: %v", err)
+	}
+}
+
+// TestQuotaBoundaryRace hammers concurrent reservations exactly at the
+// quota boundary under -race and asserts admission is check-and-reserve:
+// the admitted count matches the limit exactly and peak reservations never
+// overshoot (satellite 2).
+func TestQuotaBoundaryRace(t *testing.T) {
+	r := NewRegistry()
+	const limitVMs, limitBytes = 16, 16 * 1024
+	ten, _ := r.Create("hot", 1, Quota{
+		MaxVMs: limitVMs, MaxStorageBytes: limitBytes, TranscodeSecondsPerHour: 64,
+	})
+	const workers = 32
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	admittedVMs, admittedBytes, admittedSecs := 0, int64(0), 0.0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 64; i++ {
+				if ten.ReserveVM() == nil {
+					mu.Lock()
+					admittedVMs++
+					mu.Unlock()
+				}
+				if ten.ReserveBytes(1024) == nil {
+					mu.Lock()
+					admittedBytes += 1024
+					mu.Unlock()
+				}
+				if ten.ReserveTranscode(4) == nil {
+					mu.Lock()
+					admittedSecs += 4
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if admittedVMs != limitVMs {
+		t.Errorf("admitted %d VMs, want exactly %d", admittedVMs, limitVMs)
+	}
+	if admittedBytes != limitBytes {
+		t.Errorf("admitted %d bytes, want exactly %d", admittedBytes, limitBytes)
+	}
+	if admittedSecs != 64 {
+		t.Errorf("admitted %.0f transcode secs, want exactly 64", admittedSecs)
+	}
+	if vms, bytes, secs := ten.Overshoot(); vms != 0 || bytes != 0 || secs != 0 {
+		t.Errorf("overshoot: vms=%d bytes=%d secs=%.3f, want all zero", vms, bytes, secs)
+	}
+	res := ten.Reservations()
+	if res.PeakVMs != limitVMs || res.PeakStorageBytes != limitBytes {
+		t.Errorf("peaks = %+v", res)
+	}
+}
+
+func TestLedger(t *testing.T) {
+	l := NewLedger()
+	l.Append("a", KindBytesStored, 100)
+	l.Append("a", KindBytesStored, 50)
+	l.Append("a", KindTranscodeSeconds, 7)
+	l.Append("b", KindVMSeconds, 30)
+	l.Append("b", KindBytesEgressed, 0)  // dropped: nothing consumed
+	l.Append("b", KindBytesEgressed, -5) // dropped
+	snap := l.Snapshot()
+	if snap["a"].BytesStored != 150 || snap["a"].TranscodeSeconds != 7 || snap["a"].Events != 3 {
+		t.Fatalf("tenant a usage: %+v", snap["a"])
+	}
+	if snap["b"].VMSeconds != 30 || snap["b"].Events != 1 {
+		t.Fatalf("tenant b usage: %+v", snap["b"])
+	}
+	if got := l.Usage("ghost"); got.Events != 0 {
+		t.Fatalf("ghost usage: %+v", got)
+	}
+	evs := l.Events()
+	if len(evs) != 4 || evs[0].Seq != 1 || evs[3].Seq != 4 {
+		t.Fatalf("events: %+v", evs)
+	}
+	if l.Seq() != 4 {
+		t.Fatalf("seq = %d", l.Seq())
+	}
+}
+
+func TestLedgerConcurrentAppend(t *testing.T) {
+	l := NewLedger()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l.Append("t", KindBytesEgressed, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.Usage("t").BytesEgressed; got != 8000 {
+		t.Fatalf("total = %.0f, want 8000", got)
+	}
+}
+
+func TestContextThreading(t *testing.T) {
+	r := NewRegistry()
+	ten, _ := r.Create("ctx", 1, Quota{})
+	ctx := WithContext(context.Background(), ten, RoleWriter)
+	got, role, ok := FromContext(ctx)
+	if !ok || got != ten || role != RoleWriter {
+		t.Fatalf("FromContext = %v/%v/%v", got, role, ok)
+	}
+	if _, _, ok := FromContext(context.Background()); ok {
+		t.Fatal("bare context carries a tenant")
+	}
+	if WithContext(context.Background(), nil, RoleWriter) != context.Background() {
+		t.Fatal("nil tenant attached something")
+	}
+}
+
+func TestStatusAll(t *testing.T) {
+	r := NewRegistry()
+	r.Create("z-late", 3, Quota{MaxVMs: 5})
+	r.Create("a-early", 1, Quota{})
+	r.Meter("z-late", KindBytesStored, 42)
+	sts := r.StatusAll()
+	if len(sts) != 3 {
+		t.Fatalf("%d statuses", len(sts))
+	}
+	// Creation order, default first.
+	if sts[0].Name != DefaultName || sts[1].Name != "z-late" || sts[2].Name != "a-early" {
+		t.Fatalf("order: %s, %s, %s", sts[0].Name, sts[1].Name, sts[2].Name)
+	}
+	if sts[1].Usage.BytesStored != 42 || sts[1].Weight != 3 || sts[1].Quota.MaxVMs != 5 {
+		t.Fatalf("z-late status: %+v", sts[1])
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	for r, want := range map[Role]string{RoleReader: "reader", RoleWriter: "writer", RoleAdmin: "admin"} {
+		if r.String() != want {
+			t.Fatalf("%d.String() = %q", r, r.String())
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"sort"
+	"time"
+)
+
+// Per-tenant trace attribution: the web middleware annotates every root
+// span with the authenticated tenant, so a stored trace set can be sliced
+// by who caused the work — which tenant's requests spent how long in which
+// layer.
+
+// DefaultTenant labels traces whose root carries no tenant annotation
+// (session users of the default tenant, infrastructure work).
+const DefaultTenant = "default"
+
+// TenantOf returns the trace's tenant: the root span's "tenant" annotation,
+// DefaultTenant when absent.
+func TenantOf(tr *Trace) string {
+	root, ok := tr.RootSpan()
+	if !ok {
+		return DefaultTenant
+	}
+	for _, a := range root.Annotations {
+		if a.Key == "tenant" {
+			return a.Value
+		}
+	}
+	return DefaultTenant
+}
+
+// TenantSummary aggregates critical-path attribution over one tenant's
+// traces.
+type TenantSummary struct {
+	Tenant string
+	// Traces / Errors count the group's members and how many recorded an
+	// error anywhere in the trace.
+	Traces, Errors int
+	// Total is the summed critical-path time; Layers splits it per layer,
+	// largest first.
+	Total  int64 // nanoseconds, summed across traces
+	Layers []LayerTime
+}
+
+// SummarizeByTenant groups traces by their root's tenant annotation and
+// sums per-layer critical-path time within each group. Groups are ordered
+// by total time descending (the noisiest tenant first), ties by name.
+func SummarizeByTenant(traces []*Trace) []TenantSummary {
+	type agg struct {
+		sum    *TenantSummary
+		layers map[string]int64
+	}
+	groups := map[string]*agg{}
+	for _, tr := range traces {
+		name := TenantOf(tr)
+		g := groups[name]
+		if g == nil {
+			g = &agg{sum: &TenantSummary{Tenant: name}, layers: map[string]int64{}}
+			groups[name] = g
+		}
+		g.sum.Traces++
+		if tr.HasError() {
+			g.sum.Errors++
+		}
+		ps := Summarize(tr)
+		g.sum.Total += int64(ps.Total)
+		for _, lt := range ps.Layers {
+			g.layers[lt.Layer] += int64(lt.Time)
+		}
+	}
+	out := make([]TenantSummary, 0, len(groups))
+	for _, g := range groups {
+		for l, d := range g.layers {
+			g.sum.Layers = append(g.sum.Layers, LayerTime{Layer: l, Time: time.Duration(d)})
+		}
+		sort.Slice(g.sum.Layers, func(i, j int) bool {
+			if g.sum.Layers[i].Time != g.sum.Layers[j].Time {
+				return g.sum.Layers[i].Time > g.sum.Layers[j].Time
+			}
+			return g.sum.Layers[i].Layer < g.sum.Layers[j].Layer
+		})
+		out = append(out, *g.sum)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Tenant < out[j].Tenant
+	})
+	return out
+}

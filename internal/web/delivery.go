@@ -223,13 +223,19 @@ func (s *Site) handleSegment(w http.ResponseWriter, r *http.Request) {
 
 // serveSegment writes cached segment bytes on the zero-copy slice path,
 // paced through the replica's NIC model like every other media response.
+// Egress is attributed to the video owner's tenant via the per-replica
+// attribution cache, so warm edge hits stay off the database.
 func (s *Site) serveSegment(w http.ResponseWriter, r *http.Request, name string, data []byte) {
 	onFallback := func(string) { s.reg.Counter("stream_fallback_total").Inc() }
 	content := edge.NewContent(data)
+	mw := &meteredWriter{ResponseWriter: w}
 	if s.streamPacer != nil {
-		stream.ServeWithFallback(pacedWriter{ResponseWriter: w, p: s.streamPacer}, r, name, content, onFallback)
+		stream.ServeWithFallback(pacedWriter{ResponseWriter: mw, p: s.streamPacer}, r, name, content, onFallback)
 	} else {
-		stream.ServeWithFallback(w, r, name, content, onFallback)
+		stream.ServeWithFallback(mw, r, name, content, onFallback)
+	}
+	if id, err := strconv.ParseInt(r.PathValue("id"), 10, 64); err == nil {
+		s.meterEgress(s.ownerTenant(id), mw.n)
 	}
 }
 

@@ -239,7 +239,7 @@ func (s *Site) FarmNodes() []FarmNodeStat {
 func (s *Site) TranscodeLoad() int {
 	load := s.pool.activeConversions()
 	if q := s.queue; q != nil {
-		load += len(q.jobs)
+		load += q.fq.Len()
 	}
 	return load
 }

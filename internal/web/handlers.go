@@ -15,6 +15,7 @@ import (
 
 	"videocloud/internal/search"
 	"videocloud/internal/stream"
+	"videocloud/internal/tenant"
 	"videocloud/internal/trace"
 	"videocloud/internal/video"
 	"videocloud/internal/videodb"
@@ -206,9 +207,9 @@ func (s *Site) handleRegister(w http.ResponseWriter, r *http.Request) {
 	token := randomToken()
 	s.state.mu.Lock()
 	if s.state.verifyTokens == nil {
-		s.state.verifyTokens = make(map[string]int64)
+		s.state.verifyTokens = make(map[[32]byte]int64)
 	}
-	s.state.verifyTokens[token] = id
+	s.state.verifyTokens[tenant.HashToken(token)] = id
 	s.state.mu.Unlock()
 	w.Header().Set("X-Verification-Link", "/verify?token="+token)
 	s.render(w, r, view{Page: "login", Title: "Log in",
@@ -218,9 +219,9 @@ func (s *Site) handleRegister(w http.ResponseWriter, r *http.Request) {
 func (s *Site) handleVerify(w http.ResponseWriter, r *http.Request) {
 	token := r.FormValue("token")
 	s.state.mu.Lock()
-	id, ok := s.state.verifyTokens[token]
+	id, ok := s.state.verifyTokens[tenant.HashToken(token)]
 	if ok {
-		delete(s.state.verifyTokens, token)
+		delete(s.state.verifyTokens, tenant.HashToken(token))
 	}
 	s.state.mu.Unlock()
 	if !ok {
@@ -263,9 +264,13 @@ func (s *Site) handleUploadPage(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Site) handleUpload(w http.ResponseWriter, r *http.Request) {
-	user := s.currentUser(r)
-	if user == nil {
+	p := s.principal(r)
+	if p == nil {
 		http.Error(w, "log in to upload", http.StatusUnauthorized)
+		return
+	}
+	if !p.role.CanWrite() {
+		http.Error(w, "read-only token cannot upload", http.StatusForbidden)
 		return
 	}
 	// Receiving the body is a real cost on large uploads; giving it a span
@@ -298,8 +303,17 @@ func (s *Site) handleUpload(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "title required", http.StatusBadRequest)
 		return
 	}
-	id, err := s.ProcessUpload(r.Context(), rowInt(user, "id"), title, r.FormValue("description"), data)
+	// Session principals carry their tenant on the context too, so the
+	// quota/ledger path below sees one identity shape for both auth modes.
+	ctx := r.Context()
+	if _, _, ok := tenant.FromContext(ctx); !ok && p.ten != nil {
+		ctx = tenant.WithContext(ctx, p.ten, p.role)
+	}
+	id, err := s.ProcessUpload(ctx, p.userID, title, r.FormValue("description"), data)
 	if err != nil {
+		if s.writeTenantError(w, err) {
+			return
+		}
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -328,34 +342,50 @@ func (s *Site) ProcessUpload(ctx context.Context, uploaderID int64, title, descr
 		return 0, fmt.Errorf("web: not a playable upload: %w", err)
 	}
 	psp.End()
+	// Check-and-reserve quota admission for the context's tenant (the
+	// default tenant, unlimited, when the caller carries none): source
+	// seconds against the hourly transcode window and an upper-bound
+	// storage estimate, corrected to the exact size at publish. Denials
+	// are typed ErrQuotaExceeded — the handler maps them to 429.
+	ten, _, _ := tenant.FromContext(ctx)
+	adm, err := s.admitUpload(ten, len(data), info.DurationSeconds)
+	if err != nil {
+		return 0, err
+	}
 	isp := trace.FromContext(ctx).StartChild("db.insert")
 	id, err := s.db.Insert("videos", videodb.Row{
 		"title": title, "description": description,
 		"uploader_id":      uploaderID,
 		"duration_seconds": int64(info.DurationSeconds),
 		"status":           statusProcessing,
+		"tenant":           adm.ten.Name(),
 	})
 	if err != nil {
 		isp.SetError(err)
 		isp.End()
+		adm.release()
 		return 0, err
 	}
 	isp.End()
 	trace.FromContext(ctx).AnnotateInt("video_id", id)
+	s.noteVideoTenant(id, adm.ten.Name())
 	if s.queue != nil {
 		if qerr := s.enqueueTranscode(ctx, transcodeJob{
 			videoID: id, title: title, description: description,
-			data: data, enqueued: time.Now(),
+			data: data, enqueued: time.Now(), adm: adm,
 		}); qerr != nil {
-			// The pool is shut down (upload raced Close): no one will ever
-			// convert the row, so remove it as the sync path does on failure.
+			// Throttled or shut down: no one will ever convert the row, so
+			// remove it and return the reservations.
 			s.db.Delete("videos", id)
+			s.noteVideoTenant(id, "")
+			adm.release()
 			return 0, qerr
 		}
 		return id, nil
 	}
-	if err := s.transcodeAndPublish(ctx, id, title, description, data); err != nil {
+	if err := s.transcodeAndPublish(ctx, id, title, description, data, adm); err != nil {
 		s.db.Delete("videos", id)
+		s.noteVideoTenant(id, "")
 		return 0, err
 	}
 	return id, nil
@@ -498,13 +528,18 @@ func (s *Site) handleStream(w http.ResponseWriter, r *http.Request) {
 	// that can't slice) go through the copying ServeContent path; the
 	// counter keeps that rate visible in stats.
 	onFallback := func(string) { s.reg.Counter("stream_fallback_total").Inc() }
+	// Egress attribution: response-body bytes are metered to the tenant
+	// that owns the video (the publisher pays for delivery).
+	mw := &meteredWriter{ResponseWriter: w}
 	if s.streamPacer != nil {
 		// Meter egress through the replica's NIC-model token bucket.
-		stream.ServeWithFallback(pacedWriter{ResponseWriter: w, p: s.streamPacer}, r, path, rd, onFallback)
+		stream.ServeWithFallback(pacedWriter{ResponseWriter: mw, p: s.streamPacer}, r, path, rd, onFallback)
 	} else {
-		stream.ServeWithFallback(w, r, path, rd, onFallback)
+		stream.ServeWithFallback(mw, r, path, rd, onFallback)
 	}
 	ssp.End()
+	owner, _ := row["tenant"].(string)
+	s.meterEgress(owner, mw.n)
 }
 
 // ---- comments, reports, edit, delete ----
@@ -543,32 +578,76 @@ func (s *Site) handleReport(w http.ResponseWriter, r *http.Request) {
 	http.Redirect(w, r, fmt.Sprintf("/watch/%d", rowInt(row, "id")), http.StatusSeeOther)
 }
 
+// authorizeOwner resolves the request's principal and checks it may mutate
+// the addressed video. errNeedAuth means no credentials (401); everything
+// else — wrong owner, wrong tenant, read-only token — is errForbidden
+// (403). See principal.owns for the tenant-scoping rules.
 func (s *Site) authorizeOwner(r *http.Request) (videodb.Row, error) {
-	user := s.currentUser(r)
-	if user == nil {
-		return nil, errors.New("web: authentication required")
+	p := s.principal(r)
+	if p == nil {
+		return nil, errNeedAuth
 	}
 	row, err := s.videoByRequest(r)
 	if err != nil {
 		return nil, err
 	}
-	if user["id"] != row["uploader_id"] && !rowBool(user, "admin") {
-		return nil, errors.New("web: not the uploader")
+	if !p.role.CanWrite() || !p.owns(row) {
+		return nil, errForbidden
 	}
 	return row, nil
+}
+
+// writeAuthzError maps authorizeOwner failures: missing credentials 401,
+// everything else (wrong owner/tenant/role, missing row) 403 as before.
+func writeAuthzError(w http.ResponseWriter, err error) {
+	if errors.Is(err, errNeedAuth) {
+		http.Error(w, err.Error(), http.StatusUnauthorized)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusForbidden)
 }
 
 func (s *Site) handleDelete(w http.ResponseWriter, r *http.Request) {
 	row, err := s.authorizeOwner(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusForbidden)
+		writeAuthzError(w, err)
 		return
 	}
 	id := rowInt(row, "id")
+	// Remove every stored object: the target file, each rendition, and all
+	// delivery segments, so the tenant's byte reservation can be returned
+	// in full.
 	if path := rowString(row, "path"); path != "" {
 		s.store.Remove(path)
 	}
+	labels := strings.Split(rowString(row, "renditions"), ",")
+	for _, label := range labels {
+		if label == "" || label == QualityLabel(s.target) {
+			continue
+		}
+		s.store.Remove(fmt.Sprintf("videos/%d-%s.vcf", id, label))
+	}
+	if segs, _ := row["segments"].(int64); segs > 0 {
+		for _, label := range labels {
+			if label == "" {
+				continue
+			}
+			for k := int64(0); k < segs; k++ {
+				s.store.Remove(segmentPath(id, label, int(k)))
+			}
+		}
+	}
+	// Return the stored-byte reservation to the owning tenant and meter
+	// the deletion; pre-tenant rows carry neither column and release zero.
+	if stored, _ := row["stored_bytes"].(int64); stored > 0 {
+		owner, _ := row["tenant"].(string)
+		if ten := s.tenants.Get(owner); ten != nil {
+			ten.ReleaseBytes(stored)
+		}
+		s.tenants.Meter(owner, tenant.KindBytesDeleted, float64(stored))
+	}
 	s.db.Delete("videos", id)
+	s.noteVideoTenant(id, "")
 	s.Index().Remove(id)
 	comments, _ := s.db.Select("comments", "video_id", id)
 	for _, c := range comments {
@@ -582,7 +661,7 @@ func (s *Site) handleDelete(w http.ResponseWriter, r *http.Request) {
 func (s *Site) handleEdit(w http.ResponseWriter, r *http.Request) {
 	row, err := s.authorizeOwner(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusForbidden)
+		writeAuthzError(w, err)
 		return
 	}
 	id := rowInt(row, "id")

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"videocloud/internal/metrics"
+	"videocloud/internal/tenant"
 )
 
 // Request IDs are a salted counter run through a 64-bit mixer: unique per
@@ -212,6 +213,16 @@ func (s *Site) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 			rm.inflight.Add(-1)
 			globalInflight.Set(s.inflightNow.Add(-1))
 		}()
+		// API-token auth: a Bearer header resolves to a tenant identity on
+		// the request context (401 on a bad token); the root span is
+		// annotated so traces attribute per tenant.
+		var ok bool
+		if r, ok = s.resolveBearer(sw, r); !ok {
+			return
+		}
+		if ten, _, found := tenant.FromContext(r.Context()); found && sp != nil {
+			sp.Annotate("tenant", ten.Name())
+		}
 		h(sw, r)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"videocloud/internal/search"
+	"videocloud/internal/tenant"
 	"videocloud/internal/trace"
 	"videocloud/internal/video"
 	"videocloud/internal/videodb"
@@ -46,11 +47,20 @@ type transcodeJob struct {
 	description string
 	data        []byte
 	enqueued    time.Time
+	// adm carries the upload's quota reservations (tenant identity, byte
+	// estimate, source seconds) across the async boundary — the context's
+	// tenant value does not survive trace.Reparent.
+	adm *admission
 }
 
 // transcodeQueue is the bounded worker pool that drains async uploads.
+// Intake is a weighted start-time-fair queue: each tenant is a flow, so a
+// bulk tenant's backlog interleaves with — instead of running ahead of —
+// everyone else's, and a flow over its fair share is throttled with a
+// typed error (429) rather than crowding the queue. The default tenant
+// keeps the legacy contract: blocking backpressure, never throttled.
 type transcodeQueue struct {
-	jobs     chan transcodeJob
+	fq       *tenant.FairQueue[transcodeJob]
 	nworkers int
 	baseCtx  context.Context // cancelled by Close after the drain
 	cancel   context.CancelFunc
@@ -75,14 +85,18 @@ func (s *Site) startTranscoders(workers, queueCap int) {
 	if queueCap <= 0 {
 		queueCap = defaultTranscodeQueueCap
 	}
-	q := &transcodeQueue{jobs: make(chan transcodeJob, queueCap), nworkers: workers}
+	q := &transcodeQueue{fq: tenant.NewFairQueue[transcodeJob](queueCap), nworkers: workers}
 	q.baseCtx, q.cancel = context.WithCancel(context.Background())
 	s.queue = q
 	for i := 0; i < workers; i++ {
 		q.workers.Add(1)
 		go func() {
 			defer q.workers.Done()
-			for job := range q.jobs {
+			for {
+				job, ok := q.fq.Pop()
+				if !ok {
+					return
+				}
 				s.runTranscodeJob(job)
 			}
 		}()
@@ -112,17 +126,41 @@ func (s *Site) enqueueTranscode(ctx context.Context, job transcodeJob) error {
 	// Hold keeps the trace from flushing between the HTTP response and the
 	// worker dequeuing the job; runTranscodeJob releases it.
 	job.ctx = trace.Reparent(q.baseCtx, ctx)
+	if job.adm == nil {
+		job.adm = &admission{}
+	}
+	// Reparent drops context values, so the tenant identity is re-attached
+	// explicitly: the worker's HDFS writes must still attribute to the
+	// uploading tenant.
+	if job.adm.ten != nil {
+		job.ctx = tenant.WithContext(job.ctx, job.adm.ten, tenant.RoleWriter)
+	}
 	trace.FromContext(job.ctx).Hold()
-	q.enqueued.Add(1)
-	s.reg.Counter("transcode_jobs").Inc()
-	select {
-	case q.jobs <- job:
-	default:
+	// Weighted tenants are distinct fair-queue flows with the job's source
+	// seconds as its cost; the default tenant is the legacy flow (weight 0:
+	// blocking backpressure, never throttled).
+	flow, weight := "", 0
+	if ten := job.adm.ten; ten != nil && !ten.IsDefault() {
+		flow, weight = ten.Name(), ten.Weight()
+	}
+	if q.fq.Full() {
 		s.reg.Counter("transcode_backpressure").Inc()
 		trace.FromContext(ctx).Annotate("backpressure", "intake queue full, send blocked")
-		q.jobs <- job
 	}
-	s.reg.Gauge("transcode_queue_depth").Set(int64(len(q.jobs)))
+	if perr := q.fq.Push(flow, weight, job.adm.srcSecs, job); perr != nil {
+		trace.FromContext(job.ctx).Release()
+		q.pending.Done()
+		if errors.Is(perr, tenant.ErrThrottled) {
+			job.adm.ten.CountThrottle()
+			s.reg.Counter("transcode_throttled").Inc()
+			s.tenantCounter("throttles", flow).Inc()
+			return perr
+		}
+		return errSiteClosed
+	}
+	q.enqueued.Add(1)
+	s.reg.Counter("transcode_jobs").Inc()
+	s.reg.Gauge("transcode_queue_depth").Set(int64(q.fq.Len()))
 	return nil
 }
 
@@ -130,7 +168,7 @@ func (s *Site) runTranscodeJob(job transcodeJob) {
 	q := s.queue
 	defer q.pending.Done()
 	defer trace.FromContext(job.ctx).Release() // matches enqueueTranscode's Hold
-	s.reg.Gauge("transcode_queue_depth").Set(int64(len(q.jobs)))
+	s.reg.Gauge("transcode_queue_depth").Set(int64(q.fq.Len()))
 	wait := time.Since(job.enqueued)
 	// The queue.job span crosses the async boundary: it is a child of the
 	// uploading request's web.upload span (via the re-parented job context)
@@ -141,7 +179,7 @@ func (s *Site) runTranscodeJob(job transcodeJob) {
 		sp.Annotate("queue_wait", wait.String())
 	}
 	s.reg.Histogram("transcode_wait_seconds").ObserveExemplar(wait.Seconds(), sp.TraceID())
-	err := s.transcodeAndPublish(ctx, job.videoID, job.title, job.description, job.data)
+	err := s.transcodeAndPublish(ctx, job.videoID, job.title, job.description, job.data, job.adm)
 	if err != nil {
 		sp.SetError(err)
 	}
@@ -164,16 +202,65 @@ func (s *Site) runTranscodeJob(job transcodeJob) {
 // rendition in ONE farm pass (single parse/split of the source), stores the
 // outputs through the FUSE mount, and publishes the row: path + renditions +
 // status=ready, search index, recent-list invalidation, metrics.
-func (s *Site) transcodeAndPublish(ctx context.Context, id int64, title, description string, data []byte) error {
+//
+// Quota/ledger contract (adm): on any failure every reservation is released
+// here — callers only remove the row. On success the byte reservation is
+// corrected to the exact stored size BEFORE the first write (so the tenant's
+// reservation always covers what HDFS actually holds: overshoot is
+// impossible by construction) and kept as the tenant's stored usage; the
+// ledger gets exactly one bytes_stored and one transcode_seconds event.
+func (s *Site) transcodeAndPublish(ctx context.Context, id int64, title, description string, data []byte, adm *admission) error {
 	specs := append([]video.Spec{s.target}, s.renditions...)
 	results, err := s.convertPooled(ctx, data, specs)
 	if err != nil {
+		adm.release()
 		return fmt.Errorf("web: conversion failed: %w", err)
 	}
+	// Stage every output object — whole files plus the per-rendition
+	// delivery segments (delivery.go) — before writing anything, so the
+	// exact stored size is known up front.
+	type object struct {
+		path string
+		data []byte
+	}
+	files := make([]object, 0, 2*(1+len(s.renditions)))
+	path := fmt.Sprintf("videos/%d.vcf", id)
+	files = append(files, object{path, results[0].Output})
+	labels := []string{QualityLabel(s.target)}
+	for i, spec := range s.renditions {
+		files = append(files, object{fmt.Sprintf("videos/%d-%s.vcf", id, QualityLabel(spec)), results[i+1].Output})
+		labels = append(labels, QualityLabel(spec))
+	}
+	segs := 0
+	for i, spec := range specs {
+		pieces, serr := video.Segments(results[i].Output, s.segSeconds)
+		if serr != nil {
+			adm.release()
+			return fmt.Errorf("web: segmenting %s failed: %w", QualityLabel(spec), serr)
+		}
+		for k, piece := range pieces {
+			files = append(files, object{segmentPath(id, QualityLabel(spec), k), piece})
+		}
+		segs = len(pieces)
+	}
+	var exactBytes int64
+	for _, f := range files {
+		exactBytes += int64(len(f.data))
+	}
+	// Correct the admission-time estimate to the exact footprint before any
+	// write. Failure here means the estimate lied low and the exact size
+	// busts the quota: nothing was stored, everything is released.
+	if adm.ten != nil {
+		if qerr := adm.ten.AdjustBytes(adm.estBytes, exactBytes); qerr != nil {
+			adm.release() // AdjustBytes restored the estimate on failure
+			return fmt.Errorf("web: publishing video %d: %w", id, qerr)
+		}
+		adm.estBytes = exactBytes
+	}
 	// written tracks files stored so far, so a partial failure (a later
-	// rendition write or the row update) cleans them up instead of leaving
-	// orphaned videos/<id>*.vcf files in HDFS.
-	written := make([]string, 0, 1+len(s.renditions))
+	// write or the row update) cleans them up instead of leaving orphaned
+	// objects in HDFS.
+	written := make([]string, 0, len(files))
 	unstore := func() {
 		for _, p := range written {
 			if rerr := s.store.Remove(p); rerr != nil {
@@ -181,61 +268,44 @@ func (s *Site) transcodeAndPublish(ctx context.Context, id int64, title, descrip
 			}
 		}
 	}
-	path := fmt.Sprintf("videos/%d.vcf", id)
-	if werr := s.store.WriteFileCtx(ctx, path, results[0].Output); werr != nil {
-		return fmt.Errorf("web: store failed: %w", werr)
-	}
-	written = append(written, path)
-	labels := []string{QualityLabel(s.target)}
-	for i, spec := range s.renditions {
-		rpath := fmt.Sprintf("videos/%d-%s.vcf", id, QualityLabel(spec))
-		if werr := s.store.WriteFileCtx(ctx, rpath, results[i+1].Output); werr != nil {
-			unstore()
-			return fmt.Errorf("web: store %s failed: %w", QualityLabel(spec), werr)
-		}
-		written = append(written, rpath)
-		labels = append(labels, QualityLabel(spec))
-	}
-	// Segmented delivery (delivery.go): cut every rendition into
-	// time-indexed segments alongside the whole files, so the playlist and
-	// segment handlers have per-window objects to serve through the edge
-	// cache. Whole-file /stream stays available for progressive playback.
-	segs := 0
-	ssp := trace.FromContext(ctx).StartChild("store.segments")
-	for i, spec := range append([]video.Spec{s.target}, s.renditions...) {
-		pieces, serr := video.Segments(results[i].Output, s.segSeconds)
-		if serr != nil {
-			ssp.SetError(serr)
+	ssp := trace.FromContext(ctx).StartChild("store.objects")
+	for _, f := range files {
+		if werr := s.store.WriteFileCtx(ctx, f.path, f.data); werr != nil {
+			ssp.SetError(werr)
 			ssp.End()
 			unstore()
-			return fmt.Errorf("web: segmenting %s failed: %w", QualityLabel(spec), serr)
+			adm.release()
+			return fmt.Errorf("web: store %s failed: %w", f.path, werr)
 		}
-		for k, piece := range pieces {
-			spath := segmentPath(id, QualityLabel(spec), k)
-			if werr := s.store.WriteFileCtx(ctx, spath, piece); werr != nil {
-				ssp.SetError(werr)
-				ssp.End()
-				unstore()
-				return fmt.Errorf("web: store %s failed: %w", spath, werr)
-			}
-			written = append(written, spath)
-		}
-		segs = len(pieces)
+		written = append(written, f.path)
 	}
 	ssp.End()
 	psp := trace.FromContext(ctx).StartChild("db.publish")
-	if uerr := s.db.Update("videos", id, videodb.Row{
+	row := videodb.Row{
 		"path": path, "renditions": strings.Join(labels, ","), "status": statusReady,
 		"seg_seconds": int64(s.segSeconds), "segments": int64(segs),
-	}); uerr != nil {
+		"stored_bytes": exactBytes,
+	}
+	if adm.ten != nil {
+		row["tenant"] = adm.ten.Name()
+	}
+	if uerr := s.db.Update("videos", id, row); uerr != nil {
 		psp.SetError(uerr)
 		psp.End()
 		unstore()
+		adm.release()
 		return uerr
 	}
 	s.Index().Add(search.Document{ID: id, Title: title, Body: description})
 	s.invalidateRecent()
 	psp.End()
+	// Publish succeeded: meter usage exactly once. The byte reservation is
+	// now exact and stays held until the video is deleted; the transcode
+	// window reservation is consumed.
+	if adm.ten != nil {
+		s.tenants.Meter(adm.ten.Name(), tenant.KindBytesStored, float64(exactBytes))
+		s.tenants.Meter(adm.ten.Name(), tenant.KindTranscodeSeconds, adm.srcSecs)
+	}
 	res := results[0]
 	s.reg.Counter("uploads").Inc()
 	s.reg.Counter("upload_bytes").Add(int64(len(data)))
@@ -279,10 +349,10 @@ func (s *Site) DrainTranscodes() {
 }
 
 // Close shuts the transcode pool down after draining queued jobs. Uploads
-// that race Close fail fast with an error instead of panicking on a closed
-// channel: Close marks the queue closed first, waits for every already
-// accepted job (including senders still blocked on a full queue — workers
-// keep draining until the channel closes), and only then closes the channel.
+// that race Close fail fast with an error instead of pushing into a closed
+// queue: Close marks the queue closed first, waits for every already
+// accepted job (including pushers still blocked on a full queue — workers
+// keep draining until the fair queue closes), and only then closes it.
 // It is idempotent and a no-op for a synchronous site.
 func (s *Site) Close() {
 	q := s.queue
@@ -294,7 +364,7 @@ func (s *Site) Close() {
 		q.closed = true
 		q.mu.Unlock()
 		q.pending.Wait()
-		close(q.jobs)
+		q.fq.Close()
 		q.workers.Wait()
 		q.cancel()
 	})
@@ -309,8 +379,10 @@ type TranscodeStats struct {
 	QueueCap int
 	// QueueDepth is the number of jobs waiting right now.
 	QueueDepth int
-	// Enqueued / Completed / Failed count jobs over the site's lifetime.
-	Enqueued, Completed, Failed int64
+	// Enqueued / Completed / Failed count jobs over the site's lifetime;
+	// Throttled counts pushes refused by the weighted-fair gate (the tenant
+	// was over its share and told to retry, not blocked).
+	Enqueued, Completed, Failed, Throttled int64
 	// WaitSeconds is the mean time jobs spent queued; WaitP99Seconds is the
 	// tail — the elasticity controller's latency-side gauge.
 	WaitSeconds    float64
@@ -342,11 +414,12 @@ func (s *Site) TranscodeStats() TranscodeStats {
 	st.Nodes, st.ActiveConversions = s.pool.snapshot()
 	if q := s.queue; q != nil {
 		st.Workers = q.nworkers
-		st.QueueCap = cap(q.jobs)
-		st.QueueDepth = len(q.jobs)
+		st.QueueCap = q.fq.Cap()
+		st.QueueDepth = q.fq.Len()
 		st.Enqueued = q.enqueued.Load()
 		st.Completed = q.completed.Load()
 		st.Failed = q.failed.Load()
+		st.Throttled = q.fq.Throttles()
 	}
 	return st
 }

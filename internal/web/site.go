@@ -9,7 +9,6 @@
 package web
 
 import (
-	"crypto/rand"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -23,6 +22,7 @@ import (
 	"videocloud/internal/fusebridge"
 	"videocloud/internal/metrics"
 	"videocloud/internal/search"
+	"videocloud/internal/tenant"
 	"videocloud/internal/trace"
 	"videocloud/internal/video"
 	"videocloud/internal/videodb"
@@ -86,6 +86,12 @@ type Config struct {
 	// so they are cached with this TTL; published segments are immutable
 	// and cached without one.
 	LiveEdgeTTL time.Duration
+	// Tenants is the multi-tenant registry: API-token auth, per-tenant
+	// quotas, the usage ledger, and fair-share transcode weights all hang
+	// off it. Nil builds a private registry holding only the default
+	// tenant, which preserves the single-operator behaviour exactly. A
+	// serving fleet shares the primary's registry.
+	Tenants *tenant.Registry
 }
 
 // QualityLabel names a rendition by its vertical resolution ("720p").
@@ -98,12 +104,17 @@ func QualityLabel(s video.Spec) string { return fmt.Sprintf("%dp", s.Res.H) }
 // frontends the same one, so a login on replica 0 is valid on replica 7 and
 // an upload through any replica invalidates every replica's hot cache.
 type fleetState struct {
-	db videodb.Store
+	db      videodb.Store
+	tenants *tenant.Registry
 
-	mu           sync.Mutex
-	index        *search.Index
-	sessions     map[string]int64 // token -> user id
-	verifyTokens map[string]int64 // emailed verification link -> user id
+	mu    sync.Mutex
+	index *search.Index
+	// Session and verification tokens are stored by SHA-256 digest, never
+	// in cleartext: lookups hash the presented token and compare digests
+	// via the map key, which is a constant-time comparison with respect to
+	// the stored credentials (and a state dump leaks no usable tokens).
+	sessions     map[[32]byte]int64 // sha256(token) -> user id
+	verifyTokens map[[32]byte]int64 // sha256(emailed verification link) -> user id
 	adminID      int64
 
 	// recentGen is bumped on every recent-list invalidation; each
@@ -155,6 +166,15 @@ type Site struct {
 	// hdfsBreaker fails streaming fast while the store is down
 	// (breaker.go).
 	hdfsBreaker *breaker
+
+	// tenants caches state.tenants for the hot paths (tenant.go).
+	tenants *tenant.Registry
+	// tenantCounters holds bounded per-tenant instruments; videoTenant
+	// caches video id -> owning tenant for egress attribution on the warm
+	// segment path (no database read per cached hit).
+	tmu            sync.Mutex
+	tenantCounters map[string]*metrics.Counter
+	videoTenant    map[int64]string
 }
 
 // validate normalises a Config and reports the first assembly error.
@@ -227,6 +247,8 @@ func assemble(cfg Config, state *fleetState) *Site {
 		edge:        edge.New(edge.Config{CapacityBytes: cfg.EdgeCacheBytes}),
 		segSeconds:  cfg.SegmentSeconds,
 		liveTTL:     cfg.LiveEdgeTTL,
+		tenants:     state.tenants,
+		videoTenant: make(map[int64]string),
 	}
 	s.maxInFlight = int64(cfg.MaxInFlight)
 	if s.maxInFlight == 0 {
@@ -252,10 +274,15 @@ func New(cfg Config) (*Site, error) {
 	if db == nil {
 		db = videodb.New()
 	}
+	reg := cfg.Tenants
+	if reg == nil {
+		reg = tenant.NewRegistry()
+	}
 	state := &fleetState{
 		db:       db,
+		tenants:  reg,
 		index:    search.NewIndex(),
-		sessions: make(map[string]int64),
+		sessions: make(map[[32]byte]int64),
 	}
 	s := assemble(cfg, state)
 	if err := s.createSchema(); err != nil {
@@ -286,6 +313,9 @@ func NewReplica(cfg Config, primary *Site) (*Site, error) {
 	if cfg.DB != nil && cfg.DB != primary.state.db {
 		return nil, errors.New("web: replica config names a different DB than the fleet's")
 	}
+	if cfg.Tenants != nil && cfg.Tenants != primary.state.tenants {
+		return nil, errors.New("web: replica config names a different tenant registry than the fleet's")
+	}
 	return assemble(cfg, primary.state), nil
 }
 
@@ -298,6 +328,7 @@ func (s *Site) createSchema() error {
 		videodb.Column{Name: "verified", Type: videodb.TBool},
 		videodb.Column{Name: "blocked", Type: videodb.TBool, Indexed: true},
 		videodb.Column{Name: "admin", Type: videodb.TBool},
+		videodb.Column{Name: "tenant", Type: videodb.TString},
 	); err != nil {
 		return err
 	}
@@ -313,6 +344,8 @@ func (s *Site) createSchema() error {
 		videodb.Column{Name: "status", Type: videodb.TString},
 		videodb.Column{Name: "seg_seconds", Type: videodb.TInt},
 		videodb.Column{Name: "segments", Type: videodb.TInt},
+		videodb.Column{Name: "tenant", Type: videodb.TString},
+		videodb.Column{Name: "stored_bytes", Type: videodb.TInt},
 	); err != nil {
 		return err
 	}
@@ -395,13 +428,10 @@ func hashPassword(password, salt string) string {
 	return hex.EncodeToString(sum[:])
 }
 
-func randomToken() string {
-	var b [16]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		panic(fmt.Sprintf("web: entropy unavailable: %v", err))
-	}
-	return hex.EncodeToString(b[:])
-}
+// randomToken mints session/verification tokens through the shared
+// tenant.NewToken generator (one entropy source, one token shape, for API
+// tokens and web sessions alike).
+func randomToken() string { return tenant.NewToken() }
 
 // register creates an account. Matching the paper's flow, ordinary accounts
 // start unverified and must confirm via the emailed link (§IV-B/C); the
@@ -446,7 +476,7 @@ func (s *Site) login(username, password string) (string, error) {
 	}
 	token := randomToken()
 	s.state.mu.Lock()
-	s.state.sessions[token] = rowInt(row, "id")
+	s.state.sessions[tenant.HashToken(token)] = rowInt(row, "id")
 	s.state.mu.Unlock()
 	s.reg.Counter("logins").Inc()
 	return token, nil
@@ -454,7 +484,7 @@ func (s *Site) login(username, password string) (string, error) {
 
 func (s *Site) logout(token string) {
 	s.state.mu.Lock()
-	delete(s.state.sessions, token)
+	delete(s.state.sessions, tenant.HashToken(token))
 	s.state.mu.Unlock()
 }
 
@@ -467,7 +497,7 @@ func (s *Site) currentUser(r *http.Request) videodb.Row {
 		return nil
 	}
 	s.state.mu.Lock()
-	id, ok := s.state.sessions[c.Value]
+	id, ok := s.state.sessions[tenant.HashToken(c.Value)]
 	s.state.mu.Unlock()
 	if !ok {
 		return nil

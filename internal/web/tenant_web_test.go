@@ -1,0 +1,223 @@
+package web
+
+import (
+	"bytes"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"videocloud/internal/fusebridge"
+	"videocloud/internal/hdfs"
+	"videocloud/internal/tenant"
+	"videocloud/internal/video"
+)
+
+// newTenantSite builds a Site wired to a shared tenant registry, mirroring
+// how core passes its registry into the web tier.
+func newTenantSite(t testing.TB, reg *tenant.Registry) *Site {
+	t.Helper()
+	cluster := hdfs.NewCluster(4, 256*1024)
+	mount, err := fusebridge.New(cluster.Client(""), "/site", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	site, err := New(Config{
+		Store:         mount,
+		Farm:          video.Farm{Nodes: []string{"dn0", "dn1"}},
+		Target:        video.Spec{Codec: video.H264, Res: video.R720p, FPS: 30, GOPSeconds: 2, BitrateBps: 100_000},
+		AdminUser:     "admin",
+		AdminPassword: "secret",
+		Tenants:       reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return site
+}
+
+// tokenRequest issues req with an optional Bearer token and returns the
+// response; the caller owns nothing (body is drained and closed).
+func tokenRequest(t *testing.T, srv *httptest.Server, method, path, token string, body io.Reader, contentType string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, srv.URL+path, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	c := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp
+}
+
+// tokenUpload posts a generated clip to /upload under a Bearer token.
+func tokenUpload(t *testing.T, srv *httptest.Server, token, title string, seconds int, seed uint64) *http.Response {
+	t.Helper()
+	data, err := video.Generate(video.Spec{
+		Codec: video.MPEG4, Res: video.R480p, FPS: 30, GOPSeconds: 2, BitrateBps: 64_000,
+	}, seconds, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	mw.WriteField("title", title)
+	mw.WriteField("description", "tenant test clip")
+	fw, _ := mw.CreateFormFile("video", "clip.avi")
+	fw.Write(data)
+	mw.Close()
+	return tokenRequest(t, srv, "POST", "/upload", token, &buf, mw.FormDataContentType())
+}
+
+// TestWebRouteAuthMatrix walks every mutating web route through the three
+// tenant failure classes: 401 (no or bad credentials), 403 (credentials
+// that don't authorize the object), and 429 + Retry-After (quota refusals).
+func TestWebRouteAuthMatrix(t *testing.T) {
+	reg := tenant.NewRegistry()
+	if _, err := reg.Create("acme", 2, tenant.Quota{TranscodeSecondsPerHour: 25}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Create("globex", 1, tenant.Quota{}); err != nil {
+		t.Fatal(err)
+	}
+	acmeW, _ := reg.IssueToken("acme", tenant.RoleWriter)
+	acmeR, _ := reg.IssueToken("acme", tenant.RoleReader)
+	globexW, _ := reg.IssueToken("globex", tenant.RoleWriter)
+
+	site := newTenantSite(t, reg)
+	srv := httptest.NewServer(site)
+	t.Cleanup(srv.Close)
+
+	// 401: no credentials at all on every mutating route.
+	if resp := tokenUpload(t, srv, "", "anon", 10, 1); resp.StatusCode != 401 {
+		t.Fatalf("anonymous upload: got %d, want 401", resp.StatusCode)
+	}
+	for _, route := range []string{"/watch/1/edit", "/watch/1/delete"} {
+		resp := tokenRequest(t, srv, "POST", route, "",
+			strings.NewReader(url.Values{"title": {"x"}}.Encode()),
+			"application/x-www-form-urlencoded")
+		if resp.StatusCode != 401 {
+			t.Fatalf("anonymous %s: got %d, want 401", route, resp.StatusCode)
+		}
+	}
+	// 401: a junk Bearer token is rejected by the middleware before any
+	// handler runs, so even a read route refuses it.
+	for _, route := range []string{"/", "/upload"} {
+		resp := tokenRequest(t, srv, "GET", route, "no-such-token", nil, "")
+		if resp.StatusCode != 401 {
+			t.Fatalf("junk token on %s: got %d, want 401", route, resp.StatusCode)
+		}
+	}
+
+	// A writer token uploads into its own tenant's namespace.
+	resp := tokenUpload(t, srv, acmeW, "acme clip", 10, 2)
+	if resp.StatusCode != 303 {
+		t.Fatalf("acme upload: got %d, want 303", resp.StatusCode)
+	}
+	watch := resp.Header.Get("Location") // /watch/<id>
+	if !strings.HasPrefix(watch, "/watch/") {
+		t.Fatalf("upload redirected to %q", watch)
+	}
+
+	// 403: read-only token on every mutating route.
+	if resp := tokenUpload(t, srv, acmeR, "reader clip", 5, 3); resp.StatusCode != 403 {
+		t.Fatalf("reader upload: got %d, want 403", resp.StatusCode)
+	}
+	for _, route := range []string{watch + "/edit", watch + "/delete"} {
+		resp := tokenRequest(t, srv, "POST", route, acmeR,
+			strings.NewReader(url.Values{"title": {"renamed"}}.Encode()),
+			"application/x-www-form-urlencoded")
+		if resp.StatusCode != 403 {
+			t.Fatalf("reader %s: got %d, want 403", route, resp.StatusCode)
+		}
+	}
+	// 403: another tenant's writer cannot touch acme's video.
+	for _, route := range []string{watch + "/edit", watch + "/delete"} {
+		resp := tokenRequest(t, srv, "POST", route, globexW,
+			strings.NewReader(url.Values{"title": {"stolen"}}.Encode()),
+			"application/x-www-form-urlencoded")
+		if resp.StatusCode != 403 {
+			t.Fatalf("cross-tenant %s: got %d, want 403", route, resp.StatusCode)
+		}
+	}
+
+	// 429: acme's hourly transcode window (25s) has 15s left after the 10s
+	// upload; a 20s clip must be refused with a Retry-After hint, and the
+	// refusal must leave no row behind.
+	resp = tokenUpload(t, srv, acmeW, "too much", 20, 4)
+	if resp.StatusCode != 429 {
+		t.Fatalf("over-quota upload: got %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 response missing Retry-After header")
+	}
+	ten := reg.Get("acme")
+	if got := ten.Reservations().QuotaDenials; got != 1 {
+		t.Fatalf("quota denials = %d, want 1", got)
+	}
+	if rows, _ := site.db.Select("videos", "title", "too much"); len(rows) != 0 {
+		t.Fatalf("refused upload left %d rows behind", len(rows))
+	}
+
+	// The globex writer's quota is unlimited, so it can still publish — one
+	// tenant's refusal starves nobody else.
+	if resp := tokenUpload(t, srv, globexW, "globex clip", 10, 5); resp.StatusCode != 303 {
+		t.Fatalf("globex upload after acme 429: got %d, want 303", resp.StatusCode)
+	}
+
+	// The acme writer may edit and finally delete its own video, returning
+	// the stored-byte reservation to the tenant.
+	stored := ten.Reservations().StorageBytes
+	if stored <= 0 {
+		t.Fatalf("acme stored bytes = %d, want > 0 after publish", stored)
+	}
+	resp = tokenRequest(t, srv, "POST", watch+"/edit", acmeW,
+		strings.NewReader(url.Values{"title": {"acme clip v2"}}.Encode()),
+		"application/x-www-form-urlencoded")
+	if resp.StatusCode != 303 {
+		t.Fatalf("owner edit: got %d, want 303", resp.StatusCode)
+	}
+	resp = tokenRequest(t, srv, "POST", watch+"/delete", acmeW, nil, "")
+	if resp.StatusCode != 303 {
+		t.Fatalf("owner delete: got %d, want 303", resp.StatusCode)
+	}
+	if got := ten.Reservations().StorageBytes; got != 0 {
+		t.Fatalf("acme stored bytes = %d after delete, want 0", got)
+	}
+	if u := reg.Ledger().Usage("acme"); u.BytesDeleted != u.BytesStored || u.BytesStored == 0 {
+		t.Fatalf("ledger stored=%v deleted=%v, want equal and non-zero", u.BytesStored, u.BytesDeleted)
+	}
+}
+
+// TestSessionUploadMetersDefaultTenant checks the pre-tenant surface is
+// unchanged: a session user with no tenant column lands in the default
+// tenant, whose quota is unlimited, and the ledger still accounts for it.
+func TestSessionUploadMetersDefaultTenant(t *testing.T) {
+	reg := tenant.NewRegistry()
+	site := newTenantSite(t, reg)
+	b := newBrowser(t, site)
+	b.registerAndLogin("carol", "pw")
+	b.upload("session clip", "no tenant column", 10, 7)
+	u := reg.Ledger().Usage(tenant.DefaultName)
+	if u.BytesStored == 0 || u.TranscodeSeconds != 10 {
+		t.Fatalf("default-tenant usage = %+v, want stored>0 and 10 transcode seconds", u)
+	}
+	if got := reg.Default().Reservations().StorageBytes; got == 0 {
+		t.Fatal("default tenant holds no storage reservation after session upload")
+	}
+}
